@@ -1,0 +1,35 @@
+// Ablation: quantization bin count (the paper fixes SZ's default 2^16).
+// Fewer bins push borderline points into the unpredictable array; more
+// bins cost Huffman table size.  Run on a hard (Nyx) and an easy (Q2)
+// dataset.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace szsec;
+using namespace szsec::bench;
+
+int main() {
+  std::printf("Ablation: quantization bin count (scheme = plain SZ)\n");
+  const double eb = 1e-5;
+  for (const std::string& name : {"Nyx", "Q2"}) {
+    const data::Dataset& d = dataset(name);
+    std::printf("\n=== %s @ eb=%.0e ===\n", name.c_str(), eb);
+    std::printf("%10s %12s %16s %14s\n", "bins", "CR", "predictable %",
+                "tree KB");
+    for (uint32_t bins : {1u << 12, 1u << 14, 1u << 16, 1u << 18, 1u << 20}) {
+      const core::SecureCompressor c =
+          make_compressor(core::Scheme::kNone, eb, crypto::Mode::kCbc, bins);
+      const auto r = c.compress(std::span<const float>(d.values), d.dims);
+      std::printf("%10u %12.3f %16.2f %14.2f\n", bins,
+                  r.stats.compression_ratio(),
+                  100.0 * r.stats.predictable_fraction,
+                  r.stats.tree_bytes / 1024.0);
+    }
+  }
+  std::printf(
+      "\nExpected: predictable fraction grows with bins and saturates;\n"
+      "CR peaks near the default 2^16 (more bins = bigger tree, fewer\n"
+      "bins = more unpredictable values).\n");
+  return 0;
+}

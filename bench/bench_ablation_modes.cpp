@@ -1,0 +1,38 @@
+// Ablation: cipher mode (CBC vs CTR vs ECB) inside Encr-Quant and
+// Encr-Huffman.  The paper fixes AES-128-CBC; this quantifies what that
+// choice costs against CTR (parallelizable, length-preserving — no
+// padding inserted mid-payload) and the insecure ECB baseline.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace szsec;
+using namespace szsec::bench;
+
+int main() {
+  std::printf("Ablation: cipher mode inside the pipeline (runs=%d)\n",
+              bench_runs());
+  const double eb = 1e-5;
+  for (const std::string& name : {"CLOUDf48", "Nyx"}) {
+    const data::Dataset& d = dataset(name);
+    std::printf("\n=== %s @ eb=%.0e ===\n", name.c_str(), eb);
+    std::printf("%-14s %-6s %12s %12s %14s\n", "scheme", "mode",
+                "CR", "MB/s", "encrypted KB");
+    for (core::Scheme scheme :
+         {core::Scheme::kEncrQuant, core::Scheme::kEncrHuffman}) {
+      for (crypto::Mode mode :
+           {crypto::Mode::kCbc, crypto::Mode::kCtr, crypto::Mode::kEcb}) {
+        const Measurement m = measure(d, scheme, eb, false, mode);
+        std::printf("%-14s %-6s %12.3f %12.2f %14.1f\n",
+                    core::scheme_name(scheme), crypto::mode_name(mode),
+                    m.stats.compression_ratio(), m.compress_mbps(),
+                    m.stats.encrypted_bytes / 1024.0);
+      }
+    }
+  }
+  std::printf(
+      "\nExpected: mode choice barely moves bandwidth (AES cost is the\n"
+      "same); CTR avoids padding so its CR is marginally better; ECB is\n"
+      "shown only as an insecure baseline.\n");
+  return 0;
+}

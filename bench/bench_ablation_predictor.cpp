@@ -1,0 +1,57 @@
+// Ablation: block-hybrid (SZ-1.4/SZ-2, the paper's configuration) vs
+// SZ3-style interpolation prediction, for plain SZ and Encr-Huffman.
+// Shows that the paper's scheme conclusions transfer to the successor
+// predictor: the tree stays a small encrypted target and the CR penalty
+// of Encr-Huffman stays negligible under either design.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace szsec;
+using namespace szsec::bench;
+
+int main() {
+  std::printf("Ablation: predictor design (runs=%d)\n", bench_runs());
+  const char* pred_names[] = {"block-hybrid", "interpolation"};
+  for (const std::string& name : {"Wf48", "Nyx", "Q2"}) {
+    const data::Dataset& d = dataset(name);
+    for (double eb : {1e-5, 1e-3}) {
+      std::printf("\n=== %s @ eb=%.0e ===\n", name.c_str(), eb);
+      std::printf("%-14s %-14s %10s %10s %12s %14s\n", "scheme",
+                  "predictor", "CR", "MB/s", "tree KB", "predictable %");
+      for (core::Scheme scheme :
+           {core::Scheme::kNone, core::Scheme::kEncrHuffman}) {
+        for (sz::Predictor pred :
+             {sz::Predictor::kBlockHybrid, sz::Predictor::kInterpolation}) {
+          sz::Params params;
+          params.abs_error_bound = eb;
+          params.predictor = pred;
+          const core::SecureCompressor c(
+              params, scheme,
+              scheme == core::Scheme::kNone ? BytesView{} : bench_key(),
+              crypto::Mode::kCbc);
+          double secs = 0;
+          core::CompressResult last;
+          for (int r = 0; r < bench_runs(); ++r) {
+            CpuTimer t;
+            last = c.compress(std::span<const float>(d.values), d.dims);
+            secs += t.elapsed_s();
+          }
+          secs /= bench_runs();
+          std::printf("%-14s %-14s %10.3f %10.2f %12.2f %14.2f\n",
+                      core::scheme_name(scheme),
+                      pred_names[static_cast<int>(pred)],
+                      last.stats.compression_ratio(),
+                      d.bytes() / 1e6 / secs,
+                      last.stats.tree_bytes / 1024.0,
+                      100.0 * last.stats.predictable_fraction);
+        }
+      }
+    }
+  }
+  std::printf(
+      "\nExpected: interpolation wins CR on smooth data (Wf48) and stays\n"
+      "competitive elsewhere; Encr-Huffman's CR cost is negligible under\n"
+      "both designs — the paper's conclusion carries to SZ3.\n");
+  return 0;
+}

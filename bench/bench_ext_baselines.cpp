@@ -1,0 +1,78 @@
+// Extension: SZ (block-hybrid and interpolation predictors) vs the
+// prediction-free truncation baseline — quantifies how much of Table II's
+// compression ratio comes from prediction, and shows Cmpr-Encr composing
+// with a black-box baseline compressor exactly as the paper argues it
+// can ("a generic solution applicable to any lossless or lossy
+// compressor").
+#include <cstdio>
+
+#include "baselines/truncate.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "crypto/modes.h"
+
+using namespace szsec;
+using namespace szsec::bench;
+
+int main() {
+  std::printf("Extension: prediction vs truncation baselines\n");
+  for (const std::string& name : {"CLOUDf48", "Nyx", "Q2", "T"}) {
+    const data::Dataset& d = dataset(name);
+    print_table_header(name + ": compression ratio",
+                       {"1e-7", "1e-6", "1e-5", "1e-4", "1e-3"}, 16, 10);
+    // SZ block-hybrid.
+    {
+      std::vector<double> row;
+      for (double eb : error_bounds()) {
+        const core::SecureCompressor c =
+            make_compressor(core::Scheme::kNone, eb);
+        row.push_back(c.compress(std::span<const float>(d.values), d.dims)
+                          .stats.compression_ratio());
+      }
+      print_row("SZ (hybrid)", row, 16, 10, 3);
+    }
+    // SZ interpolation.
+    {
+      std::vector<double> row;
+      for (double eb : error_bounds()) {
+        sz::Params params;
+        params.abs_error_bound = eb;
+        params.predictor = sz::Predictor::kInterpolation;
+        const core::SecureCompressor c(params, core::Scheme::kNone);
+        row.push_back(c.compress(std::span<const float>(d.values), d.dims)
+                          .stats.compression_ratio());
+      }
+      print_row("SZ (interp)", row, 16, 10, 3);
+    }
+    // Truncation baseline.
+    {
+      std::vector<double> row;
+      for (double eb : error_bounds()) {
+        const Bytes stream = baselines::truncate_compress(
+            std::span<const float>(d.values), eb);
+        row.push_back(static_cast<double>(d.bytes()) / stream.size());
+      }
+      print_row("truncate+zlite", row, 16, 10, 3);
+    }
+    // Truncation + Cmpr-Encr-style black-box encryption (AES over the
+    // whole stream) — CR is essentially unchanged, as the paper predicts
+    // for Cmpr-Encr on any compressor.
+    {
+      std::vector<double> row;
+      crypto::Aes aes{bench_key()};
+      for (double eb : error_bounds()) {
+        const Bytes stream = baselines::truncate_compress(
+            std::span<const float>(d.values), eb);
+        const Bytes ct =
+            crypto::cbc_encrypt(aes, crypto::Iv{}, BytesView(stream));
+        row.push_back(static_cast<double>(d.bytes()) / ct.size());
+      }
+      print_row("trunc+Cmpr-Encr", row, 16, 10, 3);
+    }
+  }
+  std::printf(
+      "\nExpected: SZ dominates on smooth data (prediction pays); the\n"
+      "truncation baseline is competitive only where prediction fails\n"
+      "(Nyx at tight bounds); Cmpr-Encr costs the baseline <1%% CR.\n");
+  return 0;
+}

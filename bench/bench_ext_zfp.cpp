@@ -1,0 +1,82 @@
+// Extension: SZ vs the ZFP-style transform codec (zfpl) — the "such as
+// SZ and ZFP" comparison the paper invokes but does not run.  Reports
+// compression ratio and bandwidth at matched absolute tolerances, plus
+// the Cmpr-Encr composition (the only scheme applicable to zfpl: it has
+// no Huffman stage for Encr-Quant/Encr-Huffman to hook).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "crypto/modes.h"
+#include "zfpl/zfpl.h"
+
+using namespace szsec;
+using namespace szsec::bench;
+
+int main() {
+  std::printf("Extension: SZ vs ZFP-style transform codec (runs=%d)\n",
+              bench_runs());
+  for (const std::string& name : {"CLOUDf48", "Nyx", "Q2", "Height"}) {
+    const data::Dataset& d = dataset(name);
+    std::printf("\n=== %s (%.1f MB) ===\n", name.c_str(), d.bytes() / 1e6);
+    std::printf("%-16s %10s %10s %12s\n", "codec @ eb", "CR",
+                "comp MB/s", "max |err|");
+    for (double eb : {1e-5, 1e-3}) {
+      // SZ.
+      {
+        const core::SecureCompressor c =
+            make_compressor(core::Scheme::kNone, eb);
+        double secs = 0;
+        core::CompressResult last;
+        for (int r = 0; r < bench_runs(); ++r) {
+          CpuTimer t;
+          last = c.compress(std::span<const float>(d.values), d.dims);
+          secs += t.elapsed_s();
+        }
+        secs /= bench_runs();
+        const auto out = c.decompress_f32(BytesView(last.container));
+        const ErrorStats err = compute_error_stats(
+            std::span<const float>(d.values), std::span<const float>(out));
+        std::printf("SZ     @ %-6.0e %10.3f %10.2f %12.3g\n", eb,
+                    last.stats.compression_ratio(), d.bytes() / 1e6 / secs,
+                    err.max_abs_err);
+      }
+      // zfpl.
+      {
+        double secs = 0;
+        Bytes stream;
+        for (int r = 0; r < bench_runs(); ++r) {
+          CpuTimer t;
+          stream =
+              zfpl::compress(std::span<const float>(d.values), d.dims, eb);
+          secs += t.elapsed_s();
+        }
+        secs /= bench_runs();
+        const auto out = zfpl::decompress(BytesView(stream));
+        const ErrorStats err = compute_error_stats(
+            std::span<const float>(d.values), std::span<const float>(out));
+        std::printf("zfpl   @ %-6.0e %10.3f %10.2f %12.3g\n", eb,
+                    static_cast<double>(d.bytes()) / stream.size(),
+                    d.bytes() / 1e6 / secs, err.max_abs_err);
+      }
+      // zfpl + Cmpr-Encr (black-box AES over the stream).
+      {
+        const crypto::Aes aes{bench_key()};
+        const Bytes stream =
+            zfpl::compress(std::span<const float>(d.values), d.dims, eb);
+        const Bytes ct =
+            crypto::cbc_encrypt(aes, crypto::Iv{}, BytesView(stream));
+        std::printf("zfpl+CE@ %-6.0e %10.3f %10s %12s\n", eb,
+                    static_cast<double>(d.bytes()) / ct.size(), "-", "-");
+      }
+    }
+  }
+  std::printf(
+      "\nExpected: SZ wins CR on the smooth SDRBench-like fields (its\n"
+      "predictors exploit exactly their structure); zfpl is competitive\n"
+      "on Nyx and much faster per byte; Cmpr-Encr composes with zfpl at\n"
+      "<1%% CR cost.  Encr-Quant/Encr-Huffman do not apply to zfpl — the\n"
+      "paper's white-box schemes need a Huffman stage to hook.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 4: serialized Huffman tree size as a percentage of the
+// quantization array (tree + codewords).
+//
+// Paper reference: no more than ~4.5% anywhere; Nyx peaks (~4.4% at
+// tight bounds) because its residuals spread over many quantization bins.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace szsec;
+using namespace szsec::bench;
+
+int main() {
+  std::printf(
+      "Figure 4: Huffman tree size as %% of the quantization array\n");
+  print_table_header("Tree share of quant array (%)",
+                     {"1e-7", "1e-6", "1e-5", "1e-4", "1e-3"}, 10, 10);
+  double worst = 0;
+  for (const std::string& name : table_datasets()) {
+    const data::Dataset& d = dataset(name);
+    std::vector<double> row;
+    for (double eb : error_bounds()) {
+      const core::SecureCompressor c =
+          make_compressor(core::Scheme::kNone, eb);
+      const auto r = c.compress(std::span<const float>(d.values), d.dims);
+      const double pct = 100.0 * static_cast<double>(r.stats.tree_bytes) /
+                         static_cast<double>(r.stats.quant_array_bytes());
+      row.push_back(pct);
+      worst = std::max(worst, pct);
+    }
+    print_row(name, row, 10, 10, 3);
+  }
+  std::printf(
+      "\nExpected shape: small single-digit percentages (paper <= 4.5%%);\n"
+      "worst observed cell here: %.3f%%\n",
+      worst);
+  return 0;
+}

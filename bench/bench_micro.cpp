@@ -1,0 +1,233 @@
+// Google-benchmark micro benchmarks for the individual substrates:
+// AES block/modes throughput, Huffman encode/decode, zlite
+// deflate/inflate, the SZ prediction+quantization kernel, and the NIST
+// suite.  These are the numbers to check first when a paper-level bench
+// regresses.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_util.h"
+#include "crypto/aes.h"
+#include "crypto/cipher.h"
+#include "crypto/drbg.h"
+#include "crypto/modes.h"
+#include "crypto/sha256.h"
+#include "huffman/huffman.h"
+#include "nist/sp800_22.h"
+#include "sz/pipeline.h"
+#include "zlite/zlite.h"
+
+namespace {
+
+using namespace szsec;
+
+Bytes random_bytes(size_t n, uint64_t seed) {
+  crypto::CtrDrbg drbg(seed);
+  return drbg.generate(n);
+}
+
+// --- AES ---------------------------------------------------------------------
+
+void BM_AesEncryptBlock(benchmark::State& state) {
+  const crypto::Aes aes{BytesView(Bytes(16, 0x5A))};
+  uint8_t block[16] = {};
+  for (auto _ : state) {
+    aes.encrypt_block(block, block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void BM_AesKeySchedule(benchmark::State& state) {
+  const Bytes key(static_cast<size_t>(state.range(0)), 0x3C);
+  for (auto _ : state) {
+    crypto::Aes aes{BytesView(key)};
+    benchmark::DoNotOptimize(aes);
+  }
+}
+BENCHMARK(BM_AesKeySchedule)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_CbcEncrypt(benchmark::State& state) {
+  const crypto::Aes aes{BytesView(Bytes(16, 1))};
+  const crypto::Iv iv{};
+  const Bytes data = random_bytes(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::cbc_encrypt(aes, iv, BytesView(data)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CbcEncrypt)->Arg(4096)->Arg(1 << 20);
+
+void BM_CtrCrypt(benchmark::State& state) {
+  const crypto::Aes aes{BytesView(Bytes(16, 1))};
+  const crypto::Iv iv{};
+  const Bytes data = random_bytes(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::ctr_crypt(aes, iv, BytesView(data)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CtrCrypt)->Arg(4096)->Arg(1 << 20);
+
+void BM_CipherThroughput(benchmark::State& state) {
+  const auto kind = static_cast<crypto::CipherKind>(state.range(0));
+  const Bytes key(crypto::cipher_key_size(kind), 0x5A);
+  const crypto::Cipher c(kind, BytesView(key));
+  const crypto::Iv iv{};
+  const Bytes data = random_bytes(1 << 20, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        c.encrypt(crypto::Mode::kCbc, iv, BytesView(data)));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+  state.SetLabel(crypto::cipher_name(kind));
+}
+BENCHMARK(BM_CipherThroughput)->DenseRange(0, 5);
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = random_bytes(static_cast<size_t>(state.range(0)), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(BytesView(data)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(4096)->Arg(1 << 20);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key(32, 0x0b);
+  const Bytes data = random_bytes(1 << 20, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::hmac_sha256(BytesView(key), BytesView(data)));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_HmacSha256);
+
+// --- Huffman -----------------------------------------------------------------
+
+struct HuffmanFixture {
+  std::vector<uint32_t> symbols;
+  huffman::CodeTable table;
+  Bytes encoded;
+
+  explicit HuffmanFixture(size_t n) {
+    std::mt19937_64 rng(3);
+    symbols.resize(n);
+    for (auto& s : symbols) {
+      // Peaked distribution like a quantization array.
+      s = 32768 + static_cast<int>(rng() % 64) - 32;
+    }
+    std::vector<uint64_t> freq(65536, 0);
+    for (uint32_t s : symbols) ++freq[s];
+    table = huffman::build_code_table(freq);
+    encoded = huffman::encode(table, symbols);
+  }
+};
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  const HuffmanFixture f(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(huffman::encode(f.table, f.symbols));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HuffmanEncode)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  const HuffmanFixture f(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(huffman::decode(f.table, BytesView(f.encoded),
+                                             f.symbols.size()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HuffmanDecode)->Arg(1 << 16)->Arg(1 << 20);
+
+// --- zlite -------------------------------------------------------------------
+
+Bytes sz_like_payload(size_t n) {
+  // Byte statistics resembling a Huffman-coded quantization array.
+  std::mt19937_64 rng(4);
+  Bytes data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = (rng() % 4 == 0) ? static_cast<uint8_t>(rng())
+                               : static_cast<uint8_t>(rng() % 8);
+  }
+  return data;
+}
+
+void BM_ZliteDeflate(benchmark::State& state) {
+  const Bytes data = sz_like_payload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zlite::deflate(BytesView(data)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ZliteDeflate)->Arg(1 << 18)->Arg(1 << 22);
+
+void BM_ZliteDeflateRandom(benchmark::State& state) {
+  // Encr-Quant regime: incompressible ciphertext input.
+  const Bytes data = random_bytes(static_cast<size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zlite::deflate(BytesView(data)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ZliteDeflateRandom)->Arg(1 << 18)->Arg(1 << 22);
+
+void BM_ZliteInflate(benchmark::State& state) {
+  const Bytes data = sz_like_payload(static_cast<size_t>(state.range(0)));
+  const Bytes compressed = zlite::deflate(BytesView(data));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        zlite::inflate(BytesView(compressed), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ZliteInflate)->Arg(1 << 18)->Arg(1 << 22);
+
+// --- SZ kernel ----------------------------------------------------------------
+
+void BM_PredictQuantize(benchmark::State& state) {
+  const data::Dataset d = data::make_nyx(data::Scale::kTiny);
+  sz::Params params;
+  params.abs_error_bound = 1e-4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sz::predict_quantize(
+        std::span<const float>(d.values), d.dims, params));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(d.bytes()));
+}
+BENCHMARK(BM_PredictQuantize);
+
+void BM_EndToEndCompress(benchmark::State& state) {
+  const data::Dataset d = data::make_q2(data::Scale::kTiny);
+  const auto scheme = static_cast<core::Scheme>(state.range(0));
+  const core::SecureCompressor c = bench::make_compressor(scheme, 1e-4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        c.compress(std::span<const float>(d.values), d.dims));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(d.bytes()));
+}
+BENCHMARK(BM_EndToEndCompress)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// --- NIST ----------------------------------------------------------------------
+
+void BM_NistRunAll(benchmark::State& state) {
+  const Bytes data = random_bytes(1 << 17, 6);  // 1 Mbit
+  const nist::BitSequence bits{BytesView(data)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nist::run_all(bits));
+  }
+}
+BENCHMARK(BM_NistRunAll);
+
+}  // namespace

@@ -1,0 +1,31 @@
+// Table IV: compression-time overhead of Encr-Quant relative to plain SZ.
+//
+// Paper reference: 100.1-133.5%.  Worst on easy-to-compress datasets
+// (QI up to 133%, CLOUDf48 to 123%) whose large encrypted codeword
+// arrays also slow the subsequent lossless pass; cheapest on Nyx (~104%)
+// where little data is predictable.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace szsec;
+using namespace szsec::bench;
+
+int main() {
+  std::printf("Table IV: Time overhead for Encr-Quant when compressing (%%)\n");
+  std::printf("(runs=%d)\n", bench_runs());
+  print_table_header("Overhead vs original SZ (100%% = equal)",
+                     {"1e-7", "1e-6", "1e-5", "1e-4", "1e-3"}, 10, 10);
+  for (const std::string& name : table_datasets()) {
+    const data::Dataset& d = dataset(name);
+    std::vector<double> row;
+    for (double eb : error_bounds()) {
+      row.push_back(overhead_percent(d, core::Scheme::kEncrQuant, eb));
+    }
+    print_row(name, row, 10, 10, 3);
+  }
+  std::printf(
+      "\nExpected shape: larger overhead than Cmpr-Encr on compressible\n"
+      "datasets (QI, CLOUDf48); comparable or lower on Nyx.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Dataset profiler: answers "what error bound do I need?" before
+// compressing — the workflow a domain scientist runs once per new field.
+//
+// For each synthetic dataset (or a real .bin passed on the command line)
+// it sweeps error bounds, printing predictability, code entropy, the
+// entropy-based CR estimate, and the actual measured CR, then asks
+// suggest_error_bound() for the bound that reaches a target ratio.
+//
+//   ./dataset_profiler                         # profile the surrogates
+//   ./dataset_profiler field.bin Z,Y,X 10      # profile a real field
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/secure_compressor.h"
+#include "data/datasets.h"
+#include "data/io.h"
+#include "sz/analysis.h"
+
+namespace {
+
+using namespace szsec;
+
+void profile_field(const std::string& name, std::span<const float> values,
+                   const Dims& dims, double target_cr) {
+  std::printf("\n=== %s (%s, %.2f MB) ===\n", name.c_str(),
+              dims.to_string().c_str(), values.size_bytes() / 1e6);
+  std::printf("%10s %14s %14s %12s %12s\n", "eb", "predictable %",
+              "entropy b/sym", "est. CR", "actual CR");
+  for (double eb : {1e-7, 1e-6, 1e-5, 1e-4, 1e-3}) {
+    sz::Params params;
+    params.abs_error_bound = eb;
+    const sz::ProfileRow row = sz::profile(values, dims, params);
+    const core::SecureCompressor c(params, core::Scheme::kNone);
+    const double actual =
+        c.compress(values, dims).stats.compression_ratio();
+    std::printf("%10.0e %14.2f %14.3f %12.2f %12.2f\n", eb,
+                100.0 * row.analysis.predictable_fraction,
+                row.analysis.code_entropy_bits, row.estimated_cr, actual);
+  }
+  const double suggested =
+      sz::suggest_error_bound(values, dims, target_cr);
+  sz::Params params;
+  params.abs_error_bound = suggested;
+  const core::SecureCompressor c(params, core::Scheme::kNone);
+  const double achieved =
+      c.compress(values, dims).stats.compression_ratio();
+  std::printf("target CR %.0fx -> suggested eb %.3g (achieves %.2fx)\n",
+              target_cr, suggested, achieved);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3) {
+    const std::vector<float> values = data::load_f32(argv[1]);
+    std::vector<size_t> extents;
+    std::stringstream ss(argv[2]);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) extents.push_back(std::stoull(tok));
+    Dims dims;
+    switch (extents.size()) {
+      case 1:
+        dims = Dims{extents[0]};
+        break;
+      case 2:
+        dims = Dims{extents[0], extents[1]};
+        break;
+      case 3:
+        dims = Dims{extents[0], extents[1], extents[2]};
+        break;
+      default:
+        dims = Dims{extents[0], extents[1], extents[2], extents[3]};
+    }
+    const double target = argc > 3 ? std::atof(argv[3]) : 10.0;
+    profile_field(argv[1], std::span<const float>(values), dims, target);
+    return 0;
+  }
+  for (const std::string& name : {"CLOUDf48", "Nyx", "Q2"}) {
+    const data::Dataset d = data::make_dataset(name, data::Scale::kTiny);
+    profile_field(name, std::span<const float>(d.values), d.dims, 10.0);
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Federated-learning gradient transmission (paper Section III-C): worker
+// nodes ship gradient updates to an aggregator.  Gradients tolerate small
+// perturbations, so error-bounded lossy compression shrinks the update;
+// in-pipeline encryption keeps the model private from the transport.
+//
+// This example simulates a few federated rounds: each worker compresses
+// its gradient with Encr-Huffman, the "network" delivers it, and the
+// aggregator decrypts, decompresses, and averages.  It reports bytes on
+// the wire vs raw, verifies the aggregate stays within the accumulated
+// bound, and shows that a malicious in-flight modification is rejected
+// rather than silently skewing the model.
+//
+//   ./federated_gradients
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "common/stats.h"
+#include "core/secure_compressor.h"
+
+namespace {
+
+using namespace szsec;
+
+// A gradient that looks like a real dense-layer gradient: heavy-tailed,
+// mostly small magnitudes, layer-correlated scale.
+std::vector<float> make_gradient(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> noise(0.0f, 1.0f);
+  std::vector<float> g(n);
+  float layer_scale = 0.1f;
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 4096 == 0) {
+      layer_scale = 0.01f + 0.2f * std::abs(noise(rng));
+    }
+    g[i] = layer_scale * noise(rng) * 0.01f;
+  }
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kParams = 1 << 18;   // 256k-parameter model slice
+  constexpr int kWorkers = 4;
+  constexpr int kRounds = 3;
+  constexpr double kEb = 1e-6;          // gradient tolerance
+
+  const Bytes session_key = crypto::global_drbg().generate(16);
+  sz::Params params;
+  params.abs_error_bound = kEb;
+  const core::SecureCompressor channel(params, core::Scheme::kEncrHuffman,
+                                       BytesView(session_key));
+
+  const Dims dims{kParams};
+  size_t raw_bytes = 0, wire_bytes = 0;
+  double worst_aggregate_err = 0;
+
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<double> aggregate(kParams, 0.0);
+    std::vector<double> exact(kParams, 0.0);
+    for (int w = 0; w < kWorkers; ++w) {
+      const std::vector<float> grad =
+          make_gradient(kParams, round * 131 + w);
+      // Worker side: compress + encrypt.
+      const core::CompressResult msg =
+          channel.compress(std::span<const float>(grad), dims);
+      raw_bytes += grad.size() * 4;
+      wire_bytes += msg.container.size();
+      // Aggregator side: decrypt + decompress + accumulate.
+      const std::vector<float> received =
+          channel.decompress_f32(BytesView(msg.container));
+      for (size_t i = 0; i < kParams; ++i) {
+        aggregate[i] += received[i];
+        exact[i] += grad[i];
+      }
+    }
+    // Aggregate error is bounded by workers * eb.
+    double max_err = 0;
+    for (size_t i = 0; i < kParams; ++i) {
+      max_err = std::max(max_err, std::abs(aggregate[i] - exact[i]));
+    }
+    worst_aggregate_err = std::max(worst_aggregate_err, max_err);
+    std::printf("round %d: aggregate max err %.3g (bound %d*eb = %.3g)\n",
+                round, max_err, kWorkers, kWorkers * kEb);
+  }
+
+  std::printf("\nwire traffic: %.2f MB raw -> %.2f MB sent (%.2fx saved)\n",
+              raw_bytes / 1e6, wire_bytes / 1e6,
+              static_cast<double>(raw_bytes) / wire_bytes);
+
+  // A man-in-the-middle flips bits in a gradient message.
+  std::printf("\nadversarial check: tampered gradient message ... ");
+  const std::vector<float> grad = make_gradient(kParams, 999);
+  core::CompressResult msg =
+      channel.compress(std::span<const float>(grad), dims);
+  msg.container[msg.container.size() / 3] ^= 0x80;
+  try {
+    (void)channel.decompress_f32(BytesView(msg.container));
+    std::printf("ACCEPTED (bug!)\n");
+    return 1;
+  } catch (const Error&) {
+    std::printf("rejected, model update dropped\n");
+  }
+
+  const bool ok = worst_aggregate_err <= kWorkers * kEb * (1 + 1e-9);
+  std::printf("\nfederated simulation %s\n", ok ? "PASSED" : "FAILED");
+  return ok ? 0 : 1;
+}

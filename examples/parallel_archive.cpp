@@ -1,0 +1,57 @@
+// Slab-parallel archiving: compress a large snapshot across worker
+// threads (the production-deployment layer on top of the paper's
+// single-threaded pipeline).  Shows the thread/slab knobs, the archive
+// format, and the slab-count vs compression-ratio trade-off.
+//
+//   ./parallel_archive [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stats.h"
+#include "common/timer.h"
+#include "data/datasets.h"
+#include "parallel/slab.h"
+
+int main(int argc, char** argv) {
+  using namespace szsec;
+
+  const unsigned threads =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 0;
+  const data::Dataset d = data::make_height(data::Scale::kBench);
+  const Bytes key = crypto::global_drbg().generate(16);
+  sz::Params params;
+  params.abs_error_bound = 1e-4;
+
+  std::printf("field: %s %s (%.1f MB), scheme Encr-Huffman\n",
+              d.name.c_str(), d.dims.to_string().c_str(),
+              d.bytes() / 1e6);
+  std::printf("%8s %10s %12s %12s\n", "slabs", "CR", "comp MB/s",
+              "restore ok");
+
+  for (size_t slabs : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    parallel::SlabConfig config;
+    config.threads = threads;
+    config.slabs = slabs;
+
+    WallTimer t;
+    const parallel::SlabCompressResult r = parallel::compress_slabs(
+        std::span<const float>(d.values), d.dims, params,
+        core::Scheme::kEncrHuffman, BytesView(key), {}, config);
+    const double secs = t.elapsed_s();
+
+    const std::vector<float> restored = parallel::decompress_slabs_f32(
+        BytesView(r.archive), BytesView(key), config);
+    const bool ok = within_abs_bound(std::span<const float>(d.values),
+                                     std::span<const float>(restored),
+                                     params.abs_error_bound);
+    std::printf("%8zu %10.3f %12.2f %12s\n", r.slab_count,
+                r.stats.compression_ratio(), d.bytes() / 1e6 / secs,
+                ok ? "yes" : "NO");
+    if (!ok) return 1;
+  }
+  std::printf(
+      "\nNote: slabs are independent containers, so CR dips slightly as\n"
+      "the count grows (per-slab Huffman trees, broken cross-slab\n"
+      "prediction) while wall time scales with available cores.\n");
+  return 0;
+}

@@ -1,0 +1,223 @@
+// szsec_cli: a small command-line front end for the library, in the
+// spirit of the `sz` executable.
+//
+//   szsec_cli compress   <in.bin> <out.szs> --dims Z,Y,X --eb 1e-4
+//             [--scheme none|cmpr-encr|encr-quant|encr-huffman]
+//             [--key <hex 16/24/32 bytes> | --password <string>]
+//             [--mode cbc|ctr]
+//   szsec_cli decompress <in.szs> <out.bin> [--key <hex> | --password <s>]
+//   szsec_cli info       <in.szs>
+//
+// --password derives an AES-128 key via PBKDF2-HMAC-SHA256 (100k
+// iterations, fixed application salt) — convenient for interactive use;
+// supply a random --key for production.
+//
+// Input .bin files are raw little-endian float32 (SDRBench layout).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/hex.h"
+#include "core/secure_compressor.h"
+#include "crypto/sha256.h"
+#include "data/io.h"
+
+namespace {
+
+using namespace szsec;
+
+struct Options {
+  std::string command, input, output;
+  Dims dims;
+  bool have_dims = false;
+  double eb = 1e-4;
+  core::Scheme scheme = core::Scheme::kEncrHuffman;
+  crypto::Mode mode = crypto::Mode::kCbc;
+  Bytes key;
+};
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  szsec_cli compress <in.bin> <out.szs> --dims Z,Y,X --eb 1e-4\n"
+      "            [--scheme none|cmpr-encr|encr-quant|encr-huffman]\n"
+      "            [--key <hex>] [--mode cbc|ctr]\n"
+      "  szsec_cli decompress <in.szs> <out.bin> [--key <hex>]\n"
+      "  szsec_cli info <in.szs>\n");
+  std::exit(2);
+}
+
+Dims parse_dims(const std::string& s) {
+  std::vector<size_t> extents;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    extents.push_back(std::stoull(tok));
+  }
+  switch (extents.size()) {
+    case 1:
+      return Dims{extents[0]};
+    case 2:
+      return Dims{extents[0], extents[1]};
+    case 3:
+      return Dims{extents[0], extents[1], extents[2]};
+    case 4:
+      return Dims{extents[0], extents[1], extents[2], extents[3]};
+    default:
+      usage("--dims takes 1..4 comma-separated extents");
+  }
+}
+
+Options parse(int argc, char** argv) {
+  if (argc < 3) usage("missing command/arguments");
+  Options o;
+  o.command = argv[1];
+  o.input = argv[2];
+  int i = 3;
+  if (o.command != "info") {
+    if (argc < 4) usage("missing output path");
+    o.output = argv[3];
+    i = 4;
+  }
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--dims") {
+      o.dims = parse_dims(next());
+      o.have_dims = true;
+    } else if (arg == "--eb") {
+      o.eb = std::stod(next());
+    } else if (arg == "--key") {
+      o.key = from_hex(next());
+    } else if (arg == "--password") {
+      const std::string pw = next();
+      static const std::string kSalt = "szsec-cli-v1";
+      o.key = crypto::pbkdf2_hmac_sha256(
+          BytesView(reinterpret_cast<const uint8_t*>(pw.data()), pw.size()),
+          BytesView(reinterpret_cast<const uint8_t*>(kSalt.data()),
+                    kSalt.size()),
+          100000, 16);
+    } else if (arg == "--mode") {
+      const std::string m = next();
+      if (m == "cbc") {
+        o.mode = crypto::Mode::kCbc;
+      } else if (m == "ctr") {
+        o.mode = crypto::Mode::kCtr;
+      } else {
+        usage("unknown --mode");
+      }
+    } else if (arg == "--scheme") {
+      const std::string s = next();
+      if (s == "none") {
+        o.scheme = core::Scheme::kNone;
+      } else if (s == "cmpr-encr") {
+        o.scheme = core::Scheme::kCmprEncr;
+      } else if (s == "encr-quant") {
+        o.scheme = core::Scheme::kEncrQuant;
+      } else if (s == "encr-huffman") {
+        o.scheme = core::Scheme::kEncrHuffman;
+      } else {
+        usage("unknown --scheme");
+      }
+    } else {
+      usage(("unknown argument " + arg).c_str());
+    }
+  }
+  return o;
+}
+
+Bytes read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good()) usage(("cannot open " + path).c_str());
+  Bytes data(static_cast<size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  return data;
+}
+
+int cmd_compress(const Options& o) {
+  if (!o.have_dims) usage("compress requires --dims");
+  if (o.scheme != core::Scheme::kNone && o.key.empty()) {
+    usage("encrypting schemes require --key");
+  }
+  const std::vector<float> values = data::load_f32(o.input);
+  if (values.size() != o.dims.count()) {
+    std::fprintf(stderr, "error: file has %zu floats but dims %s = %zu\n",
+                 values.size(), o.dims.to_string().c_str(),
+                 o.dims.count());
+    return 1;
+  }
+  sz::Params params;
+  params.abs_error_bound = o.eb;
+  const core::SecureCompressor c(params, o.scheme, BytesView(o.key),
+                                 o.mode);
+  const core::CompressResult r =
+      c.compress(std::span<const float>(values), o.dims);
+  std::ofstream out(o.output, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(r.container.data()),
+            static_cast<std::streamsize>(r.container.size()));
+  std::printf("%s: %zu -> %zu bytes (%.2fx), scheme %s, eb %g\n",
+              o.output.c_str(), values.size() * 4, r.container.size(),
+              r.stats.compression_ratio(), core::scheme_name(o.scheme),
+              o.eb);
+  return 0;
+}
+
+int cmd_decompress(const Options& o) {
+  const Bytes container = read_all(o.input);
+  const core::Header h = core::peek_header(BytesView(container));
+  if (h.scheme != core::Scheme::kNone && o.key.empty()) {
+    usage("this container is encrypted; supply --key");
+  }
+  const core::SecureCompressor c(sz::Params{}, h.scheme, BytesView(o.key),
+                                 h.cipher_mode);
+  const std::vector<float> values = c.decompress_f32(BytesView(container));
+  data::save_f32(o.output, values);
+  std::printf("%s: restored %zu floats (dims %s, eb %g)\n",
+              o.output.c_str(), values.size(), h.dims.to_string().c_str(),
+              h.params.abs_error_bound);
+  return 0;
+}
+
+int cmd_info(const Options& o) {
+  const Bytes container = read_all(o.input);
+  const core::Header h = core::peek_header(BytesView(container));
+  std::printf("scheme:        %s\n", core::scheme_name(h.scheme));
+  std::printf("cipher mode:   %s\n", crypto::mode_name(h.cipher_mode));
+  std::printf("dtype:         float%d\n",
+              h.dtype == sz::DType::kFloat32 ? 32 : 64);
+  std::printf("dims:          %s (%zu elements)\n",
+              h.dims.to_string().c_str(), h.dims.count());
+  std::printf("error bound:   %g (absolute)\n", h.params.abs_error_bound);
+  std::printf("quant bins:    %u\n", h.params.quant_bins);
+  std::printf("payload:       %llu bytes, crc32 %08x\n",
+              static_cast<unsigned long long>(h.payload_size),
+              h.payload_crc);
+  const double cr = static_cast<double>(h.dims.count()) *
+                    dtype_size(h.dtype) / container.size();
+  std::printf("ratio:         %.3fx\n", cr);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options o = parse(argc, argv);
+    if (o.command == "compress") return cmd_compress(o);
+    if (o.command == "decompress") return cmd_decompress(o);
+    if (o.command == "info") return cmd_info(o);
+    usage("unknown command");
+  } catch (const szsec::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,46 @@
+#include "baselines/truncate.h"
+
+#include "common/error.h"
+#include "sz/unpredictable.h"
+#include "zlite/zlite.h"
+
+namespace szsec::baselines {
+
+namespace {
+constexpr uint32_t kMagic = 0x54525A53;  // "SZRT"
+}
+
+Bytes truncate_compress(std::span<const float> data,
+                        double abs_error_bound) {
+  SZSEC_REQUIRE(abs_error_bound > 0, "error bound must be positive");
+  // The unpredictable-value codec *is* a truncation codec: sign +
+  // exponent + exactly the mantissa bits the bound requires.
+  sz::UnpredictableEncoder enc(abs_error_bound);
+  for (float v : data) enc.put(v);
+  const Bytes packed = enc.finish();
+
+  ByteWriter w(packed.size() / 2 + 64);
+  w.put_u32(kMagic);
+  w.put_f64(abs_error_bound);
+  w.put_varint(data.size());
+  w.put_blob(BytesView(zlite::deflate(BytesView(packed))));
+  return w.take();
+}
+
+std::vector<float> truncate_decompress(BytesView stream) {
+  ByteReader r(stream);
+  SZSEC_CHECK_FORMAT(r.get_u32() == kMagic, "bad truncate-stream magic");
+  const double eb = r.get_f64();
+  SZSEC_CHECK_FORMAT(eb > 0, "bad error bound");
+  const uint64_t count = r.get_varint();
+  const Bytes packed = zlite::inflate(r.get_blob());
+  SZSEC_CHECK_FORMAT(r.done(), "trailing bytes");
+
+  sz::UnpredictableDecoder dec{BytesView(packed), eb};
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) out.push_back(dec.next_f32());
+  return out;
+}
+
+}  // namespace szsec::baselines

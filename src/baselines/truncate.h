@@ -1,0 +1,28 @@
+// Baseline lossy compressor: IEEE-754 mantissa truncation + DEFLATE
+// ("bit grooming" family — Zender 2016; the same mechanism FPZIP-style
+// float codecs exploit).  Every value keeps only the mantissa bits needed
+// to stay within the absolute error bound, then the packed bit stream
+// goes through zlite.
+//
+// Purpose: a prediction-free comparison point for the evaluation.  SZ's
+// advantage (Table II) comes from prediction; this baseline shows how far
+// truncation alone gets, and Cmpr-Encr composes with it unchanged (it is
+// compressor-agnostic), which bench_ext_baselines demonstrates.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bytestream.h"
+#include "common/dims.h"
+
+namespace szsec::baselines {
+
+/// Compresses by per-value mantissa truncation under `abs_error_bound`.
+Bytes truncate_compress(std::span<const float> data,
+                        double abs_error_bound);
+
+/// Inverse of truncate_compress.
+std::vector<float> truncate_decompress(BytesView stream);
+
+}  // namespace szsec::baselines

@@ -1,0 +1,168 @@
+// MSB-first bit streams used by the Huffman coder and the zlite DEFLATE
+// codec.  BitWriter packs bits into bytes high-bit-first; BitReader is the
+// bounds-checked inverse.  zlite additionally needs LSB-first access for
+// DEFLATE compatibility conventions, so both orders are provided.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytestream.h"
+#include "common/error.h"
+
+namespace szsec {
+
+/// MSB-first bit packer: the first bit written becomes the highest bit of
+/// the first byte.  Matches textbook Huffman-code emission.
+class BitWriter {
+ public:
+  /// Appends the lowest `nbits` bits of `value`, most significant first.
+  void put_bits(uint64_t value, unsigned nbits) {
+    SZSEC_REQUIRE(nbits <= 64, "at most 64 bits per call");
+    for (unsigned i = nbits; i-- > 0;) {
+      put_bit((value >> i) & 1u);
+    }
+  }
+
+  void put_bit(unsigned bit) {
+    acc_ = static_cast<uint8_t>((acc_ << 1) | (bit & 1u));
+    if (++fill_ == 8) {
+      buf_.push_back(acc_);
+      acc_ = 0;
+      fill_ = 0;
+    }
+  }
+
+  /// Pads the final partial byte with zero bits and returns the buffer.
+  Bytes finish() {
+    if (fill_ != 0) {
+      buf_.push_back(static_cast<uint8_t>(acc_ << (8 - fill_)));
+      acc_ = 0;
+      fill_ = 0;
+    }
+    return std::move(buf_);
+  }
+
+  /// Total bits written so far (before padding).
+  size_t bit_count() const { return buf_.size() * 8 + fill_; }
+
+ private:
+  Bytes buf_;
+  uint8_t acc_ = 0;
+  unsigned fill_ = 0;
+};
+
+/// MSB-first bit reader over a borrowed buffer.
+class BitReader {
+ public:
+  explicit BitReader(BytesView data) : data_(data) {}
+
+  unsigned get_bit() {
+    SZSEC_CHECK_FORMAT(bit_pos_ < data_.size() * 8, "bitstream exhausted");
+    const size_t byte = bit_pos_ >> 3;
+    const unsigned off = 7u - (bit_pos_ & 7u);
+    ++bit_pos_;
+    return (data_[byte] >> off) & 1u;
+  }
+
+  uint64_t get_bits(unsigned nbits) {
+    SZSEC_REQUIRE(nbits <= 64, "at most 64 bits per call");
+    uint64_t v = 0;
+    for (unsigned i = 0; i < nbits; ++i) v = (v << 1) | get_bit();
+    return v;
+  }
+
+  size_t bits_remaining() const { return data_.size() * 8 - bit_pos_; }
+  size_t bit_pos() const { return bit_pos_; }
+
+ private:
+  BytesView data_;
+  size_t bit_pos_ = 0;
+};
+
+/// LSB-first bit packer (DEFLATE convention): the first bit written becomes
+/// the lowest bit of the first byte.
+class LsbBitWriter {
+ public:
+  void put_bits(uint64_t value, unsigned nbits) {
+    SZSEC_REQUIRE(nbits <= 57, "acc overflow");
+    acc_ |= value << fill_;
+    fill_ += nbits;
+    while (fill_ >= 8) {
+      buf_.push_back(static_cast<uint8_t>(acc_));
+      acc_ >>= 8;
+      fill_ -= 8;
+    }
+  }
+
+  /// Zero-pads to a byte boundary without terminating the stream
+  /// (used for DEFLATE stored blocks).
+  void align_to_byte() {
+    if (fill_ > 0) {
+      buf_.push_back(static_cast<uint8_t>(acc_));
+      acc_ = 0;
+      fill_ = 0;
+    }
+  }
+
+  void put_bytes(BytesView bytes) {
+    SZSEC_REQUIRE(fill_ == 0, "put_bytes requires byte alignment");
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  Bytes finish() {
+    align_to_byte();
+    return std::move(buf_);
+  }
+
+  size_t bit_count() const { return buf_.size() * 8 + fill_; }
+
+ private:
+  Bytes buf_;
+  uint64_t acc_ = 0;
+  unsigned fill_ = 0;
+};
+
+/// LSB-first bit reader (DEFLATE convention).
+class LsbBitReader {
+ public:
+  explicit LsbBitReader(BytesView data) : data_(data) {}
+
+  unsigned get_bit() {
+    SZSEC_CHECK_FORMAT(bit_pos_ < data_.size() * 8, "bitstream exhausted");
+    const size_t byte = bit_pos_ >> 3;
+    const unsigned off = bit_pos_ & 7u;
+    ++bit_pos_;
+    return (data_[byte] >> off) & 1u;
+  }
+
+  /// Reads `nbits` bits; the first bit read is the result's lowest bit.
+  uint64_t get_bits(unsigned nbits) {
+    SZSEC_REQUIRE(nbits <= 64, "at most 64 bits per call");
+    uint64_t v = 0;
+    for (unsigned i = 0; i < nbits; ++i) {
+      v |= static_cast<uint64_t>(get_bit()) << i;
+    }
+    return v;
+  }
+
+  void align_to_byte() { bit_pos_ = (bit_pos_ + 7) & ~size_t{7}; }
+
+  /// Copies `n` whole bytes; requires byte alignment.
+  BytesView get_bytes(size_t n) {
+    SZSEC_REQUIRE((bit_pos_ & 7) == 0, "get_bytes requires byte alignment");
+    const size_t byte = bit_pos_ >> 3;
+    SZSEC_CHECK_FORMAT(byte + n <= data_.size(), "bitstream exhausted");
+    bit_pos_ += n * 8;
+    return data_.subspan(byte, n);
+  }
+
+  size_t bits_remaining() const { return data_.size() * 8 - bit_pos_; }
+
+ private:
+  BytesView data_;
+  size_t bit_pos_ = 0;
+};
+
+}  // namespace szsec

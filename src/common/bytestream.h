@@ -1,0 +1,161 @@
+// Little-endian byte-oriented serialization used by every container format
+// in szsec.  ByteWriter appends into an owned std::vector<uint8_t>;
+// ByteReader consumes a non-owning span and throws CorruptError on
+// truncation, so decoders never read past the end of attacker-controlled
+// buffers.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace szsec {
+
+using Bytes = std::vector<uint8_t>;
+using BytesView = std::span<const uint8_t>;
+
+/// Append-only little-endian serializer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(size_t reserve) { buf_.reserve(reserve); }
+
+  /// Writes a trivially-copyable scalar in little-endian byte order.
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  void put(T value) {
+    static_assert(std::endian::native == std::endian::little,
+                  "szsec assumes a little-endian host");
+    const auto* p = reinterpret_cast<const uint8_t*>(&value);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  void put_u8(uint8_t v) { put<uint8_t>(v); }
+  void put_u16(uint16_t v) { put<uint16_t>(v); }
+  void put_u32(uint32_t v) { put<uint32_t>(v); }
+  void put_u64(uint64_t v) { put<uint64_t>(v); }
+  void put_i32(int32_t v) { put<int32_t>(v); }
+  void put_i64(int64_t v) { put<int64_t>(v); }
+  void put_f32(float v) { put<float>(v); }
+  void put_f64(double v) { put<double>(v); }
+
+  /// LEB128-style variable-length unsigned integer (1..10 bytes).
+  void put_varint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  void put_bytes(BytesView bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Length-prefixed (varint) byte blob.
+  void put_blob(BytesView bytes) {
+    put_varint(bytes.size());
+    put_bytes(bytes);
+  }
+
+  void put_string(const std::string& s) {
+    put_varint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  size_t size() const { return buf_.size(); }
+  bool empty() const { return buf_.empty(); }
+
+  /// Direct access for in-place patching (e.g. length back-fill).
+  uint8_t* data() { return buf_.data(); }
+  const Bytes& bytes() const { return buf_; }
+
+  /// Moves the accumulated buffer out; the writer is reset to empty.
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked little-endian deserializer over a borrowed buffer.
+/// The underlying bytes must outlive the reader.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  T get() {
+    SZSEC_CHECK_FORMAT(pos_ + sizeof(T) <= data_.size(),
+                       "truncated buffer while reading scalar");
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  uint8_t get_u8() { return get<uint8_t>(); }
+  uint16_t get_u16() { return get<uint16_t>(); }
+  uint32_t get_u32() { return get<uint32_t>(); }
+  uint64_t get_u64() { return get<uint64_t>(); }
+  int32_t get_i32() { return get<int32_t>(); }
+  int64_t get_i64() { return get<int64_t>(); }
+  float get_f32() { return get<float>(); }
+  double get_f64() { return get<double>(); }
+
+  uint64_t get_varint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      SZSEC_CHECK_FORMAT(pos_ < data_.size(), "truncated varint");
+      SZSEC_CHECK_FORMAT(shift < 64, "varint too long");
+      const uint8_t b = data_[pos_++];
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+    }
+    return v;
+  }
+
+  /// Borrows `n` bytes without copying; throws on truncation.
+  BytesView get_bytes(size_t n) {
+    SZSEC_CHECK_FORMAT(pos_ + n <= data_.size(),
+                       "truncated buffer while reading bytes");
+    BytesView out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Varint-length-prefixed blob (see ByteWriter::put_blob).
+  BytesView get_blob() {
+    const uint64_t n = get_varint();
+    SZSEC_CHECK_FORMAT(n <= remaining(), "blob length exceeds buffer");
+    return get_bytes(static_cast<size_t>(n));
+  }
+
+  std::string get_string() {
+    BytesView b = get_blob();
+    return std::string(b.begin(), b.end());
+  }
+
+  void skip(size_t n) {
+    SZSEC_CHECK_FORMAT(pos_ + n <= data_.size(), "skip past end");
+    pos_ += n;
+  }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  BytesView data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace szsec

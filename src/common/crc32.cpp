@@ -1,0 +1,28 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace szsec {
+
+namespace {
+std::array<uint32_t, 256> make_table() {
+  std::array<uint32_t, 256> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+}  // namespace
+
+uint32_t crc32(BytesView data, uint32_t seed) {
+  static const auto table = make_table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (uint8_t b : data) c = table[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace szsec

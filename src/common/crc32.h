@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used as a plaintext-payload integrity check inside szsec containers so
+// that any corruption — a flipped ciphertext bit, a wrong key producing
+// plausible-looking padding, a damaged lossless stream — is detected
+// instead of silently decoding to out-of-bound data (the failure mode the
+// paper's Section III motivation warns about, citing ARC).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytestream.h"
+
+namespace szsec {
+
+/// CRC-32 of `data`, optionally continuing from a previous value.
+uint32_t crc32(BytesView data, uint32_t seed = 0);
+
+}  // namespace szsec

@@ -1,0 +1,81 @@
+// N-dimensional extents for scientific fields (up to 4D, matching the
+// SDRBench datasets the paper evaluates: 3D Hurricane/Nyx fields and the
+// 4D SCALE-LetKF fields).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+#include "common/error.h"
+
+namespace szsec {
+
+/// Dataset extents, slowest-varying dimension first (C order).
+/// A 3D 100x500x500 field is Dims{100, 500, 500}.
+class Dims {
+ public:
+  static constexpr size_t kMaxRank = 4;
+
+  Dims() = default;
+
+  Dims(std::initializer_list<size_t> extents) {
+    SZSEC_REQUIRE(extents.size() >= 1 && extents.size() <= kMaxRank,
+                  "rank must be 1..4");
+    rank_ = extents.size();
+    size_t i = 0;
+    for (size_t e : extents) {
+      SZSEC_REQUIRE(e > 0, "zero extent");
+      d_[i++] = e;
+    }
+  }
+
+  size_t rank() const { return rank_; }
+
+  size_t operator[](size_t i) const {
+    SZSEC_REQUIRE(i < rank_, "dimension index out of range");
+    return d_[i];
+  }
+
+  /// Total number of elements.
+  size_t count() const {
+    size_t n = 1;
+    for (size_t i = 0; i < rank_; ++i) n *= d_[i];
+    return n;
+  }
+
+  /// Row-major strides: stride[rank-1] == 1.
+  std::array<size_t, kMaxRank> strides() const {
+    std::array<size_t, kMaxRank> s{};
+    size_t acc = 1;
+    for (size_t i = rank_; i-- > 0;) {
+      s[i] = acc;
+      acc *= d_[i];
+    }
+    return s;
+  }
+
+  bool operator==(const Dims& o) const {
+    if (rank_ != o.rank_) return false;
+    for (size_t i = 0; i < rank_; ++i) {
+      if (d_[i] != o.d_[i]) return false;
+    }
+    return true;
+  }
+
+  std::string to_string() const {
+    std::string s;
+    for (size_t i = 0; i < rank_; ++i) {
+      if (i) s += "x";
+      s += std::to_string(d_[i]);
+    }
+    return s;
+  }
+
+ private:
+  std::array<size_t, kMaxRank> d_{};
+  size_t rank_ = 0;
+};
+
+}  // namespace szsec

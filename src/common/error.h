@@ -1,0 +1,60 @@
+// Error handling for szsec.
+//
+// All szsec libraries report recoverable failures (corrupt input, bad
+// parameters, failed authentication) by throwing szsec::Error.  Internal
+// invariant violations use SZSEC_ASSERT and abort in debug builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace szsec {
+
+/// Exception type thrown by every szsec component on invalid input,
+/// corrupt containers, or parameter errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a decoded value would violate the container format
+/// (truncation, bad magic, impossible lengths).  Distinguished from
+/// generic Error so callers can treat corruption specially.
+class CorruptError : public Error {
+ public:
+  explicit CorruptError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when decryption fails outright (e.g. invalid PKCS#7 padding),
+/// which usually means a wrong key or tampered ciphertext.
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) +
+              ": requirement failed (" + cond + "): " + msg);
+}
+}  // namespace detail
+
+}  // namespace szsec
+
+/// Checks a caller-facing precondition; throws szsec::Error on failure.
+#define SZSEC_REQUIRE(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::szsec::detail::throw_error(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                  \
+  } while (0)
+
+/// Checks a decode-time format condition; throws szsec::CorruptError.
+#define SZSEC_CHECK_FORMAT(cond, msg)                        \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      throw ::szsec::CorruptError(std::string("corrupt: ") + \
+                                  (msg));                    \
+    }                                                        \
+  } while (0)

@@ -1,0 +1,18 @@
+// Hex encoding helpers, mainly for known-answer crypto tests and
+// human-readable diagnostics.
+#pragma once
+
+#include <string>
+
+#include "common/bytestream.h"
+
+namespace szsec {
+
+/// Lower-case hex string of `data`.
+std::string to_hex(BytesView data);
+
+/// Parses a hex string (case-insensitive, no separators).
+/// Throws szsec::Error on odd length or non-hex characters.
+Bytes from_hex(const std::string& hex);
+
+}  // namespace szsec

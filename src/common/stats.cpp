@@ -1,0 +1,110 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace szsec {
+
+std::vector<uint64_t> byte_histogram(BytesView data) {
+  std::vector<uint64_t> hist(256, 0);
+  for (uint8_t b : data) ++hist[b];
+  return hist;
+}
+
+double shannon_entropy(BytesView data) {
+  if (data.empty()) return 0.0;
+  const auto hist = byte_histogram(data);
+  const double n = static_cast<double>(data.size());
+  double h = 0.0;
+  for (uint64_t c : hist) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+namespace {
+
+template <typename T>
+ErrorStats error_stats_impl(std::span<const T> a, std::span<const T> b) {
+  ErrorStats s;
+  if (a.empty() || a.size() != b.size()) return s;
+  double lo = a[0], hi = a[0], sum_abs = 0.0, sum_sq = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double e = std::abs(static_cast<double>(a[i]) - b[i]);
+    s.max_abs_err = std::max(s.max_abs_err, e);
+    sum_abs += e;
+    sum_sq += e * e;
+    lo = std::min(lo, static_cast<double>(a[i]));
+    hi = std::max(hi, static_cast<double>(a[i]));
+  }
+  const double n = static_cast<double>(a.size());
+  s.mean_abs_err = sum_abs / n;
+  s.rmse = std::sqrt(sum_sq / n);
+  s.value_range = hi - lo;
+  s.psnr_db = (s.rmse > 0 && s.value_range > 0)
+                  ? 20.0 * std::log10(s.value_range / s.rmse)
+                  : std::numeric_limits<double>::infinity();
+  return s;
+}
+
+template <typename T>
+bool within_bound_impl(std::span<const T> a, std::span<const T> b,
+                       double bound) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    // A touch of slack for the final float rounding of the reconstruction.
+    if (std::abs(static_cast<double>(a[i]) - b[i]) > bound * (1 + 1e-6)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename T>
+Summary summarize_impl(std::span<const T> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  double lo = xs[0], hi = xs[0], sum = 0.0;
+  for (T x : xs) {
+    lo = std::min(lo, static_cast<double>(x));
+    hi = std::max(hi, static_cast<double>(x));
+    sum += x;
+  }
+  s.min = lo;
+  s.max = hi;
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (T x : xs) {
+    const double d = x - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+  return s;
+}
+
+}  // namespace
+
+ErrorStats compute_error_stats(std::span<const float> a,
+                               std::span<const float> b) {
+  return error_stats_impl(a, b);
+}
+ErrorStats compute_error_stats(std::span<const double> a,
+                               std::span<const double> b) {
+  return error_stats_impl(a, b);
+}
+
+bool within_abs_bound(std::span<const float> a, std::span<const float> b,
+                      double bound) {
+  return within_bound_impl(a, b, bound);
+}
+bool within_abs_bound(std::span<const double> a, std::span<const double> b,
+                      double bound) {
+  return within_bound_impl(a, b, bound);
+}
+
+Summary summarize(std::span<const float> xs) { return summarize_impl(xs); }
+Summary summarize(std::span<const double> xs) { return summarize_impl(xs); }
+
+}  // namespace szsec

@@ -1,0 +1,49 @@
+// Statistics used throughout the evaluation: Shannon entropy of byte
+// streams (the paper's Section V-E entropy argument), compression-error
+// metrics (error-bound verification, PSNR), and simple summaries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytestream.h"
+
+namespace szsec {
+
+/// Shannon entropy of a byte stream in bits/byte (0..8).
+/// An optimally encrypted stream approaches 8.0 (paper Section V-E).
+double shannon_entropy(BytesView data);
+
+/// 256-bin byte histogram.
+std::vector<uint64_t> byte_histogram(BytesView data);
+
+/// Error metrics between an original field and its lossy reconstruction.
+struct ErrorStats {
+  double max_abs_err = 0.0;   ///< L-infinity error.
+  double mean_abs_err = 0.0;  ///< L1 error / n.
+  double rmse = 0.0;          ///< Root mean squared error.
+  double psnr_db = 0.0;       ///< Peak signal-to-noise ratio (dB).
+  double value_range = 0.0;   ///< max(original) - min(original).
+};
+
+ErrorStats compute_error_stats(std::span<const float> original,
+                               std::span<const float> reconstructed);
+ErrorStats compute_error_stats(std::span<const double> original,
+                               std::span<const double> reconstructed);
+
+/// True iff every |orig[i] - recon[i]| <= bound (absolute error mode).
+bool within_abs_bound(std::span<const float> original,
+                      std::span<const float> reconstructed, double bound);
+bool within_abs_bound(std::span<const double> original,
+                      std::span<const double> reconstructed, double bound);
+
+/// Summary of a scalar sample (used by dataset characterization benches).
+struct Summary {
+  double min = 0, max = 0, mean = 0, stddev = 0;
+};
+
+Summary summarize(std::span<const float> xs);
+Summary summarize(std::span<const double> xs);
+
+}  // namespace szsec

@@ -1,0 +1,102 @@
+// Wall-clock timing for the benchmark harness and the per-stage breakdown
+// the paper reports in Figure 7.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+#include <map>
+#include <string>
+
+namespace szsec {
+
+/// Simple monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Process-CPU-time stopwatch.  For single-threaded benchmarking on
+/// shared machines this is far more stable than wall clock (scheduler
+/// preemption does not count against the measurement); the bench harness
+/// uses it for every overhead/bandwidth statistic.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(now()) {}
+
+  void reset() { start_ = now(); }
+
+  double elapsed_s() const { return now() - start_; }
+
+ private:
+  static double now() {
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+  double start_;
+};
+
+/// Accumulates named stage durations (prediction, quantization, huffman,
+/// encryption, lossless, ...) across one compression run.  Used to
+/// regenerate the paper's Figure 7 time breakdown.
+class StageTimes {
+ public:
+  void add(const std::string& stage, double seconds) {
+    times_[stage] += seconds;
+  }
+
+  double get(const std::string& stage) const {
+    auto it = times_.find(stage);
+    return it == times_.end() ? 0.0 : it->second;
+  }
+
+  double total() const {
+    double t = 0;
+    for (const auto& [_, v] : times_) t += v;
+    return t;
+  }
+
+  const std::map<std::string, double>& all() const { return times_; }
+
+  void clear() { times_.clear(); }
+
+ private:
+  std::map<std::string, double> times_;
+};
+
+/// RAII helper that adds the scope's duration to a StageTimes entry.
+/// A null sink disables timing with no branch in the hot path besides
+/// the destructor check.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(StageTimes* sink, std::string stage)
+      : sink_(sink), stage_(std::move(stage)) {}
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+  ~ScopedStageTimer() {
+    if (sink_ != nullptr) sink_->add(stage_, timer_.elapsed_s());
+  }
+
+ private:
+  StageTimes* sink_;
+  std::string stage_;
+  WallTimer timer_;
+};
+
+}  // namespace szsec

@@ -1,0 +1,37 @@
+// The paper's four compression(+encryption) methods.
+#pragma once
+
+#include <cstdint>
+
+namespace szsec::core {
+
+/// Where (if anywhere) AES is inserted into the SZ pipeline.
+enum class Scheme : uint8_t {
+  /// Plain SZ, no encryption — the paper's "Original SZ" baseline.
+  kNone = 0,
+  /// Method 1: encrypt the entire compressed bit stream after stage 4
+  /// (compression as a black box; the prior state of the art).
+  kCmprEncr = 1,
+  /// Method 2: encrypt the quantization array — Huffman tree + codewords —
+  /// after stage 3 but before the lossless pass.
+  kEncrQuant = 2,
+  /// Method 3: encrypt only the serialized Huffman tree (the paper's
+  /// light-weight recommendation).
+  kEncrHuffman = 3,
+};
+
+inline const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kNone:
+      return "SZ";
+    case Scheme::kCmprEncr:
+      return "Cmpr-Encr";
+    case Scheme::kEncrQuant:
+      return "Encr-Quant";
+    case Scheme::kEncrHuffman:
+      return "Encr-Huffman";
+  }
+  return "?";
+}
+
+}  // namespace szsec::core

@@ -1,0 +1,138 @@
+// Public API of szsec: error-bounded lossy compression with optional
+// in-pipeline AES encryption (the paper's Cmpr-Encr / Encr-Quant /
+// Encr-Huffman methods plus the plain-SZ baseline).
+//
+// Typical use:
+//
+//   szsec::sz::Params params;
+//   params.abs_error_bound = 1e-4;
+//   szsec::core::SecureCompressor c(params, Scheme::kEncrHuffman, key);
+//   auto result = c.compress(field, dims);        // -> result.container
+//   auto round  = c.decompress(result.container); // -> round.f32
+//
+// Thread-safety: a SecureCompressor is immutable apart from its DRBG; use
+// one instance per thread or supply distinct DRBGs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytestream.h"
+#include "common/dims.h"
+#include "common/timer.h"
+#include "crypto/cipher.h"
+#include "crypto/drbg.h"
+#include "crypto/modes.h"
+#include "core/container.h"
+#include "core/scheme.h"
+#include "sz/params.h"
+
+namespace szsec::core {
+
+/// Size/ratio accounting for one compression, feeding every table and
+/// figure in the evaluation.
+struct CompressStats {
+  uint64_t raw_bytes = 0;
+  uint64_t container_bytes = 0;     ///< header + body
+  uint64_t payload_bytes = 0;       ///< assembled stage-3 output size
+  uint64_t tree_bytes = 0;          ///< serialized Huffman tree
+  uint64_t codeword_bytes = 0;      ///< Huffman codeword stream
+  uint64_t unpredictable_bytes = 0;
+  uint64_t unpredictable_count = 0;
+  uint64_t element_count = 0;
+  uint64_t encrypted_bytes = 0;     ///< plaintext volume fed to AES
+  double predictable_fraction = 0;  ///< share of elements quantized
+
+  /// Quantization array = tree + codewords (paper Figures 2 and 4).
+  uint64_t quant_array_bytes() const { return tree_bytes + codeword_bytes; }
+
+  double compression_ratio() const {
+    return container_bytes == 0
+               ? 0.0
+               : static_cast<double>(raw_bytes) / container_bytes;
+  }
+};
+
+/// Result of SecureCompressor::compress.
+struct CompressResult {
+  Bytes container;
+  CompressStats stats;
+  StageTimes times;  ///< per-stage durations (Figure 7)
+};
+
+/// Result of SecureCompressor::decompress.  Exactly one of f32/f64 is
+/// populated, according to `dtype`.
+struct DecompressResult {
+  sz::DType dtype = sz::DType::kFloat32;
+  Dims dims;
+  std::vector<float> f32;
+  std::vector<double> f64;
+  StageTimes times;
+};
+
+/// Parses and returns the plaintext header of a container without
+/// decrypting or decompressing anything.
+Header peek_header(BytesView container);
+
+/// Cipher algorithm + mode selection for a SecureCompressor.  The paper
+/// fixes AES-128-CBC; the other algorithms exist for the cipher ablation
+/// bench (DES/3DES from Section II-B, ChaCha20 as the modern
+/// light-weight alternative).
+struct CipherSpec {
+  crypto::CipherKind kind = crypto::CipherKind::kAes128;
+  crypto::Mode mode = crypto::Mode::kCbc;
+
+  /// Append an HMAC-SHA256 tag over the whole container
+  /// (encrypt-then-MAC) and verify it before decryption.  The MAC key is
+  /// HKDF-derived from the cipher key, so one master key drives both.
+  /// This goes beyond the paper (whose integrity check is implicit) and
+  /// turns "corruption is detected" into "tampering is rejected".
+  bool authenticate = false;
+};
+
+class SecureCompressor {
+ public:
+  /// AES convenience constructor (the paper's configuration): `key` must
+  /// be 16/24/32 bytes — the AES variant is chosen by key length — for
+  /// encrypting schemes, and is ignored (may be empty) for Scheme::kNone.
+  /// `drbg` supplies IVs; pass nullptr to use the process-global
+  /// generator.
+  SecureCompressor(sz::Params params, Scheme scheme, BytesView key = {},
+                   crypto::Mode mode = crypto::Mode::kCbc,
+                   crypto::CtrDrbg* drbg = nullptr);
+
+  /// Full-control constructor: any implemented cipher/mode combination.
+  /// `key` must match crypto::cipher_key_size(spec.kind).
+  SecureCompressor(sz::Params params, Scheme scheme, BytesView key,
+                   CipherSpec spec, crypto::CtrDrbg* drbg = nullptr);
+
+  CompressResult compress(std::span<const float> data, const Dims& dims) const;
+  CompressResult compress(std::span<const double> data,
+                          const Dims& dims) const;
+
+  /// Decompresses any scheme (read from the header).  Requires the same
+  /// key the container was produced with (for encrypting schemes).
+  DecompressResult decompress(BytesView container) const;
+
+  /// Convenience wrappers that additionally check the dtype.
+  std::vector<float> decompress_f32(BytesView container) const;
+  std::vector<double> decompress_f64(BytesView container) const;
+
+  Scheme scheme() const { return scheme_; }
+  const sz::Params& params() const { return params_; }
+
+ private:
+  template <typename T>
+  CompressResult compress_impl(std::span<const T> data,
+                               const Dims& dims) const;
+
+  sz::Params params_;
+  Scheme scheme_;
+  CipherSpec spec_;
+  std::optional<crypto::Cipher> cipher_;
+  Bytes auth_key_;  ///< HKDF-derived MAC key (empty unless authenticating)
+  crypto::CtrDrbg* drbg_;
+};
+
+}  // namespace szsec::core

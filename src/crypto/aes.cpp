@@ -1,0 +1,278 @@
+#include "crypto/aes.h"
+
+#include "common/error.h"
+
+namespace szsec::crypto {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// GF(2^8) arithmetic and table generation.
+//
+// All lookup tables are derived programmatically from the field definition
+// (x^8 + x^4 + x^3 + x + 1) rather than pasted as literals, so the
+// construction is auditable and a transcription error is impossible.
+// ---------------------------------------------------------------------------
+
+constexpr uint8_t xtime(uint8_t a) {
+  return static_cast<uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1B : 0x00));
+}
+
+constexpr uint8_t gmul(uint8_t a, uint8_t b) {
+  uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return p;
+}
+
+struct Tables {
+  uint8_t sbox[256];
+  uint8_t inv_sbox[256];
+  uint32_t te[4][256];  // encryption round tables
+  uint32_t td[4][256];  // decryption round tables
+  uint32_t rcon[10];
+};
+
+Tables make_tables() {
+  Tables t{};
+  // Multiplicative inverse by brute force (256^2 ops, done once).
+  uint8_t inv[256] = {0};
+  for (int a = 1; a < 256; ++a) {
+    for (int b = 1; b < 256; ++b) {
+      if (gmul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)) == 1) {
+        inv[a] = static_cast<uint8_t>(b);
+        break;
+      }
+    }
+  }
+  // S-box: affine transform of the inverse.
+  for (int i = 0; i < 256; ++i) {
+    const uint8_t x = inv[i];
+    uint8_t y = static_cast<uint8_t>(
+        x ^ static_cast<uint8_t>((x << 1) | (x >> 7)) ^
+        static_cast<uint8_t>((x << 2) | (x >> 6)) ^
+        static_cast<uint8_t>((x << 3) | (x >> 5)) ^
+        static_cast<uint8_t>((x << 4) | (x >> 4)) ^ 0x63);
+    t.sbox[i] = y;
+    t.inv_sbox[y] = static_cast<uint8_t>(i);
+  }
+  // T-tables.  State words are big-endian packed columns:
+  //   w = a0<<24 | a1<<16 | a2<<8 | a3, a0 = row 0.
+  for (int i = 0; i < 256; ++i) {
+    const uint8_t s = t.sbox[i];
+    const uint32_t s2 = gmul(s, 2), s3 = gmul(s, 3);
+    t.te[0][i] = (s2 << 24) | (uint32_t{s} << 16) | (uint32_t{s} << 8) | s3;
+    t.te[1][i] = (t.te[0][i] >> 8) | (t.te[0][i] << 24);
+    t.te[2][i] = (t.te[0][i] >> 16) | (t.te[0][i] << 16);
+    t.te[3][i] = (t.te[0][i] >> 24) | (t.te[0][i] << 8);
+
+    const uint8_t si = t.inv_sbox[i];
+    const uint32_t e = gmul(si, 0x0E), n9 = gmul(si, 0x09),
+                   d = gmul(si, 0x0D), b = gmul(si, 0x0B);
+    t.td[0][i] = (e << 24) | (n9 << 16) | (d << 8) | b;
+    t.td[1][i] = (t.td[0][i] >> 8) | (t.td[0][i] << 24);
+    t.td[2][i] = (t.td[0][i] >> 16) | (t.td[0][i] << 16);
+    t.td[3][i] = (t.td[0][i] >> 24) | (t.td[0][i] << 8);
+  }
+  uint8_t rc = 1;
+  for (int i = 0; i < 10; ++i) {
+    t.rcon[i] = uint32_t{rc} << 24;
+    rc = xtime(rc);
+  }
+  return t;
+}
+
+const Tables& tables() {
+  static const Tables t = make_tables();
+  return t;
+}
+
+uint32_t load_be32(const uint8_t* p) {
+  return (uint32_t{p[0]} << 24) | (uint32_t{p[1]} << 16) |
+         (uint32_t{p[2]} << 8) | uint32_t{p[3]};
+}
+
+void store_be32(uint8_t* p, uint32_t w) {
+  p[0] = static_cast<uint8_t>(w >> 24);
+  p[1] = static_cast<uint8_t>(w >> 16);
+  p[2] = static_cast<uint8_t>(w >> 8);
+  p[3] = static_cast<uint8_t>(w);
+}
+
+uint32_t sub_word(uint32_t w) {
+  const auto& t = tables();
+  return (uint32_t{t.sbox[(w >> 24) & 0xFF]} << 24) |
+         (uint32_t{t.sbox[(w >> 16) & 0xFF]} << 16) |
+         (uint32_t{t.sbox[(w >> 8) & 0xFF]} << 8) |
+         uint32_t{t.sbox[w & 0xFF]};
+}
+
+uint32_t rot_word(uint32_t w) { return (w << 8) | (w >> 24); }
+
+// InvMixColumns applied to a packed word, used to build the decryption
+// key schedule for the equivalent inverse cipher.
+uint32_t inv_mix_word(uint32_t w) {
+  const uint8_t a0 = static_cast<uint8_t>(w >> 24);
+  const uint8_t a1 = static_cast<uint8_t>(w >> 16);
+  const uint8_t a2 = static_cast<uint8_t>(w >> 8);
+  const uint8_t a3 = static_cast<uint8_t>(w);
+  const uint8_t b0 = gmul(a0, 0x0E) ^ gmul(a1, 0x0B) ^ gmul(a2, 0x0D) ^
+                     gmul(a3, 0x09);
+  const uint8_t b1 = gmul(a0, 0x09) ^ gmul(a1, 0x0E) ^ gmul(a2, 0x0B) ^
+                     gmul(a3, 0x0D);
+  const uint8_t b2 = gmul(a0, 0x0D) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0E) ^
+                     gmul(a3, 0x0B);
+  const uint8_t b3 = gmul(a0, 0x0B) ^ gmul(a1, 0x0D) ^ gmul(a2, 0x09) ^
+                     gmul(a3, 0x0E);
+  return (uint32_t{b0} << 24) | (uint32_t{b1} << 16) | (uint32_t{b2} << 8) |
+         uint32_t{b3};
+}
+
+}  // namespace
+
+Aes::Aes(BytesView key) {
+  const size_t nk_bytes = key.size();
+  SZSEC_REQUIRE(nk_bytes == 16 || nk_bytes == 24 || nk_bytes == 32,
+                "AES key must be 16, 24, or 32 bytes");
+  const int nk = static_cast<int>(nk_bytes / 4);
+  rounds_ = nk + 6;
+  const int nwords = 4 * (rounds_ + 1);
+  const auto& t = tables();
+
+  for (int i = 0; i < nk; ++i) ek_[i] = load_be32(key.data() + 4 * i);
+  for (int i = nk; i < nwords; ++i) {
+    uint32_t tmp = ek_[i - 1];
+    if (i % nk == 0) {
+      tmp = sub_word(rot_word(tmp)) ^ t.rcon[i / nk - 1];
+    } else if (nk > 6 && i % nk == 4) {
+      tmp = sub_word(tmp);
+    }
+    ek_[i] = ek_[i - nk] ^ tmp;
+  }
+
+  // Equivalent inverse cipher schedule: reversed round order with
+  // InvMixColumns on the interior round keys.
+  for (int i = 0; i < nwords; ++i) {
+    const int src_round = rounds_ - i / 4;
+    dk_[i] = ek_[4 * src_round + i % 4];
+    if (i >= 4 && i < nwords - 4) dk_[i] = inv_mix_word(dk_[i]);
+  }
+}
+
+void Aes::encrypt_block(const uint8_t in[kBlockSize],
+                        uint8_t out[kBlockSize]) const {
+  const auto& t = tables();
+  uint32_t s0 = load_be32(in) ^ ek_[0];
+  uint32_t s1 = load_be32(in + 4) ^ ek_[1];
+  uint32_t s2 = load_be32(in + 8) ^ ek_[2];
+  uint32_t s3 = load_be32(in + 12) ^ ek_[3];
+
+  for (int r = 1; r < rounds_; ++r) {
+    const uint32_t* rk = &ek_[4 * r];
+    const uint32_t t0 = t.te[0][(s0 >> 24) & 0xFF] ^
+                        t.te[1][(s1 >> 16) & 0xFF] ^
+                        t.te[2][(s2 >> 8) & 0xFF] ^ t.te[3][s3 & 0xFF] ^
+                        rk[0];
+    const uint32_t t1 = t.te[0][(s1 >> 24) & 0xFF] ^
+                        t.te[1][(s2 >> 16) & 0xFF] ^
+                        t.te[2][(s3 >> 8) & 0xFF] ^ t.te[3][s0 & 0xFF] ^
+                        rk[1];
+    const uint32_t t2 = t.te[0][(s2 >> 24) & 0xFF] ^
+                        t.te[1][(s3 >> 16) & 0xFF] ^
+                        t.te[2][(s0 >> 8) & 0xFF] ^ t.te[3][s1 & 0xFF] ^
+                        rk[2];
+    const uint32_t t3 = t.te[0][(s3 >> 24) & 0xFF] ^
+                        t.te[1][(s0 >> 16) & 0xFF] ^
+                        t.te[2][(s1 >> 8) & 0xFF] ^ t.te[3][s2 & 0xFF] ^
+                        rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+
+  // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+  const uint32_t* rk = &ek_[4 * rounds_];
+  const auto& sb = t.sbox;
+  const uint32_t o0 = (uint32_t{sb[(s0 >> 24) & 0xFF]} << 24) |
+                      (uint32_t{sb[(s1 >> 16) & 0xFF]} << 16) |
+                      (uint32_t{sb[(s2 >> 8) & 0xFF]} << 8) |
+                      uint32_t{sb[s3 & 0xFF]};
+  const uint32_t o1 = (uint32_t{sb[(s1 >> 24) & 0xFF]} << 24) |
+                      (uint32_t{sb[(s2 >> 16) & 0xFF]} << 16) |
+                      (uint32_t{sb[(s3 >> 8) & 0xFF]} << 8) |
+                      uint32_t{sb[s0 & 0xFF]};
+  const uint32_t o2 = (uint32_t{sb[(s2 >> 24) & 0xFF]} << 24) |
+                      (uint32_t{sb[(s3 >> 16) & 0xFF]} << 16) |
+                      (uint32_t{sb[(s0 >> 8) & 0xFF]} << 8) |
+                      uint32_t{sb[s1 & 0xFF]};
+  const uint32_t o3 = (uint32_t{sb[(s3 >> 24) & 0xFF]} << 24) |
+                      (uint32_t{sb[(s0 >> 16) & 0xFF]} << 16) |
+                      (uint32_t{sb[(s1 >> 8) & 0xFF]} << 8) |
+                      uint32_t{sb[s2 & 0xFF]};
+  store_be32(out, o0 ^ rk[0]);
+  store_be32(out + 4, o1 ^ rk[1]);
+  store_be32(out + 8, o2 ^ rk[2]);
+  store_be32(out + 12, o3 ^ rk[3]);
+}
+
+void Aes::decrypt_block(const uint8_t in[kBlockSize],
+                        uint8_t out[kBlockSize]) const {
+  const auto& t = tables();
+  uint32_t s0 = load_be32(in) ^ dk_[0];
+  uint32_t s1 = load_be32(in + 4) ^ dk_[1];
+  uint32_t s2 = load_be32(in + 8) ^ dk_[2];
+  uint32_t s3 = load_be32(in + 12) ^ dk_[3];
+
+  for (int r = 1; r < rounds_; ++r) {
+    const uint32_t* rk = &dk_[4 * r];
+    const uint32_t t0 = t.td[0][(s0 >> 24) & 0xFF] ^
+                        t.td[1][(s3 >> 16) & 0xFF] ^
+                        t.td[2][(s2 >> 8) & 0xFF] ^ t.td[3][s1 & 0xFF] ^
+                        rk[0];
+    const uint32_t t1 = t.td[0][(s1 >> 24) & 0xFF] ^
+                        t.td[1][(s0 >> 16) & 0xFF] ^
+                        t.td[2][(s3 >> 8) & 0xFF] ^ t.td[3][s2 & 0xFF] ^
+                        rk[1];
+    const uint32_t t2 = t.td[0][(s2 >> 24) & 0xFF] ^
+                        t.td[1][(s1 >> 16) & 0xFF] ^
+                        t.td[2][(s0 >> 8) & 0xFF] ^ t.td[3][s3 & 0xFF] ^
+                        rk[2];
+    const uint32_t t3 = t.td[0][(s3 >> 24) & 0xFF] ^
+                        t.td[1][(s2 >> 16) & 0xFF] ^
+                        t.td[2][(s1 >> 8) & 0xFF] ^ t.td[3][s0 & 0xFF] ^
+                        rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+
+  const uint32_t* rk = &dk_[4 * rounds_];
+  const auto& isb = t.inv_sbox;
+  const uint32_t o0 = (uint32_t{isb[(s0 >> 24) & 0xFF]} << 24) |
+                      (uint32_t{isb[(s3 >> 16) & 0xFF]} << 16) |
+                      (uint32_t{isb[(s2 >> 8) & 0xFF]} << 8) |
+                      uint32_t{isb[s1 & 0xFF]};
+  const uint32_t o1 = (uint32_t{isb[(s1 >> 24) & 0xFF]} << 24) |
+                      (uint32_t{isb[(s0 >> 16) & 0xFF]} << 16) |
+                      (uint32_t{isb[(s3 >> 8) & 0xFF]} << 8) |
+                      uint32_t{isb[s2 & 0xFF]};
+  const uint32_t o2 = (uint32_t{isb[(s2 >> 24) & 0xFF]} << 24) |
+                      (uint32_t{isb[(s1 >> 16) & 0xFF]} << 16) |
+                      (uint32_t{isb[(s0 >> 8) & 0xFF]} << 8) |
+                      uint32_t{isb[s3 & 0xFF]};
+  const uint32_t o3 = (uint32_t{isb[(s3 >> 24) & 0xFF]} << 24) |
+                      (uint32_t{isb[(s2 >> 16) & 0xFF]} << 16) |
+                      (uint32_t{isb[(s1 >> 8) & 0xFF]} << 8) |
+                      uint32_t{isb[s0 & 0xFF]};
+  store_be32(out, o0 ^ rk[0]);
+  store_be32(out + 4, o1 ^ rk[1]);
+  store_be32(out + 8, o2 ^ rk[2]);
+  store_be32(out + 12, o3 ^ rk[3]);
+}
+
+}  // namespace szsec::crypto

@@ -1,0 +1,47 @@
+// AES (FIPS-197) block cipher implemented from scratch.
+//
+// Supports 128-, 192- and 256-bit keys.  The paper uses AES-128 as its
+// light-weight cipher; the longer key sizes exist for the ablation benches.
+// Encryption/decryption use precomputed T-tables (derived at static init
+// from the algebraic S-box definition), giving laptop-class throughput of
+// hundreds of MB/s without assembly or hardware intrinsics.
+//
+// Correctness is pinned by FIPS-197 Appendix C known-answer tests in
+// tests/crypto_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytestream.h"
+
+namespace szsec::crypto {
+
+/// AES block cipher with an expanded key schedule.  Immutable after
+/// construction; safe to share across threads for concurrent encrypt calls.
+class Aes {
+ public:
+  static constexpr size_t kBlockSize = 16;
+
+  /// Expands `key` (16, 24 or 32 bytes).  Throws szsec::Error otherwise.
+  explicit Aes(BytesView key);
+
+  /// Encrypts exactly one 16-byte block (in-place allowed: in == out).
+  void encrypt_block(const uint8_t in[kBlockSize],
+                     uint8_t out[kBlockSize]) const;
+
+  /// Decrypts exactly one 16-byte block (in-place allowed).
+  void decrypt_block(const uint8_t in[kBlockSize],
+                     uint8_t out[kBlockSize]) const;
+
+  /// Number of rounds: 10 / 12 / 14 for 128 / 192 / 256-bit keys.
+  int rounds() const { return rounds_; }
+
+ private:
+  int rounds_;
+  // Round keys as big-endian packed words, 4*(rounds+1) each.
+  std::array<uint32_t, 60> ek_{};  // encryption schedule
+  std::array<uint32_t, 60> dk_{};  // decryption schedule (InvMixColumns'd)
+};
+
+}  // namespace szsec::crypto

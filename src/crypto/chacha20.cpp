@@ -1,0 +1,76 @@
+#include "crypto/chacha20.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace szsec::crypto {
+
+namespace {
+
+inline void quarter_round(uint32_t& a, uint32_t& b, uint32_t& c,
+                          uint32_t& d) {
+  a += b;
+  d = std::rotl(d ^ a, 16);
+  c += d;
+  b = std::rotl(b ^ c, 12);
+  a += b;
+  d = std::rotl(d ^ a, 8);
+  c += d;
+  b = std::rotl(b ^ c, 7);
+}
+
+uint32_t load_le32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;  // little-endian host (asserted in bytestream.h)
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(BytesView key) {
+  SZSEC_REQUIRE(key.size() == kKeySize, "ChaCha20 key must be 32 bytes");
+  for (int i = 0; i < 8; ++i) key_words_[i] = load_le32(key.data() + 4 * i);
+}
+
+std::array<uint8_t, 64> ChaCha20::block(
+    const std::array<uint8_t, kNonceSize>& nonce, uint32_t counter) const {
+  uint32_t state[16] = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574};
+  for (int i = 0; i < 8; ++i) state[4 + i] = key_words_[i];
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load_le32(nonce.data() + 4 * i);
+
+  uint32_t w[16];
+  std::memcpy(w, state, sizeof(w));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(w[0], w[4], w[8], w[12]);
+    quarter_round(w[1], w[5], w[9], w[13]);
+    quarter_round(w[2], w[6], w[10], w[14]);
+    quarter_round(w[3], w[7], w[11], w[15]);
+    quarter_round(w[0], w[5], w[10], w[15]);
+    quarter_round(w[1], w[6], w[11], w[12]);
+    quarter_round(w[2], w[7], w[8], w[13]);
+    quarter_round(w[3], w[4], w[9], w[14]);
+  }
+  std::array<uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    const uint32_t v = w[i] + state[i];
+    std::memcpy(out.data() + 4 * i, &v, 4);
+  }
+  return out;
+}
+
+Bytes ChaCha20::crypt(const std::array<uint8_t, kNonceSize>& nonce,
+                      BytesView data, uint32_t initial_counter) const {
+  Bytes out(data.begin(), data.end());
+  uint32_t counter = initial_counter;
+  for (size_t off = 0; off < out.size(); off += 64) {
+    const std::array<uint8_t, 64> ks = block(nonce, counter++);
+    const size_t n = std::min<size_t>(64, out.size() - off);
+    for (size_t i = 0; i < n; ++i) out[off + i] ^= ks[i];
+  }
+  return out;
+}
+
+}  // namespace szsec::crypto

@@ -1,0 +1,205 @@
+#include "crypto/cipher.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace szsec::crypto {
+
+namespace {
+
+// Generic PKCS#7 over an arbitrary block size (modes.h's fixed-16 helpers
+// remain for the AES fast path).
+void pad_to(Bytes& data, size_t block) {
+  const uint8_t pad = static_cast<uint8_t>(block - data.size() % block);
+  data.insert(data.end(), pad, pad);
+}
+
+void unpad_from(Bytes& data, size_t block) {
+  if (data.empty() || data.size() % block != 0) {
+    throw CryptoError("invalid padded length");
+  }
+  const uint8_t pad = data.back();
+  if (pad == 0 || pad > block || pad > data.size()) {
+    throw CryptoError("invalid PKCS#7 padding");
+  }
+  uint8_t diff = 0;
+  for (size_t i = data.size() - pad; i < data.size(); ++i) {
+    diff |= static_cast<uint8_t>(data[i] ^ pad);
+  }
+  if (diff != 0) throw CryptoError("invalid PKCS#7 padding");
+  data.resize(data.size() - pad);
+}
+
+// Generic CBC/ECB/CTR over any block cipher exposing kBlockSize and
+// encrypt_block/decrypt_block.
+template <typename BC>
+Bytes generic_encrypt(const BC& bc, Mode mode, const Iv& iv,
+                      BytesView plaintext) {
+  constexpr size_t kB = BC::kBlockSize;
+  if (mode == Mode::kCtr) {
+    Bytes out(plaintext.begin(), plaintext.end());
+    uint8_t counter[kB];
+    uint8_t keystream[kB];
+    std::memcpy(counter, iv.data(), kB);
+    for (size_t off = 0; off < out.size(); off += kB) {
+      bc.encrypt_block(counter, keystream);
+      const size_t n = std::min(kB, out.size() - off);
+      for (size_t i = 0; i < n; ++i) out[off + i] ^= keystream[i];
+      for (size_t i = kB; i-- > kB / 2;) {
+        if (++counter[i] != 0) break;
+      }
+    }
+    return out;
+  }
+  Bytes buf(plaintext.begin(), plaintext.end());
+  pad_to(buf, kB);
+  uint8_t chain[kB];
+  std::memcpy(chain, iv.data(), kB);
+  for (size_t off = 0; off < buf.size(); off += kB) {
+    if (mode == Mode::kCbc) {
+      for (size_t i = 0; i < kB; ++i) buf[off + i] ^= chain[i];
+    }
+    bc.encrypt_block(buf.data() + off, buf.data() + off);
+    if (mode == Mode::kCbc) std::memcpy(chain, buf.data() + off, kB);
+  }
+  return buf;
+}
+
+template <typename BC>
+Bytes generic_decrypt(const BC& bc, Mode mode, const Iv& iv,
+                      BytesView ciphertext) {
+  constexpr size_t kB = BC::kBlockSize;
+  if (mode == Mode::kCtr) {
+    return generic_encrypt(bc, mode, iv, ciphertext);  // involution
+  }
+  if (ciphertext.empty() || ciphertext.size() % kB != 0) {
+    throw CryptoError("ciphertext length not a block multiple");
+  }
+  Bytes buf(ciphertext.begin(), ciphertext.end());
+  uint8_t chain[kB];
+  uint8_t next_chain[kB];
+  std::memcpy(chain, iv.data(), kB);
+  for (size_t off = 0; off < buf.size(); off += kB) {
+    std::memcpy(next_chain, buf.data() + off, kB);
+    bc.decrypt_block(buf.data() + off, buf.data() + off);
+    if (mode == Mode::kCbc) {
+      for (size_t i = 0; i < kB; ++i) buf[off + i] ^= chain[i];
+      std::memcpy(chain, next_chain, kB);
+    }
+  }
+  unpad_from(buf, kB);
+  return buf;
+}
+
+std::array<uint8_t, ChaCha20::kNonceSize> nonce_from_iv(const Iv& iv) {
+  std::array<uint8_t, ChaCha20::kNonceSize> nonce;
+  std::memcpy(nonce.data(), iv.data(), nonce.size());
+  return nonce;
+}
+
+}  // namespace
+
+const char* cipher_name(CipherKind kind) {
+  switch (kind) {
+    case CipherKind::kAes128:
+      return "AES-128";
+    case CipherKind::kAes192:
+      return "AES-192";
+    case CipherKind::kAes256:
+      return "AES-256";
+    case CipherKind::kDes:
+      return "DES";
+    case CipherKind::kTripleDes:
+      return "3DES";
+    case CipherKind::kChaCha20:
+      return "ChaCha20";
+  }
+  return "?";
+}
+
+size_t cipher_key_size(CipherKind kind) {
+  switch (kind) {
+    case CipherKind::kAes128:
+      return 16;
+    case CipherKind::kAes192:
+      return 24;
+    case CipherKind::kAes256:
+      return 32;
+    case CipherKind::kDes:
+      return 8;
+    case CipherKind::kTripleDes:
+      return 24;
+    case CipherKind::kChaCha20:
+      return 32;
+  }
+  throw Error("unknown cipher kind");
+}
+
+namespace {
+std::variant<Aes, Des, TripleDes, ChaCha20> make_impl(CipherKind kind,
+                                                      BytesView key) {
+  SZSEC_REQUIRE(key.size() == cipher_key_size(kind),
+                std::string("wrong key size for ") + cipher_name(kind));
+  switch (kind) {
+    case CipherKind::kAes128:
+    case CipherKind::kAes192:
+    case CipherKind::kAes256:
+      return Aes{key};
+    case CipherKind::kDes:
+      return Des{key};
+    case CipherKind::kTripleDes:
+      return TripleDes{key};
+    case CipherKind::kChaCha20:
+      return ChaCha20{key};
+  }
+  throw Error("unknown cipher kind");
+}
+}  // namespace
+
+Cipher::Cipher(CipherKind kind, BytesView key)
+    : kind_(kind), impl_(make_impl(kind, key)) {}
+
+size_t Cipher::block_size() const {
+  switch (kind_) {
+    case CipherKind::kDes:
+    case CipherKind::kTripleDes:
+      return 8;
+    case CipherKind::kChaCha20:
+      return 1;
+    default:
+      return 16;
+  }
+}
+
+Bytes Cipher::encrypt(Mode mode, const Iv& iv, BytesView plaintext) const {
+  return std::visit(
+      [&](const auto& impl) -> Bytes {
+        using T = std::decay_t<decltype(impl)>;
+        if constexpr (std::is_same_v<T, Aes>) {
+          return crypto::encrypt(impl, mode, iv, plaintext);
+        } else if constexpr (std::is_same_v<T, ChaCha20>) {
+          return impl.crypt(nonce_from_iv(iv), plaintext);
+        } else {
+          return generic_encrypt(impl, mode, iv, plaintext);
+        }
+      },
+      impl_);
+}
+
+Bytes Cipher::decrypt(Mode mode, const Iv& iv, BytesView ciphertext) const {
+  return std::visit(
+      [&](const auto& impl) -> Bytes {
+        using T = std::decay_t<decltype(impl)>;
+        if constexpr (std::is_same_v<T, Aes>) {
+          return crypto::decrypt(impl, mode, iv, ciphertext);
+        } else if constexpr (std::is_same_v<T, ChaCha20>) {
+          return impl.crypt(nonce_from_iv(iv), ciphertext);
+        } else {
+          return generic_decrypt(impl, mode, iv, ciphertext);
+        }
+      },
+      impl_);
+}
+
+}  // namespace szsec::crypto

@@ -1,0 +1,54 @@
+// Unified cipher front end: one object that encrypts/decrypts with any of
+// the implemented algorithms (AES-128/192/256, DES, 3DES, ChaCha20) under
+// a common IV/mode interface, so the secure-compression schemes and the
+// cipher ablation bench can swap algorithms freely.
+//
+// IV convention: always 16 bytes.  64-bit block ciphers use the first 8
+// bytes; ChaCha20 uses the first 12 as its RFC 8439 nonce.  Block modes
+// pad with PKCS#7 to the cipher's block size; ChaCha20 ignores the mode
+// argument (it is a stream cipher) and is length-preserving.
+#pragma once
+
+#include <memory>
+#include <variant>
+
+#include "crypto/aes.h"
+#include "crypto/chacha20.h"
+#include "crypto/des.h"
+#include "crypto/modes.h"
+
+namespace szsec::crypto {
+
+enum class CipherKind : uint8_t {
+  kAes128 = 0,
+  kAes192 = 1,
+  kAes256 = 2,
+  kDes = 3,        ///< measured baseline only — 56-bit key is breakable
+  kTripleDes = 4,  ///< secure but slow (the paper's Section II-B point)
+  kChaCha20 = 5,
+};
+
+const char* cipher_name(CipherKind kind);
+
+/// Required key length in bytes for `kind`.
+size_t cipher_key_size(CipherKind kind);
+
+/// Algorithm-agnostic encryptor/decryptor.
+class Cipher {
+ public:
+  Cipher(CipherKind kind, BytesView key);
+
+  Bytes encrypt(Mode mode, const Iv& iv, BytesView plaintext) const;
+  Bytes decrypt(Mode mode, const Iv& iv, BytesView ciphertext) const;
+
+  CipherKind kind() const { return kind_; }
+
+  /// 16 for AES, 8 for DES/3DES, 1 for ChaCha20 (stream).
+  size_t block_size() const;
+
+ private:
+  CipherKind kind_;
+  std::variant<Aes, Des, TripleDes, ChaCha20> impl_;
+};
+
+}  // namespace szsec::crypto

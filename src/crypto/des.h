@@ -1,0 +1,52 @@
+// DES and Triple-DES (FIPS 46-3), implemented from scratch.
+//
+// The paper's background (Section II-B) dismisses DES for its 56-bit key
+// and 3DES for its speed; these implementations exist so the cipher
+// ablation bench can *show* that trade-off rather than assert it.  Do not
+// use DES for new data — it is here as a measured baseline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytestream.h"
+
+namespace szsec::crypto {
+
+/// Single DES block cipher (64-bit blocks, 56-bit effective key).
+class Des {
+ public:
+  static constexpr size_t kBlockSize = 8;
+
+  /// Expands an 8-byte key (parity bits ignored, per the standard).
+  explicit Des(BytesView key);
+
+  void encrypt_block(const uint8_t in[kBlockSize],
+                     uint8_t out[kBlockSize]) const;
+  void decrypt_block(const uint8_t in[kBlockSize],
+                     uint8_t out[kBlockSize]) const;
+
+ private:
+  uint64_t feistel(uint64_t block, bool decrypt) const;
+
+  std::array<uint64_t, 16> subkeys_{};  // 48-bit round keys
+};
+
+/// Triple DES in EDE mode (encrypt-decrypt-encrypt) with a 24-byte key
+/// (three independent DES keys; keying option 1).
+class TripleDes {
+ public:
+  static constexpr size_t kBlockSize = 8;
+
+  explicit TripleDes(BytesView key);
+
+  void encrypt_block(const uint8_t in[kBlockSize],
+                     uint8_t out[kBlockSize]) const;
+  void decrypt_block(const uint8_t in[kBlockSize],
+                     uint8_t out[kBlockSize]) const;
+
+ private:
+  Des k1_, k2_, k3_;
+};
+
+}  // namespace szsec::crypto

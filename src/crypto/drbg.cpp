@@ -1,0 +1,82 @@
+#include "crypto/drbg.h"
+
+#include <cstring>
+#include <random>
+
+namespace szsec::crypto {
+
+namespace {
+void increment(std::array<uint8_t, 16>& ctr) {
+  for (size_t i = ctr.size(); i-- > 0;) {
+    if (++ctr[i] != 0) return;
+  }
+}
+}  // namespace
+
+CtrDrbg::CtrDrbg(uint64_t seed) {
+  std::array<uint8_t, 8> bytes;
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<uint8_t>(seed >> (8 * i));
+  reseed(BytesView(bytes));
+}
+
+CtrDrbg::CtrDrbg(BytesView entropy) { reseed(entropy); }
+
+void CtrDrbg::reseed(BytesView entropy) {
+  // XOR-fold entropy into the key, then churn the state.
+  for (size_t i = 0; i < entropy.size(); ++i) key_[i % 16] ^= entropy[i];
+  update();
+}
+
+void CtrDrbg::update() {
+  // Derive a fresh key and counter from the current state.
+  const Aes aes{BytesView(key_)};
+  std::array<uint8_t, 16> new_key;
+  std::array<uint8_t, 16> new_ctr;
+  increment(counter_);
+  aes.encrypt_block(counter_.data(), new_key.data());
+  increment(counter_);
+  aes.encrypt_block(counter_.data(), new_ctr.data());
+  key_ = new_key;
+  counter_ = new_ctr;
+}
+
+void CtrDrbg::generate(std::span<uint8_t> out) {
+  const Aes aes{BytesView(key_)};
+  std::array<uint8_t, 16> block;
+  size_t off = 0;
+  while (off < out.size()) {
+    increment(counter_);
+    aes.encrypt_block(counter_.data(), block.data());
+    const size_t n = std::min(block.size(), out.size() - off);
+    std::memcpy(out.data() + off, block.data(), n);
+    off += n;
+  }
+  update();  // forward secrecy: old outputs can't be recomputed
+}
+
+Iv CtrDrbg::generate_iv() {
+  Iv iv;
+  generate(std::span<uint8_t>(iv));
+  return iv;
+}
+
+std::array<uint8_t, 16> CtrDrbg::generate_key128() {
+  std::array<uint8_t, 16> key;
+  generate(std::span<uint8_t>(key));
+  return key;
+}
+
+CtrDrbg& global_drbg() {
+  static CtrDrbg drbg = [] {
+    std::random_device rd;
+    std::array<uint8_t, 32> entropy;
+    for (size_t i = 0; i < entropy.size(); i += 4) {
+      const uint32_t r = rd();
+      std::memcpy(entropy.data() + i, &r, 4);
+    }
+    return CtrDrbg{BytesView(entropy)};
+  }();
+  return drbg;
+}
+
+}  // namespace szsec::crypto

@@ -1,0 +1,155 @@
+#include "crypto/modes.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace szsec::crypto {
+
+namespace {
+constexpr size_t kBlock = Aes::kBlockSize;
+
+void xor_block(uint8_t* dst, const uint8_t* src) {
+  for (size_t i = 0; i < kBlock; ++i) dst[i] ^= src[i];
+}
+
+// Big-endian increment of the low 64 bits of a CTR counter block.
+void increment_counter(uint8_t block[kBlock]) {
+  for (size_t i = kBlock; i-- > 8;) {
+    if (++block[i] != 0) return;
+  }
+}
+}  // namespace
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kCbc:
+      return "CBC";
+    case Mode::kCtr:
+      return "CTR";
+    case Mode::kEcb:
+      return "ECB";
+  }
+  return "?";
+}
+
+void pkcs7_pad(Bytes& data) {
+  const uint8_t pad = static_cast<uint8_t>(kBlock - data.size() % kBlock);
+  data.insert(data.end(), pad, pad);
+}
+
+void pkcs7_unpad(Bytes& data) {
+  if (data.empty() || data.size() % kBlock != 0) {
+    throw CryptoError("invalid padded length");
+  }
+  const uint8_t pad = data.back();
+  if (pad == 0 || pad > kBlock || pad > data.size()) {
+    throw CryptoError("invalid PKCS#7 padding");
+  }
+  // Constant-time check of all pad bytes to avoid a padding oracle.
+  uint8_t diff = 0;
+  for (size_t i = data.size() - pad; i < data.size(); ++i) {
+    diff |= static_cast<uint8_t>(data[i] ^ pad);
+  }
+  if (diff != 0) throw CryptoError("invalid PKCS#7 padding");
+  data.resize(data.size() - pad);
+}
+
+Bytes cbc_encrypt(const Aes& aes, const Iv& iv, BytesView plaintext) {
+  Bytes buf(plaintext.begin(), plaintext.end());
+  pkcs7_pad(buf);
+  uint8_t chain[kBlock];
+  std::memcpy(chain, iv.data(), kBlock);
+  for (size_t off = 0; off < buf.size(); off += kBlock) {
+    xor_block(buf.data() + off, chain);
+    aes.encrypt_block(buf.data() + off, buf.data() + off);
+    std::memcpy(chain, buf.data() + off, kBlock);
+  }
+  return buf;
+}
+
+Bytes cbc_decrypt(const Aes& aes, const Iv& iv, BytesView ciphertext) {
+  if (ciphertext.empty() || ciphertext.size() % kBlock != 0) {
+    throw CryptoError("CBC ciphertext length not a multiple of 16");
+  }
+  Bytes buf(ciphertext.begin(), ciphertext.end());
+  uint8_t chain[kBlock];
+  uint8_t next_chain[kBlock];
+  std::memcpy(chain, iv.data(), kBlock);
+  for (size_t off = 0; off < buf.size(); off += kBlock) {
+    std::memcpy(next_chain, buf.data() + off, kBlock);
+    aes.decrypt_block(buf.data() + off, buf.data() + off);
+    xor_block(buf.data() + off, chain);
+    std::memcpy(chain, next_chain, kBlock);
+  }
+  pkcs7_unpad(buf);
+  return buf;
+}
+
+Bytes ctr_crypt(const Aes& aes, const Iv& nonce, BytesView data) {
+  Bytes out(data.begin(), data.end());
+  uint8_t counter[kBlock];
+  uint8_t keystream[kBlock];
+  std::memcpy(counter, nonce.data(), kBlock);
+  for (size_t off = 0; off < out.size(); off += kBlock) {
+    aes.encrypt_block(counter, keystream);
+    const size_t n = std::min(kBlock, out.size() - off);
+    for (size_t i = 0; i < n; ++i) out[off + i] ^= keystream[i];
+    increment_counter(counter);
+  }
+  return out;
+}
+
+Bytes ecb_encrypt(const Aes& aes, BytesView plaintext) {
+  Bytes buf(plaintext.begin(), plaintext.end());
+  pkcs7_pad(buf);
+  for (size_t off = 0; off < buf.size(); off += kBlock) {
+    aes.encrypt_block(buf.data() + off, buf.data() + off);
+  }
+  return buf;
+}
+
+Bytes ecb_decrypt(const Aes& aes, BytesView ciphertext) {
+  if (ciphertext.empty() || ciphertext.size() % kBlock != 0) {
+    throw CryptoError("ECB ciphertext length not a multiple of 16");
+  }
+  Bytes buf(ciphertext.begin(), ciphertext.end());
+  for (size_t off = 0; off < buf.size(); off += kBlock) {
+    aes.decrypt_block(buf.data() + off, buf.data() + off);
+  }
+  pkcs7_unpad(buf);
+  return buf;
+}
+
+Bytes encrypt(const Aes& aes, Mode mode, const Iv& iv, BytesView plaintext) {
+  switch (mode) {
+    case Mode::kCbc:
+      return cbc_encrypt(aes, iv, plaintext);
+    case Mode::kCtr:
+      return ctr_crypt(aes, iv, plaintext);
+    case Mode::kEcb:
+      return ecb_encrypt(aes, plaintext);
+  }
+  throw Error("unknown cipher mode");
+}
+
+Bytes decrypt(const Aes& aes, Mode mode, const Iv& iv, BytesView ciphertext) {
+  switch (mode) {
+    case Mode::kCbc:
+      return cbc_decrypt(aes, iv, ciphertext);
+    case Mode::kCtr:
+      return ctr_crypt(aes, iv, ciphertext);
+    case Mode::kEcb:
+      return ecb_decrypt(aes, ciphertext);
+  }
+  throw Error("unknown cipher mode");
+}
+
+bool constant_time_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace szsec::crypto

@@ -1,0 +1,53 @@
+// Block-cipher modes of operation (NIST SP800-38A) on top of the AES core.
+//
+// The paper encrypts with AES-128-CBC and PKCS#7-style padding; CTR and ECB
+// exist for the mode-ablation benches.  CBC/ECB always pad (so ciphertext
+// length is a multiple of 16 and strictly larger than the plaintext); CTR is
+// length-preserving.
+#pragma once
+
+#include <array>
+
+#include "crypto/aes.h"
+
+namespace szsec::crypto {
+
+using Iv = std::array<uint8_t, Aes::kBlockSize>;
+
+/// Cipher mode selector for the scheme implementations and ablations.
+enum class Mode : uint8_t {
+  kCbc = 0,  ///< Cipher Block Chaining (the paper's choice)
+  kCtr = 1,  ///< Counter mode (length-preserving, parallelizable)
+  kEcb = 2,  ///< Electronic codebook (insecure; baseline for ablation only)
+};
+
+const char* mode_name(Mode m);
+
+/// Appends PKCS#7 padding in place (always adds 1..16 bytes).
+void pkcs7_pad(Bytes& data);
+
+/// Validates and strips PKCS#7 padding; throws CryptoError if invalid
+/// (wrong key / tampered ciphertext are the usual causes).
+void pkcs7_unpad(Bytes& data);
+
+/// CBC-encrypts `plaintext` (PKCS#7-padded internally) under `aes`/`iv`.
+Bytes cbc_encrypt(const Aes& aes, const Iv& iv, BytesView plaintext);
+
+/// Inverse of cbc_encrypt.  Throws CryptoError on bad length or padding.
+Bytes cbc_decrypt(const Aes& aes, const Iv& iv, BytesView ciphertext);
+
+/// CTR keystream XOR; encryption and decryption are the same operation.
+Bytes ctr_crypt(const Aes& aes, const Iv& nonce, BytesView data);
+
+/// ECB with PKCS#7 padding (ablation baseline only — leaks block equality).
+Bytes ecb_encrypt(const Aes& aes, BytesView plaintext);
+Bytes ecb_decrypt(const Aes& aes, BytesView ciphertext);
+
+/// Mode-dispatching helpers used by the secure-compression schemes.
+Bytes encrypt(const Aes& aes, Mode mode, const Iv& iv, BytesView plaintext);
+Bytes decrypt(const Aes& aes, Mode mode, const Iv& iv, BytesView ciphertext);
+
+/// Constant-time byte comparison (avoids early-exit timing leaks).
+bool constant_time_equal(BytesView a, BytesView b);
+
+}  // namespace szsec::crypto

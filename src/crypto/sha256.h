@@ -1,0 +1,57 @@
+// SHA-256 (FIPS 180-4), HMAC-SHA256 (FIPS 198-1) and HKDF (RFC 5869),
+// implemented from scratch.
+//
+// Uses in szsec:
+//  * authenticated containers — an HMAC tag over header+body detects
+//    *malicious* modification, which the paper's threat model (malevolent
+//    alteration of datasets) calls for and a CRC cannot provide;
+//  * HKDF — deriving independent encryption and authentication keys from
+//    one master key, so the cipher key is never reused as a MAC key.
+#pragma once
+
+#include <array>
+
+#include "common/bytestream.h"
+
+namespace szsec::crypto {
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256();
+
+  void update(BytesView data);
+
+  /// Finalizes and returns the digest; the object must not be reused.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(BytesView data);
+
+ private:
+  void process_block(const uint8_t block[64]);
+
+  std::array<uint32_t, 8> state_;
+  uint64_t total_bytes_ = 0;
+  std::array<uint8_t, 64> buffer_;
+  size_t buffered_ = 0;
+};
+
+/// HMAC-SHA256 over `data` with `key` (any length).
+Sha256::Digest hmac_sha256(BytesView key, BytesView data);
+
+/// HKDF-SHA256: extract-and-expand `ikm` with `salt` and `info` into
+/// `length` output bytes (length <= 255*32).
+Bytes hkdf_sha256(BytesView ikm, BytesView salt, BytesView info,
+                  size_t length);
+
+/// PBKDF2-HMAC-SHA256 (RFC 8018): stretches a low-entropy password into a
+/// key.  Used by the CLI's --password option; choose iterations >= 1e5
+/// for real passwords (tests use small counts).
+Bytes pbkdf2_hmac_sha256(BytesView password, BytesView salt,
+                         uint32_t iterations, size_t length);
+
+}  // namespace szsec::crypto

@@ -1,0 +1,210 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "common/error.h"
+#include "data/fieldgen.h"
+
+namespace szsec::data {
+
+namespace {
+
+// Per-dataset deterministic seeds (arbitrary fixed constants).
+constexpr uint64_t kSeedCloud = 0xC10DF48;
+constexpr uint64_t kSeedW = 0x37F48;
+constexpr uint64_t kSeedNyx = 0x4E59782;
+constexpr uint64_t kSeedQ2 = 0x5132;
+constexpr uint64_t kSeedHeight = 0x4E1647;
+constexpr uint64_t kSeedQi = 0x51C3;
+constexpr uint64_t kSeedT = 0x7E4D;
+
+Dims scaled(Scale s, Dims tiny, Dims bench, Dims full) {
+  switch (s) {
+    case Scale::kTiny:
+      return tiny;
+    case Scale::kBench:
+      return bench;
+    default:
+      return full;
+  }
+}
+
+// Adds heteroscedastic noise: out += amp0 * exp(k * s) * white, where `s`
+// is unit-variance smooth noise.  The log-normal amplitude gives residuals
+// spanning several orders of magnitude across the field — the property
+// that makes the real SCALE-LetKF/Nyx fields compress gradually rather
+// than falling off a cliff at one error bound (see DESIGN.md Section 4).
+void add_lognormal_noise(std::vector<float>& out, const Dims& dims,
+                         uint64_t seed, double amp0, double k,
+                         unsigned smooth_radius) {
+  const std::vector<float> amp_field =
+      smooth_noise(dims, seed * 7 + 1, smooth_radius);
+  const std::vector<float> white = white_noise(dims, seed * 13 + 2);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] += static_cast<float>(amp0 * std::exp(k * amp_field[i]) *
+                                 white[i]);
+  }
+}
+
+}  // namespace
+
+Dataset make_cloudf48(Scale scale) {
+  Dataset d;
+  d.name = "CLOUDf48";
+  d.description = "Cloud moisture mixing ratio (sparse plumes, easy)";
+  d.dims = scaled(scale, Dims{8, 32, 32}, Dims{48, 160, 160},
+                  Dims{100, 500, 500});
+  // Plumes: thresholded smooth noise squared, zero background.
+  std::vector<float> s = smooth_noise(d.dims, kSeedCloud, 6);
+  const std::vector<float> detail = smooth_noise(d.dims, kSeedCloud + 1, 2);
+  d.values.resize(d.dims.count());
+  for (size_t i = 0; i < s.size(); ++i) {
+    const float x = s[i] - 0.9f;  // ~18% of a unit Gaussian exceeds 0.9
+    if (x <= 0) {
+      d.values[i] = 0.0f;  // exact zeros: trivially predictable
+    } else {
+      // Smooth plume body with fine interior detail.
+      d.values[i] = 1.5e-3f * x * x * (1.0f + 0.08f * detail[i]);
+    }
+  }
+  return d;
+}
+
+Dataset make_wf48(Scale scale) {
+  Dataset d;
+  d.name = "Wf48";
+  d.description = "Hurricane wind speed (smooth band-limited)";
+  d.dims = scaled(scale, Dims{8, 32, 32}, Dims{48, 160, 160},
+                  Dims{100, 500, 500});
+  d.values = smooth_noise(d.dims, kSeedW, 5);
+  for (float& v : d.values) v *= 18.0f;  // m/s scale
+  add_lognormal_noise(d.values, d.dims, kSeedW, 4e-4, 2.0, 8);
+  return d;
+}
+
+Dataset make_nyx(Scale scale) {
+  Dataset d;
+  d.name = "Nyx";
+  d.description = "Dark matter density (log-normal clustering, hard)";
+  d.dims = scaled(scale, Dims{32, 32, 32}, Dims{128, 128, 128},
+                  Dims{256, 256, 256});
+  // Log-normal cascade: two octaves of smooth noise set the clustering;
+  // multiplicative white noise supplies the fine-grained structure that
+  // makes Nyx nearly incompressible at tight bounds.
+  const std::vector<float> coarse = smooth_noise(d.dims, kSeedNyx, 8);
+  const std::vector<float> fine = smooth_noise(d.dims, kSeedNyx + 1, 2);
+  const std::vector<float> white = white_noise(d.dims, kSeedNyx + 2);
+  d.values.resize(d.dims.count());
+  for (size_t i = 0; i < d.values.size(); ++i) {
+    const double log_rho = 1.8 * coarse[i] + 0.7 * fine[i];
+    const double rho = std::exp(log_rho);
+    d.values[i] = static_cast<float>(rho * (1.0 + 0.25 * white[i]));
+  }
+  return d;
+}
+
+Dataset make_q2(Scale scale) {
+  Dataset d;
+  d.name = "Q2";
+  d.description = "2m specific humidity (smooth, vertical gradient)";
+  d.dims = scaled(scale, Dims{4, 48, 48}, Dims{11, 256, 256},
+                  Dims{11, 1200, 1200});
+  const size_t nz = d.dims[0], ny = d.dims[1], nx = d.dims[2];
+  const std::vector<float> horiz =
+      smooth_noise(Dims{ny, nx}, kSeedQ2, 10);
+  d.values.resize(d.dims.count());
+  for (size_t z = 0; z < nz; ++z) {
+    const double column = std::exp(-0.35 * static_cast<double>(z));
+    for (size_t i = 0; i < ny * nx; ++i) {
+      d.values[z * ny * nx + i] = static_cast<float>(
+          0.012 * column * (1.0 + 0.3 * horiz[i]));
+    }
+  }
+  add_lognormal_noise(d.values, d.dims, kSeedQ2, 6e-6, 2.5, 6);
+  return d;
+}
+
+Dataset make_height(Scale scale) {
+  Dataset d;
+  d.name = "Height";
+  d.description = "Height above ground (terrain-following levels)";
+  d.dims = scaled(scale, Dims{16, 48, 48}, Dims{32, 192, 192},
+                  Dims{98, 600, 600});
+  const size_t nz = d.dims[0], ny = d.dims[1], nx = d.dims[2];
+  // Terrain-following: level z sits at terrain + z * layer thickness.
+  std::vector<float> terrain = smooth_noise(Dims{ny, nx}, kSeedHeight, 7);
+  rescale(terrain, 0.0f, 2.5f);  // km
+  d.values.resize(d.dims.count());
+  for (size_t z = 0; z < nz; ++z) {
+    const float lift = 0.4f * static_cast<float>(z);
+    const float squash =
+        std::exp(-0.08f * static_cast<float>(z));  // levels follow terrain
+    for (size_t i = 0; i < ny * nx; ++i) {
+      d.values[z * ny * nx + i] = lift + squash * terrain[i];
+    }
+  }
+  add_lognormal_noise(d.values, d.dims, kSeedHeight, 1.2e-4, 2.5, 8);
+  return d;
+}
+
+Dataset make_qi(Scale scale) {
+  Dataset d;
+  d.name = "QI";
+  d.description = "Cloud ice mixing ratio (4D, extremely sparse)";
+  d.dims = scaled(scale, Dims{3, 8, 48, 48}, Dims{4, 16, 160, 160},
+                  Dims{8, 49, 320, 320});
+  std::vector<float> s = smooth_noise(d.dims, kSeedQi, 5);
+  const std::vector<float> detail = smooth_noise(d.dims, kSeedQi + 1, 2);
+  d.values.resize(d.dims.count());
+  for (size_t i = 0; i < s.size(); ++i) {
+    const float x = s[i] - 1.8f;  // ~3.6% of the field is nonzero
+    d.values[i] =
+        x <= 0 ? 0.0f : 4e-4f * x * x * (1.0f + 0.05f * detail[i]);
+  }
+  return d;
+}
+
+Dataset make_temperature(Scale scale) {
+  Dataset d;
+  d.name = "T";
+  d.description = "Temperature (4D, stratified with mixed-scale noise)";
+  d.dims = scaled(scale, Dims{3, 8, 48, 48}, Dims{4, 16, 160, 160},
+                  Dims{8, 49, 320, 320});
+  const size_t nt = d.dims[0], nz = d.dims[1];
+  const size_t plane = d.dims[2] * d.dims[3];
+  const std::vector<float> horiz =
+      smooth_noise(Dims{d.dims[2], d.dims[3]}, kSeedT, 9);
+  d.values.resize(d.dims.count());
+  for (size_t t = 0; t < nt; ++t) {
+    const double drift = 0.3 * static_cast<double>(t);
+    for (size_t z = 0; z < nz; ++z) {
+      // Standard lapse rate: ~6.5 K per level.
+      const double level_t = 300.0 - 6.5 * static_cast<double>(z) + drift;
+      float* slab = d.values.data() + (t * nz + z) * plane;
+      for (size_t i = 0; i < plane; ++i) {
+        slab[i] = static_cast<float>(level_t + 4.0 * horiz[i]);
+      }
+    }
+  }
+  add_lognormal_noise(d.values, d.dims, kSeedT, 2e-4, 3.0, 7);
+  return d;
+}
+
+Dataset make_dataset(const std::string& name, Scale scale) {
+  if (name == "CLOUDf48") return make_cloudf48(scale);
+  if (name == "Wf48") return make_wf48(scale);
+  if (name == "Nyx") return make_nyx(scale);
+  if (name == "Q2") return make_q2(scale);
+  if (name == "Height") return make_height(scale);
+  if (name == "QI") return make_qi(scale);
+  if (name == "T") return make_temperature(scale);
+  throw Error("unknown dataset: " + name);
+}
+
+std::vector<std::string> dataset_names() {
+  return {"CLOUDf48", "Wf48", "Nyx", "Q2", "Height", "QI", "T"};
+}
+
+}  // namespace szsec::data

@@ -1,0 +1,58 @@
+// Synthetic surrogates for the SDRBench datasets in the paper's Table I.
+//
+// The real datasets (Hurricane Isabel, Nyx, SCALE-LetKF) are 61 MB–5.8 GB
+// downloads we cannot ship; these generators reproduce the statistical
+// regimes the paper's conclusions depend on — see DESIGN.md Section 4 for
+// the substitution argument:
+//
+//   CLOUDf48  sparse localized plumes over a zero background (easy)
+//   Wf48      smooth band-limited wind field (moderate)
+//   Nyx       log-normal clustered density with fine-grained noise (hard)
+//   Q2        smooth humidity with vertical gradient (single-digit CR)
+//   Height    terrain-following height field (moderate-hard)
+//   QI        very sparse 4D cloud-ice field (easiest; highest CR)
+//   T         vertically stratified temperature with noise (hard)
+//
+// Generators are deterministic; dims scale with a single `Scale` knob so
+// tests run in milliseconds and benches in seconds.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/dims.h"
+
+namespace szsec::data {
+
+/// Dataset size preset.  kTiny is for unit tests, kBench for the
+/// evaluation harness (large enough for stable timings on a laptop),
+/// kFull approaches the paper's dims where memory allows.
+enum class Scale { kTiny = 0, kBench = 1, kFull = 2 };
+
+struct Dataset {
+  std::string name;
+  std::string description;
+  Dims dims;
+  std::vector<float> values;
+
+  size_t bytes() const { return values.size() * sizeof(float); }
+};
+
+/// Individual generators (paper Table I rows).
+Dataset make_cloudf48(Scale scale);
+Dataset make_wf48(Scale scale);
+Dataset make_nyx(Scale scale);
+Dataset make_q2(Scale scale);
+Dataset make_height(Scale scale);
+Dataset make_qi(Scale scale);
+Dataset make_temperature(Scale scale);
+
+/// Generates a dataset by its paper name ("CLOUDf48", "Wf48", "Nyx", "Q2",
+/// "Height", "QI", "T").  Throws szsec::Error for unknown names.
+Dataset make_dataset(const std::string& name, Scale scale);
+
+/// All seven paper datasets, in Table I order.
+std::vector<std::string> dataset_names();
+
+}  // namespace szsec::data

@@ -1,0 +1,113 @@
+#include "data/fieldgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace szsec::data {
+
+std::vector<float> white_noise(const Dims& dims, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> out(dims.count());
+  for (float& v : out) v = dist(rng);
+  return out;
+}
+
+namespace {
+
+// Box blur along one axis via a sliding-window running sum.
+// `outer` iterates all lines along the axis; each line has `n` elements
+// spaced `stride` apart.
+void blur_axis(std::vector<float>& f, size_t n, size_t stride,
+               unsigned radius, const std::vector<size_t>& line_starts) {
+  std::vector<float> line(n);
+  for (size_t start : line_starts) {
+    for (size_t i = 0; i < n; ++i) line[i] = f[start + i * stride];
+    const int r = static_cast<int>(radius);
+    const int ni = static_cast<int>(n);
+    double sum = 0;
+    // Initial window [-r, r] with clamped edges.
+    for (int i = -r; i <= r; ++i) {
+      sum += line[static_cast<size_t>(std::clamp(i, 0, ni - 1))];
+    }
+    const double inv = 1.0 / (2.0 * r + 1.0);
+    for (int i = 0; i < ni; ++i) {
+      f[start + static_cast<size_t>(i) * stride] =
+          static_cast<float>(sum * inv);
+      const int drop = std::clamp(i - r, 0, ni - 1);
+      const int add = std::clamp(i + r + 1, 0, ni - 1);
+      sum += line[static_cast<size_t>(add)] - line[static_cast<size_t>(drop)];
+    }
+  }
+}
+
+}  // namespace
+
+void box_blur(std::vector<float>& field, const Dims& dims, unsigned radius) {
+  if (radius == 0) return;
+  const auto strides = dims.strides();
+  for (size_t axis = 0; axis < dims.rank(); ++axis) {
+    const size_t n = dims[axis];
+    if (n < 2) continue;
+    const size_t stride = strides[axis];
+    // Enumerate the start index of every line along `axis`.
+    std::vector<size_t> starts;
+    starts.reserve(dims.count() / n);
+    std::vector<size_t> idx(dims.rank(), 0);
+    while (true) {
+      size_t off = 0;
+      for (size_t d = 0; d < dims.rank(); ++d) off += idx[d] * strides[d];
+      starts.push_back(off);
+      // Odometer increment skipping `axis`.
+      size_t d = dims.rank();
+      bool done = true;
+      while (d-- > 0) {
+        if (d == axis) continue;
+        if (++idx[d] < dims[d]) {
+          done = false;
+          break;
+        }
+        idx[d] = 0;
+      }
+      if (done) break;
+    }
+    blur_axis(field, n, stride, radius, starts);
+  }
+}
+
+std::vector<float> smooth_noise(const Dims& dims, uint64_t seed,
+                                unsigned radius, unsigned passes) {
+  std::vector<float> f = white_noise(dims, seed);
+  for (unsigned p = 0; p < passes; ++p) box_blur(f, dims, radius);
+  // Blurring shrinks the amplitude; renormalize to unit std-dev.
+  double sum = 0, sum2 = 0;
+  for (float v : f) {
+    sum += v;
+    sum2 += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(f.size());
+  const double mean = sum / n;
+  const double sd = std::sqrt(std::max(1e-30, sum2 / n - mean * mean));
+  const float scale = static_cast<float>(1.0 / sd);
+  for (float& v : f) v = static_cast<float>((v - mean) * scale);
+  return f;
+}
+
+void rescale(std::vector<float>& field, float lo, float hi) {
+  if (field.empty()) return;
+  float mn = field[0], mx = field[0];
+  for (float v : field) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  const float span = mx - mn;
+  if (span <= 0) {
+    std::fill(field.begin(), field.end(), lo);
+    return;
+  }
+  const float k = (hi - lo) / span;
+  for (float& v : field) v = lo + (v - mn) * k;
+}
+
+}  // namespace szsec::data

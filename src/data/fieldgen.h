@@ -1,0 +1,31 @@
+// Procedural field primitives used to synthesize SDRBench-like datasets.
+//
+// All generators are deterministic in their seed, so every experiment in
+// the repo is reproducible bit for bit.  Smoothness comes from repeated
+// separable box blurs of white noise (three passes approximate a Gaussian
+// kernel), which is O(N) per pass regardless of the correlation length.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dims.h"
+
+namespace szsec::data {
+
+/// Uniform white noise in [-1, 1], one value per element of `dims`.
+std::vector<float> white_noise(const Dims& dims, uint64_t seed);
+
+/// Correlated ("smooth") noise: white noise blurred along every axis
+/// `passes` times with a box kernel of half-width `radius`, then
+/// renormalized to roughly unit amplitude.
+std::vector<float> smooth_noise(const Dims& dims, uint64_t seed,
+                                unsigned radius, unsigned passes = 3);
+
+/// In-place separable box blur along every axis of the field.
+void box_blur(std::vector<float>& field, const Dims& dims, unsigned radius);
+
+/// Rescales to [lo, hi].  A constant field maps to lo.
+void rescale(std::vector<float>& field, float lo, float hi);
+
+}  // namespace szsec::data

@@ -1,0 +1,41 @@
+#include "data/io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace szsec::data {
+
+std::vector<float> load_f32(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  SZSEC_REQUIRE(in.good(), "cannot open " + path);
+  const std::streamsize size = in.tellg();
+  SZSEC_REQUIRE(size % 4 == 0, "file size not a multiple of 4: " + path);
+  in.seekg(0);
+  std::vector<float> out(static_cast<size_t>(size) / 4);
+  in.read(reinterpret_cast<char*>(out.data()), size);
+  SZSEC_REQUIRE(in.good(), "short read from " + path);
+  return out;
+}
+
+void save_f32(const std::string& path, std::span<const float> values) {
+  std::ofstream out(path, std::ios::binary);
+  SZSEC_REQUIRE(out.good(), "cannot create " + path);
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size_bytes()));
+  SZSEC_REQUIRE(out.good(), "short write to " + path);
+}
+
+void save_pgm(const std::string& path, size_t width, size_t height,
+              BytesView pixels) {
+  SZSEC_REQUIRE(pixels.size() == width * height, "pixel count mismatch");
+  std::ofstream out(path, std::ios::binary);
+  SZSEC_REQUIRE(out.good(), "cannot create " + path);
+  out << "P5\n" << width << " " << height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels.data()),
+            static_cast<std::streamsize>(pixels.size()));
+  SZSEC_REQUIRE(out.good(), "short write to " + path);
+}
+
+}  // namespace szsec::data

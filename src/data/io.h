@@ -1,0 +1,25 @@
+// Raw binary and image I/O: load SDRBench-style .bin float dumps (so real
+// datasets can replace the synthetic surrogates) and write PGM images for
+// the Figure 3 predictability maps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytestream.h"
+
+namespace szsec::data {
+
+/// Reads a little-endian float32 dump (SDRBench's .bin / .dat format).
+/// Throws szsec::Error if the file is missing or not a multiple of 4 bytes.
+std::vector<float> load_f32(const std::string& path);
+
+/// Writes values as a little-endian float32 dump.
+void save_f32(const std::string& path, std::span<const float> values);
+
+/// Writes an 8-bit binary PGM image (grayscale, `width` x `height`).
+/// `pixels` is row-major, one byte per pixel.
+void save_pgm(const std::string& path, size_t width, size_t height,
+              BytesView pixels);
+
+}  // namespace szsec::data

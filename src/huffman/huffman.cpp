@@ -1,0 +1,244 @@
+#include "huffman/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+
+namespace szsec::huffman {
+
+size_t CodeTable::used_symbols() const {
+  size_t n = 0;
+  for (uint8_t l : lengths) n += (l != 0);
+  return n;
+}
+
+namespace {
+
+// Computes unrestricted Huffman code lengths for the nonzero frequencies
+// via the classic two-queue/heap merge.  Returns max length encountered.
+unsigned huffman_lengths(std::span<const uint64_t> freq,
+                         std::vector<uint8_t>& lengths) {
+  struct Node {
+    uint64_t weight;
+    uint32_t id;  // tie-break for determinism
+    int32_t left = -1, right = -1;
+    uint32_t symbol = 0;  // valid for leaves
+    bool leaf = false;
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(freq.size() * 2);
+  for (size_t s = 0; s < freq.size(); ++s) {
+    if (freq[s] > 0) {
+      nodes.push_back({freq[s], static_cast<uint32_t>(nodes.size()), -1, -1,
+                       static_cast<uint32_t>(s), true});
+    }
+  }
+  lengths.assign(freq.size(), 0);
+  if (nodes.empty()) return 0;
+  if (nodes.size() == 1) {
+    // A degenerate alphabet still needs one bit per symbol so the decoder
+    // can count symbols.
+    lengths[nodes[0].symbol] = 1;
+    return 1;
+  }
+
+  auto cmp = [&nodes](int32_t a, int32_t b) {
+    if (nodes[a].weight != nodes[b].weight) {
+      return nodes[a].weight > nodes[b].weight;
+    }
+    return nodes[a].id > nodes[b].id;
+  };
+  std::priority_queue<int32_t, std::vector<int32_t>, decltype(cmp)> heap(cmp);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    heap.push(static_cast<int32_t>(i));
+  }
+  while (heap.size() > 1) {
+    const int32_t a = heap.top();
+    heap.pop();
+    const int32_t b = heap.top();
+    heap.pop();
+    Node parent;
+    parent.weight = nodes[a].weight + nodes[b].weight;
+    parent.id = static_cast<uint32_t>(nodes.size());
+    parent.left = a;
+    parent.right = b;
+    nodes.push_back(parent);
+    heap.push(static_cast<int32_t>(nodes.size() - 1));
+  }
+  const int32_t root = heap.top();
+
+  // Iterative depth assignment.
+  unsigned max_len = 0;
+  std::vector<std::pair<int32_t, unsigned>> stack{{root, 0}};
+  while (!stack.empty()) {
+    auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[idx];
+    if (n.leaf) {
+      SZSEC_REQUIRE(depth <= 255, "code length overflow");
+      lengths[n.symbol] = static_cast<uint8_t>(depth);
+      max_len = std::max(max_len, depth);
+    } else {
+      stack.push_back({n.left, depth + 1});
+      stack.push_back({n.right, depth + 1});
+    }
+  }
+  return max_len;
+}
+
+}  // namespace
+
+CodeTable build_code_table(std::span<const uint64_t> frequencies) {
+  std::vector<uint8_t> lengths;
+  std::vector<uint64_t> scaled(frequencies.begin(), frequencies.end());
+  // Rescale until the tree respects kMaxCodeLength.  Halving (with a floor
+  // of 1 to keep symbols alive) provably terminates: eventually all
+  // nonzero frequencies are 1 and the tree is balanced.
+  while (huffman_lengths(scaled, lengths) > kMaxCodeLength) {
+    for (auto& f : scaled) {
+      if (f > 0) f = (f + 1) / 2;
+    }
+  }
+  return CodeTable::from_lengths(std::move(lengths));
+}
+
+CodeTable CodeTable::from_lengths(std::vector<uint8_t> lengths) {
+  CodeTable t;
+  t.lengths = std::move(lengths);
+  t.codes.assign(t.lengths.size(), 0);
+
+  // Kraft check + canonical assignment in (length, symbol) order.
+  std::vector<uint32_t> count(kMaxCodeLength + 1, 0);
+  for (uint8_t l : t.lengths) {
+    SZSEC_CHECK_FORMAT(l <= kMaxCodeLength, "code length exceeds limit");
+    if (l > 0) ++count[l];
+  }
+  uint64_t kraft = 0;
+  for (unsigned l = 1; l <= kMaxCodeLength; ++l) {
+    kraft += static_cast<uint64_t>(count[l]) << (kMaxCodeLength - l);
+  }
+  const uint64_t kraft_limit = uint64_t{1} << kMaxCodeLength;
+  SZSEC_CHECK_FORMAT(kraft <= kraft_limit, "Kraft inequality violated");
+
+  std::vector<uint32_t> next_code(kMaxCodeLength + 2, 0);
+  uint32_t code = 0;
+  for (unsigned l = 1; l <= kMaxCodeLength; ++l) {
+    code = (code + count[l - 1]) << 1;
+    next_code[l] = code;
+  }
+  for (size_t s = 0; s < t.lengths.size(); ++s) {
+    const uint8_t l = t.lengths[s];
+    if (l > 0) t.codes[s] = next_code[l]++;
+  }
+  return t;
+}
+
+Bytes serialize_table(const CodeTable& table) {
+  // Run-length encode the length array: scientific quantization arrays have
+  // long zero runs (most bins unused), so RLE keeps the tree blob small.
+  ByteWriter w;
+  w.put_varint(table.lengths.size());
+  size_t i = 0;
+  while (i < table.lengths.size()) {
+    const uint8_t l = table.lengths[i];
+    size_t run = 1;
+    while (i + run < table.lengths.size() && table.lengths[i + run] == l) {
+      ++run;
+    }
+    w.put_u8(l);
+    w.put_varint(run);
+    i += run;
+  }
+  return w.take();
+}
+
+CodeTable deserialize_table(BytesView blob) {
+  ByteReader r(blob);
+  const uint64_t alphabet = r.get_varint();
+  SZSEC_CHECK_FORMAT(alphabet <= (uint64_t{1} << 28),
+                     "implausible alphabet size");
+  std::vector<uint8_t> lengths;
+  lengths.reserve(static_cast<size_t>(alphabet));
+  while (lengths.size() < alphabet) {
+    const uint8_t l = r.get_u8();
+    const uint64_t run = r.get_varint();
+    SZSEC_CHECK_FORMAT(run > 0 && lengths.size() + run <= alphabet,
+                       "bad run length in code table");
+    lengths.insert(lengths.end(), static_cast<size_t>(run), l);
+  }
+  SZSEC_CHECK_FORMAT(r.done(), "trailing bytes after code table");
+  return CodeTable::from_lengths(std::move(lengths));
+}
+
+Bytes encode(const CodeTable& table, std::span<const uint32_t> symbols) {
+  BitWriter w;
+  for (uint32_t s : symbols) {
+    SZSEC_REQUIRE(s < table.lengths.size() && table.lengths[s] > 0,
+                  "symbol has no code");
+    w.put_bits(table.codes[s], table.lengths[s]);
+  }
+  return w.finish();
+}
+
+size_t encoded_bits(const CodeTable& table,
+                    std::span<const uint32_t> symbols) {
+  size_t bits = 0;
+  for (uint32_t s : symbols) {
+    SZSEC_REQUIRE(s < table.lengths.size() && table.lengths[s] > 0,
+                  "symbol has no code");
+    bits += table.lengths[s];
+  }
+  return bits;
+}
+
+std::vector<uint32_t> decode(const CodeTable& table, BytesView bits,
+                             size_t count) {
+  // Canonical decoding: track the running code value and compare against
+  // the first-code boundary for each length.
+  std::vector<uint32_t> first_code(kMaxCodeLength + 2, 0);
+  std::vector<uint32_t> first_index(kMaxCodeLength + 2, 0);
+  std::vector<uint32_t> lcount(kMaxCodeLength + 1, 0);
+  for (uint8_t l : table.lengths) {
+    if (l > 0) ++lcount[l];
+  }
+  // Symbols sorted by (length, symbol) — the canonical order.
+  std::vector<uint32_t> sorted;
+  sorted.reserve(table.used_symbols());
+  for (unsigned l = 1; l <= kMaxCodeLength; ++l) {
+    for (size_t s = 0; s < table.lengths.size(); ++s) {
+      if (table.lengths[s] == l) sorted.push_back(static_cast<uint32_t>(s));
+    }
+  }
+  {
+    uint32_t code = 0, index = 0;
+    for (unsigned l = 1; l <= kMaxCodeLength; ++l) {
+      code = (code + lcount[l - 1]) << 1;
+      first_code[l] = code;
+      first_index[l] = index;
+      index += lcount[l];
+    }
+  }
+
+  BitReader r(bits);
+  std::vector<uint32_t> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t code = 0;
+    unsigned len = 0;
+    while (true) {
+      SZSEC_CHECK_FORMAT(len < kMaxCodeLength, "dead branch in Huffman code");
+      code = (code << 1) | r.get_bit();
+      ++len;
+      if (lcount[len] != 0 && code - first_code[len] < lcount[len]) {
+        out.push_back(sorted[first_index[len] + (code - first_code[len])]);
+        break;
+      }
+      // No codeword of this length matches; keep extending.  Invalid
+      // streams fall off the length limit and throw above.
+    }
+  }
+  return out;
+}
+
+}  // namespace szsec::huffman

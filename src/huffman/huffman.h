@@ -1,0 +1,68 @@
+// Canonical Huffman coding over an arbitrary uint32 symbol alphabet.
+//
+// This is SZ's stage-3 variable-length encoder.  The serialized code table
+// (colloquially "the Huffman tree" — it fully determines the tree) is the
+// exact byte blob that the paper's Encr-Huffman scheme encrypts: without
+// it, recovering the quantization bins from the codeword stream is NP-hard
+// (Gillman et al., "On breaking a Huffman code").
+//
+// Codes are canonical: lengths come from a package-style Huffman build
+// (with automatic frequency scaling to respect kMaxCodeLength), and
+// codewords are assigned in (length, symbol) order.  Only the lengths are
+// serialized, keeping the table small — the paper's Figure 4 observes the
+// tree stays below ~4.5% of the quantization array, which this format
+// preserves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitstream.h"
+#include "common/bytestream.h"
+
+namespace szsec::huffman {
+
+/// Upper bound on codeword length; frequencies are rescaled if the
+/// unrestricted Huffman tree would exceed it.
+inline constexpr unsigned kMaxCodeLength = 32;
+
+/// Canonical code table: per-symbol code lengths plus derived codewords.
+struct CodeTable {
+  /// lengths[s] == 0 means symbol s never occurs.
+  std::vector<uint8_t> lengths;
+  /// Canonical codeword bits for each symbol (valid when lengths[s] > 0).
+  std::vector<uint32_t> codes;
+
+  size_t alphabet_size() const { return lengths.size(); }
+
+  /// Number of symbols with a nonzero code.
+  size_t used_symbols() const;
+
+  /// Derives canonical codewords from lengths.  Throws on an invalid
+  /// (Kraft-violating) length set.
+  static CodeTable from_lengths(std::vector<uint8_t> lengths);
+};
+
+/// Builds optimal (length-limited) code lengths from symbol frequencies.
+CodeTable build_code_table(std::span<const uint64_t> frequencies);
+
+/// Serializes a code table to the compact blob Encr-Huffman encrypts.
+/// Format: varint alphabet size, varint run-length-encoded lengths.
+Bytes serialize_table(const CodeTable& table);
+
+/// Inverse of serialize_table.  Throws CorruptError on malformed input.
+CodeTable deserialize_table(BytesView blob);
+
+/// Encodes `symbols` with `table`; returns MSB-first packed bits.
+/// Every symbol must have a nonzero code length.
+Bytes encode(const CodeTable& table, std::span<const uint32_t> symbols);
+
+/// Decodes exactly `count` symbols from `bits`.
+/// Throws CorruptError if the stream is exhausted or hits a dead branch.
+std::vector<uint32_t> decode(const CodeTable& table, BytesView bits,
+                             size_t count);
+
+/// Exact encoded size in bits for `symbols` under `table` (no encoding).
+size_t encoded_bits(const CodeTable& table, std::span<const uint32_t> symbols);
+
+}  // namespace szsec::huffman

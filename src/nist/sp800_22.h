@@ -1,0 +1,99 @@
+// NIST SP800-22 Rev 1a statistical test suite for randomness, implemented
+// from the specification (the paper's Section V-F / Table VI instrument).
+//
+// All 15 tests are provided.  Each returns one or more p-values; a test
+// passes at significance level alpha (default 0.01, as in the paper) when
+// every p-value is >= alpha.  Tests whose sample-size prerequisites are
+// not met report applicable == false and are excluded from pass rates,
+// matching the reference STS behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytestream.h"
+
+namespace szsec::nist {
+
+/// A bit sequence unpacked to one byte per bit (MSB-first within each
+/// input byte) for fast random access by the tests.
+class BitSequence {
+ public:
+  explicit BitSequence(BytesView bytes);
+  explicit BitSequence(std::vector<uint8_t> bits) : bits_(std::move(bits)) {}
+
+  int bit(size_t i) const { return bits_[i]; }
+  size_t size() const { return bits_.size(); }
+  const std::vector<uint8_t>& bits() const { return bits_; }
+
+ private:
+  std::vector<uint8_t> bits_;  // each element 0 or 1
+};
+
+struct TestResult {
+  std::string name;
+  std::vector<double> p_values;
+  bool applicable = true;
+
+  /// Passes iff applicable and every p-value >= alpha.
+  bool passed(double alpha = 0.01) const {
+    if (!applicable || p_values.empty()) return false;
+    for (double p : p_values) {
+      if (!(p >= alpha)) return false;
+    }
+    return true;
+  }
+};
+
+// --- The 15 tests (SP800-22 section numbers in comments) ------------------
+
+TestResult frequency(const BitSequence& s);                    // 2.1
+TestResult block_frequency(const BitSequence& s,
+                           size_t block_len = 128);            // 2.2
+TestResult runs(const BitSequence& s);                         // 2.3
+TestResult longest_run_of_ones(const BitSequence& s);          // 2.4
+TestResult binary_matrix_rank(const BitSequence& s);           // 2.5
+TestResult spectral_dft(const BitSequence& s);                 // 2.6
+TestResult non_overlapping_template(
+    const BitSequence& s, const std::string& tmpl = "000000001");  // 2.7
+
+/// All aperiodic (unbordered) bit patterns of length m — the template set
+/// the STS reference draws from for test 2.7.  m <= 16.
+std::vector<std::string> aperiodic_templates(unsigned m);
+
+/// Runs the non-overlapping template test over up to `max_templates`
+/// aperiodic templates of length m (evenly sampled from the full set),
+/// the way the full STS reports one p-value per template.
+std::vector<TestResult> non_overlapping_template_suite(
+    const BitSequence& s, unsigned m = 9, size_t max_templates = 16);
+TestResult overlapping_template(const BitSequence& s);         // 2.8
+TestResult universal(const BitSequence& s);                    // 2.9
+TestResult linear_complexity(const BitSequence& s,
+                             size_t block_len = 500);          // 2.10
+TestResult serial(const BitSequence& s, unsigned m = 0);       // 2.11
+TestResult approximate_entropy(const BitSequence& s,
+                               unsigned m = 0);                // 2.12
+TestResult cumulative_sums(const BitSequence& s);              // 2.13
+TestResult random_excursions(const BitSequence& s);            // 2.14
+TestResult random_excursions_variant(const BitSequence& s);    // 2.15
+
+/// Runs all 15 tests in Table VI order.
+std::vector<TestResult> run_all(const BitSequence& s);
+
+/// Names of the 15 tests in Table VI order.
+std::vector<std::string> test_names();
+
+/// Table VI harness: splits `data` into `num_streams` equal bit streams,
+/// runs all 15 tests on each, and reports the per-test fraction of
+/// streams that pass (ignoring streams where a test is not applicable).
+struct PassRateReport {
+  std::vector<std::string> names;
+  std::vector<double> pass_rate;        ///< in [0,1]; -1 if never applicable
+  std::vector<int> applicable_streams;  ///< how many streams each rate uses
+  size_t num_streams = 0;
+};
+
+PassRateReport pass_rates(BytesView data, size_t num_streams,
+                          double alpha = 0.01);
+
+}  // namespace szsec::nist

@@ -1,0 +1,86 @@
+#include "nist/special_functions.h"
+
+#include <cmath>
+#include <limits>
+
+namespace szsec::nist {
+
+namespace {
+constexpr double kMaxLog = 709.0;
+constexpr double kEps = 1e-15;
+constexpr double kBig = 4.503599627370496e15;
+constexpr double kBigInv = 2.22044604925031308085e-16;
+
+// Lower incomplete gamma by power series (valid for x < a + 1).
+double igam_series(double a, double x) {
+  if (x <= 0 || a <= 0) return 0.0;
+  const double ax = a * std::log(x) - x - std::lgamma(a);
+  if (ax < -kMaxLog) return 0.0;
+  const double axe = std::exp(ax);
+  double r = a, c = 1.0, ans = 1.0;
+  do {
+    r += 1.0;
+    c *= x / r;
+    ans += c;
+  } while (c / ans > kEps);
+  return ans * axe / a;
+}
+
+// Upper incomplete gamma by continued fraction (valid for x >= a + 1).
+double igamc_cf(double a, double x) {
+  const double ax = a * std::log(x) - x - std::lgamma(a);
+  if (ax < -kMaxLog) return 0.0;
+  const double axe = std::exp(ax);
+
+  double y = 1.0 - a;
+  double z = x + y + 1.0;
+  double c = 0.0;
+  double pkm2 = 1.0, qkm2 = x;
+  double pkm1 = x + 1.0, qkm1 = z * x;
+  double ans = pkm1 / qkm1;
+  double t;
+  do {
+    c += 1.0;
+    y += 1.0;
+    z += 2.0;
+    const double yc = y * c;
+    const double pk = pkm1 * z - pkm2 * yc;
+    const double qk = qkm1 * z - qkm2 * yc;
+    if (qk != 0) {
+      const double r = pk / qk;
+      t = std::abs((ans - r) / r);
+      ans = r;
+    } else {
+      t = 1.0;
+    }
+    pkm2 = pkm1;
+    pkm1 = pk;
+    qkm2 = qkm1;
+    qkm1 = qk;
+    if (std::abs(pk) > kBig) {
+      pkm2 *= kBigInv;
+      pkm1 *= kBigInv;
+      qkm2 *= kBigInv;
+      qkm1 *= kBigInv;
+    }
+  } while (t > kEps);
+  return ans * axe;
+}
+
+}  // namespace
+
+double igam(double a, double x) {
+  if (x <= 0 || a <= 0) return 0.0;
+  if (x > 1.0 && x > a) return 1.0 - igamc(a, x);
+  return igam_series(a, x);
+}
+
+double igamc(double a, double x) {
+  if (x <= 0 || a <= 0) return 1.0;
+  if (x < 1.0 || x < a) return 1.0 - igam_series(a, x);
+  return igamc_cf(a, x);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace szsec::nist

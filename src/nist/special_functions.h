@@ -1,0 +1,20 @@
+// Special functions needed by the SP800-22 statistical tests.
+//
+// igamc/igam follow the Cephes/Numerical-Recipes formulation (series
+// expansion below the a+1 crossover, continued fraction above), which is
+// the same evaluation the NIST STS reference code uses, so our p-values
+// match the published examples to ~1e-6 (verified in tests/nist_test.cpp).
+#pragma once
+
+namespace szsec::nist {
+
+/// Regularized upper incomplete gamma function Q(a, x) = Γ(a,x)/Γ(a).
+double igamc(double a, double x);
+
+/// Regularized lower incomplete gamma function P(a, x) = 1 - Q(a, x).
+double igam(double a, double x);
+
+/// Standard normal cumulative distribution function Φ(x).
+double normal_cdf(double x);
+
+}  // namespace szsec::nist

@@ -1,0 +1,58 @@
+// Slab-parallel secure compression.
+//
+// Splits a field along its slowest dimension into independent slabs, each
+// compressed (+encrypted) as a standalone szsec container on its own
+// thread, and wraps them in a simple archive.  SZ's prediction never
+// crosses the slab boundary, so the error bound is preserved exactly; the
+// price is a slightly lower compression ratio (per-slab Huffman trees and
+// broken cross-slab prediction), which the parallel ablation bench
+// quantifies.
+//
+// Archive layout:
+//   magic "SZSA" | u8 version | u8 rank | varint dims[rank]
+//   varint slab_count | slab_count x (varint length, container bytes)
+#pragma once
+
+#include "core/secure_compressor.h"
+#include "parallel/thread_pool.h"
+
+namespace szsec::parallel {
+
+inline constexpr uint32_t kArchiveMagic = 0x41535A53;  // "SZSA"
+inline constexpr uint8_t kArchiveVersion = 1;
+
+struct SlabConfig {
+  /// Worker threads (0 = hardware concurrency).
+  unsigned threads = 0;
+  /// Number of slabs (0 = 2x threads, capped by the slowest extent).
+  size_t slabs = 0;
+};
+
+struct SlabCompressResult {
+  Bytes archive;
+  size_t slab_count = 0;
+  /// Aggregate stats (sums over slabs; predictable_fraction is weighted).
+  core::CompressStats stats;
+};
+
+/// Compresses `data` slab-parallel.  Parameters mirror
+/// core::SecureCompressor; per-slab IVs are derived from `seed_drbg` (or
+/// the global DRBG) before threads start, keeping the output
+/// deterministic for a seeded DRBG.
+SlabCompressResult compress_slabs(std::span<const float> data,
+                                  const Dims& dims,
+                                  const sz::Params& params,
+                                  core::Scheme scheme, BytesView key,
+                                  const core::CipherSpec& spec = {},
+                                  const SlabConfig& config = {},
+                                  crypto::CtrDrbg* seed_drbg = nullptr);
+
+/// Decompresses a slab archive produced by compress_slabs (also
+/// thread-parallel).  Requires the same key for encrypted schemes.
+std::vector<float> decompress_slabs_f32(BytesView archive, BytesView key,
+                                        const SlabConfig& config = {});
+
+/// Reads back the archive's field dims without decompressing.
+Dims archive_dims(BytesView archive);
+
+}  // namespace szsec::parallel

@@ -1,0 +1,51 @@
+// Minimal fixed-size thread pool for slab-parallel compression.
+//
+// The paper's experiments are single-threaded (and every bench here runs
+// that way), but production HPC deployments compress snapshot fields
+// slab-by-slab across cores; src/parallel provides that layer.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace szsec::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = std::thread::hardware_concurrency,
+  /// minimum 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the future resolves when it finishes (holding the
+  /// task's exception if it threw).
+  std::future<void> submit(std::function<void()> task);
+
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across `pool`, blocking until all complete.
+/// The first task exception (if any) is rethrown on the caller.
+void parallel_for(ThreadPool& pool, size_t n,
+                  const std::function<void(size_t)>& fn);
+
+}  // namespace szsec::parallel

@@ -1,0 +1,83 @@
+#include "sz/analysis.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace szsec::sz {
+
+CodeAnalysis analyze_codes(const QuantizedField& q) {
+  CodeAnalysis a;
+  a.element_count = q.codes.size();
+  if (q.codes.empty()) return a;
+
+  std::unordered_map<uint32_t, uint64_t> hist;
+  for (uint32_t c : q.codes) ++hist[c];
+
+  const double n = static_cast<double>(q.codes.size());
+  uint64_t predictable = 0;
+  a.min_code = UINT32_MAX;
+  for (const auto& [code, count] : hist) {
+    const double p = static_cast<double>(count) / n;
+    a.code_entropy_bits -= p * std::log2(p);
+    a.max_code = std::max(a.max_code, code);
+    if (code != 0) {
+      ++a.distinct_codes;
+      a.min_code = std::min(a.min_code, code);
+      predictable += count;
+    }
+  }
+  if (a.min_code == UINT32_MAX) a.min_code = 0;
+  a.predictable_fraction = static_cast<double>(predictable) / n;
+
+  // Entropy-coded code stream + exact unpredictable blob + a table charge
+  // of ~3 bytes per distinct code (matches the RLE'd canonical table) +
+  // side info.
+  const double code_bits = a.code_entropy_bits * n;
+  a.estimated_bytes = static_cast<uint64_t>(
+      code_bits / 8.0 + static_cast<double>(q.unpredictable.size()) +
+      3.0 * static_cast<double>(a.distinct_codes) +
+      static_cast<double>(q.side_info.size()));
+  return a;
+}
+
+ProfileRow profile(std::span<const float> data, const Dims& dims,
+                   const Params& params) {
+  ProfileRow row;
+  row.error_bound = params.abs_error_bound;
+  const QuantizedField q = predict_quantize(data, dims, params);
+  row.analysis = analyze_codes(q);
+  row.estimated_cr =
+      row.analysis.estimated_bytes == 0
+          ? 0
+          : static_cast<double>(data.size_bytes()) /
+                static_cast<double>(row.analysis.estimated_bytes);
+  return row;
+}
+
+double suggest_error_bound(std::span<const float> data, const Dims& dims,
+                           double target_cr, double lo, double hi,
+                           int iters) {
+  SZSEC_REQUIRE(lo > 0 && hi > lo, "invalid bound bracket");
+  SZSEC_REQUIRE(target_cr > 0, "target ratio must be positive");
+  Params params;
+
+  auto cr_at = [&](double eb) {
+    params.abs_error_bound = eb;
+    return profile(data, dims, params).estimated_cr;
+  };
+  if (cr_at(hi) < target_cr) return hi;  // unreachable target
+  if (cr_at(lo) >= target_cr) return lo;
+
+  double log_lo = std::log10(lo), log_hi = std::log10(hi);
+  for (int i = 0; i < iters; ++i) {
+    const double mid = (log_lo + log_hi) / 2;
+    if (cr_at(std::pow(10.0, mid)) >= target_cr) {
+      log_hi = mid;
+    } else {
+      log_lo = mid;
+    }
+  }
+  return std::pow(10.0, log_hi);
+}
+
+}  // namespace szsec::sz

@@ -1,0 +1,52 @@
+// Compressibility analysis on top of the pipeline's stage-2 output.
+//
+// These helpers answer the questions a user asks before committing to an
+// error bound: how predictable is my data at bound X, what compression
+// ratio should I expect (without paying for Huffman + lossless), and
+// which bound achieves a target ratio.  The CR estimate is entropy-based:
+// Huffman coding approaches the code histogram's Shannon entropy within
+// one bit/symbol, and the unpredictable/tree terms are counted exactly.
+#pragma once
+
+#include <span>
+
+#include "sz/pipeline.h"
+
+namespace szsec::sz {
+
+/// Statistics of a quantization-code stream.
+struct CodeAnalysis {
+  uint64_t element_count = 0;
+  uint64_t distinct_codes = 0;      ///< nonzero codes in use
+  uint32_t min_code = 0;            ///< smallest nonzero code
+  uint32_t max_code = 0;            ///< largest code
+  double code_entropy_bits = 0;     ///< Shannon entropy of the code stream
+  double predictable_fraction = 0;  ///< 1 - unpredictable share
+
+  /// Estimated compressed size in bytes: entropy-coded codes +
+  /// unpredictable blob + a per-distinct-code table charge.
+  uint64_t estimated_bytes = 0;
+};
+
+/// Analyzes an already-quantized field.
+CodeAnalysis analyze_codes(const QuantizedField& q);
+
+/// Runs stages 1+2 and returns the analysis plus an estimated CR.
+struct ProfileRow {
+  double error_bound = 0;
+  CodeAnalysis analysis;
+  double estimated_cr = 0;
+};
+
+ProfileRow profile(std::span<const float> data, const Dims& dims,
+                   const Params& params);
+
+/// Finds (by bisection on log10(eb)) the smallest error bound whose
+/// *estimated* compression ratio reaches `target_cr`.  Returns the bound,
+/// or `hi` if even the loosest bound falls short.  Cost: ~`iters` full
+/// prediction passes.
+double suggest_error_bound(std::span<const float> data, const Dims& dims,
+                           double target_cr, double lo = 1e-9,
+                           double hi = 1e-1, int iters = 12);
+
+}  // namespace szsec::sz

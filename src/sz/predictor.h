@@ -1,0 +1,58 @@
+// Lorenzo predictors (Ibarria et al.) over the reconstructed field.
+//
+// SZ predicts each point from already-reconstructed neighbours so the
+// compressor and decompressor stay bit-identical.  Out-of-range neighbours
+// contribute 0 (the standard SZ convention).
+#pragma once
+
+#include <cstddef>
+
+namespace szsec::sz {
+
+/// 1D Lorenzo: p(i) = d(i-1).
+template <typename T>
+struct Lorenzo1D {
+  const T* recon;
+
+  T predict(size_t i) const { return i >= 1 ? recon[i - 1] : T{0}; }
+};
+
+/// 2D Lorenzo: p(i,j) = d(i-1,j) + d(i,j-1) - d(i-1,j-1).
+template <typename T>
+struct Lorenzo2D {
+  const T* recon;
+  size_t ny, nx;  // dims: (ny rows, nx cols), row-major
+
+  T predict(size_t j, size_t i) const {
+    const T a = j >= 1 ? recon[(j - 1) * nx + i] : T{0};
+    const T b = i >= 1 ? recon[j * nx + (i - 1)] : T{0};
+    const T c = (j >= 1 && i >= 1) ? recon[(j - 1) * nx + (i - 1)] : T{0};
+    return a + b - c;
+  }
+};
+
+/// 3D Lorenzo:
+/// p = d100 + d010 + d001 - d110 - d101 - d011 + d111 (offsets negated).
+template <typename T>
+struct Lorenzo3D {
+  const T* recon;
+  size_t nz, ny, nx;
+
+  T predict(size_t k, size_t j, size_t i) const {
+    auto at = [&](size_t kk, size_t jj, size_t ii) -> T {
+      return recon[(kk * ny + jj) * nx + ii];
+    };
+    const bool has_k = k >= 1, has_j = j >= 1, has_i = i >= 1;
+    T p{0};
+    if (has_k) p += at(k - 1, j, i);
+    if (has_j) p += at(k, j - 1, i);
+    if (has_i) p += at(k, j, i - 1);
+    if (has_k && has_j) p -= at(k - 1, j - 1, i);
+    if (has_k && has_i) p -= at(k - 1, j, i - 1);
+    if (has_j && has_i) p -= at(k, j - 1, i - 1);
+    if (has_k && has_j && has_i) p += at(k - 1, j - 1, i - 1);
+    return p;
+  }
+};
+
+}  // namespace szsec::sz

@@ -1,0 +1,66 @@
+// SZ's error-controlled linear-scale quantizer.
+//
+// The prediction error (value - predicted) is mapped to an integer bin of
+// width 2*eb, so reconstructing from the bin index is guaranteed to land
+// within eb of the original.  Values whose bin falls outside the code
+// range are "unpredictable" (code 0) and stored losslessly-within-bound
+// by the unpredictable encoder.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sz/params.h"
+
+namespace szsec::sz {
+
+class LinearQuantizer {
+ public:
+  LinearQuantizer(double abs_error_bound, uint32_t bins)
+      : eb_(abs_error_bound),
+        two_eb_(2.0 * abs_error_bound),
+        bins_(bins),
+        radius_(bins / 2) {}
+
+  /// Quantizes `value` against `predicted`.  On success returns a code in
+  /// [1, bins-1] and sets `reconstructed` to the decoder-visible value
+  /// (|reconstructed - value| <= eb).  Returns 0 (unpredictable) otherwise.
+  template <typename T>
+  uint32_t quantize(T value, T predicted, T& reconstructed) const {
+    const double diff = static_cast<double>(value) - predicted;
+    // Round to nearest bin; bins are centred multiples of 2*eb.
+    const double scaled = diff / two_eb_;
+    const double rounded = std::nearbyint(scaled);
+    if (std::abs(rounded) >= static_cast<double>(radius_) ||
+        !std::isfinite(diff)) {
+      return 0;
+    }
+    const int64_t q = static_cast<int64_t>(rounded);
+    const T recon = static_cast<T>(predicted + rounded * two_eb_);
+    // Guard against floating-point rounding pushing the reconstruction out
+    // of bound (can happen when |predicted| >> |value|).
+    if (std::abs(static_cast<double>(recon) - value) > eb_) return 0;
+    reconstructed = recon;
+    return static_cast<uint32_t>(q + radius_);
+  }
+
+  /// Inverse mapping for a predictable code (1..bins-1).
+  template <typename T>
+  T dequantize(uint32_t code, T predicted) const {
+    const int64_t q = static_cast<int64_t>(code) - radius_;
+    return static_cast<T>(static_cast<double>(predicted) +
+                          static_cast<double>(q) * two_eb_);
+  }
+
+  double error_bound() const { return eb_; }
+  uint32_t bins() const { return bins_; }
+  uint32_t radius() const { return radius_; }
+
+ private:
+  double eb_;
+  double two_eb_;
+  uint32_t bins_;
+  int64_t radius_;
+};
+
+}  // namespace szsec::sz

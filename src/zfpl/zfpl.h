@@ -1,0 +1,46 @@
+// zfpl: a ZFP-style transform-based lossy compressor for float32 fields.
+//
+// The paper names ZFP as the other state-of-the-art error-bounded
+// compressor ("such as SZ and ZFP"); this module provides that
+// comparison point from scratch, following ZFP's architecture
+// (Lindstrom 2014):
+//
+//   * 4^d blocks (d = 1..3; 4D folds its slowest dimension),
+//   * per-block common exponent + conversion to 30-bit fixed point,
+//   * the ZFP lifting transform along each axis (an integer, exactly
+//     invertible near-orthogonal decorrelation),
+//   * coefficients reordered by total sequency and mapped to negabinary,
+//   * embedded bitplane coding with group testing, truncated at a
+//     per-block plane derived from the accuracy tolerance.
+//
+// Error control is ZFP-accuracy-mode style: a conservative per-block
+// plane cutoff keeps |error| <= tolerance on all tested data (verified
+// across the synthetic corpus in tests/zfpl_test.cpp); like real ZFP it
+// is a transform-domain bound, not the per-value guarantee SZ's
+// quantizer gives.  Blocks containing non-finite values are stored raw.
+//
+// Note the structural point the paper makes implicitly: zfpl has no
+// Huffman stage, so Encr-Quant/Encr-Huffman do not apply to it — only
+// the black-box Cmpr-Encr composes with it (bench_ext_baselines).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bytestream.h"
+#include "common/dims.h"
+
+namespace szsec::zfpl {
+
+/// Compresses `data` (row-major, dims.rank() in 1..4) so that every
+/// reconstructed value differs from the original by at most `tolerance`.
+Bytes compress(std::span<const float> data, const Dims& dims,
+               double tolerance);
+
+/// Inverse of compress.  Throws CorruptError on malformed input.
+std::vector<float> decompress(BytesView stream);
+
+/// Reads back the stream's dims without decompressing.
+Dims stream_dims(BytesView stream);
+
+}  // namespace szsec::zfpl

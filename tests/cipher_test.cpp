@@ -1,0 +1,225 @@
+// Tests for the additional ciphers (DES, 3DES, ChaCha20) and the unified
+// Cipher front end used by the cipher ablation bench.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/hex.h"
+#include "crypto/chacha20.h"
+#include "crypto/cipher.h"
+#include "crypto/des.h"
+
+namespace szsec::crypto {
+namespace {
+
+Bytes H(const std::string& hex) { return from_hex(hex); }
+
+// --- DES known answers -------------------------------------------------------
+
+TEST(Des, ClassicWorkedExample) {
+  // The standard textbook vector (appears in FIPS validation suites).
+  const Des des{BytesView(H("133457799bbcdff1"))};
+  Bytes out(8);
+  const Bytes pt = H("0123456789abcdef");
+  des.encrypt_block(pt.data(), out.data());
+  EXPECT_EQ(to_hex(BytesView(out)), "85e813540f0ab405");
+  des.decrypt_block(out.data(), out.data());
+  EXPECT_EQ(to_hex(BytesView(out)), "0123456789abcdef");
+}
+
+TEST(Des, AllZeroVector) {
+  const Des des{BytesView(H("0000000000000000"))};
+  Bytes out(8);
+  const Bytes pt = H("0000000000000000");
+  des.encrypt_block(pt.data(), out.data());
+  EXPECT_EQ(to_hex(BytesView(out)), "8ca64de9c1b123a7");
+}
+
+TEST(Des, RoundTripRandom) {
+  std::mt19937_64 rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes key(8), pt(8);
+    for (auto& b : key) b = static_cast<uint8_t>(rng());
+    for (auto& b : pt) b = static_cast<uint8_t>(rng());
+    const Des des{BytesView(key)};
+    Bytes ct(8), back(8);
+    des.encrypt_block(pt.data(), ct.data());
+    des.decrypt_block(ct.data(), back.data());
+    EXPECT_EQ(back, pt);
+    EXPECT_NE(ct, pt);
+  }
+}
+
+TEST(Des, RejectsBadKeySize) {
+  EXPECT_THROW(Des{BytesView(Bytes(7, 0))}, Error);
+  EXPECT_THROW(Des{BytesView(Bytes(16, 0))}, Error);
+}
+
+TEST(TripleDes, DegeneratesToDesWithEqualKeys) {
+  // EDE with K1 == K2 == K3 is single DES — the standard self-check.
+  Bytes key24;
+  const Bytes k = H("133457799bbcdff1");
+  for (int i = 0; i < 3; ++i) key24.insert(key24.end(), k.begin(), k.end());
+  const TripleDes tdes{BytesView(key24)};
+  Bytes out(8);
+  const Bytes pt = H("0123456789abcdef");
+  tdes.encrypt_block(pt.data(), out.data());
+  EXPECT_EQ(to_hex(BytesView(out)), "85e813540f0ab405");
+}
+
+TEST(TripleDes, RoundTripWithIndependentKeys) {
+  std::mt19937_64 rng(2);
+  Bytes key(24), pt(8);
+  for (auto& b : key) b = static_cast<uint8_t>(rng());
+  for (auto& b : pt) b = static_cast<uint8_t>(rng());
+  const TripleDes tdes{BytesView(key)};
+  Bytes ct(8), back(8);
+  tdes.encrypt_block(pt.data(), ct.data());
+  tdes.decrypt_block(ct.data(), back.data());
+  EXPECT_EQ(back, pt);
+}
+
+TEST(TripleDes, RejectsBadKeySize) {
+  EXPECT_THROW(TripleDes{BytesView(Bytes(8, 0))}, Error);
+  EXPECT_THROW(TripleDes{BytesView(Bytes(16, 0))}, Error);
+}
+
+// --- ChaCha20 (RFC 8439) -----------------------------------------------------
+
+TEST(ChaCha20Test, Rfc8439BlockFunction) {
+  // RFC 8439 section 2.3.2 test vector.
+  const ChaCha20 cc{BytesView(
+      H("000102030405060708090a0b0c0d0e0f"
+        "101112131415161718191a1b1c1d1e1f"))};
+  std::array<uint8_t, 12> nonce{};
+  const Bytes n = H("000000090000004a00000000");
+  std::copy(n.begin(), n.end(), nonce.begin());
+  const auto block = cc.block(nonce, 1);
+  EXPECT_EQ(to_hex(BytesView(block)),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+            "c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2"
+            "b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20Test, Rfc8439Encryption) {
+  // RFC 8439 section 2.4.2 test vector.
+  const ChaCha20 cc{BytesView(
+      H("000102030405060708090a0b0c0d0e0f"
+        "101112131415161718191a1b1c1d1e1f"))};
+  std::array<uint8_t, 12> nonce{};
+  const Bytes n = H("000000000000004a00000000");
+  std::copy(n.begin(), n.end(), nonce.begin());
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  const Bytes pt(plaintext.begin(), plaintext.end());
+  const Bytes ct = cc.crypt(nonce, BytesView(pt), 1);
+  EXPECT_EQ(to_hex(BytesView(ct)),
+            "6e2e359a2568f98041ba0728dd0d6981"
+            "e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b357"
+            "1639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e"
+            "52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42"
+            "874d");
+  // Stream cipher: crypt is its own inverse.
+  EXPECT_EQ(cc.crypt(nonce, BytesView(ct), 1), pt);
+}
+
+TEST(ChaCha20Test, RejectsBadKeySize) {
+  EXPECT_THROW(ChaCha20{BytesView(Bytes(16, 0))}, Error);
+}
+
+// --- Unified Cipher front end --------------------------------------------------
+
+class CipherRoundTrip
+    : public ::testing::TestWithParam<std::tuple<CipherKind, Mode, size_t>> {
+};
+
+TEST_P(CipherRoundTrip, EncryptDecrypt) {
+  const auto [kind, mode, len] = GetParam();
+  std::mt19937_64 rng(static_cast<int>(kind) * 100 +
+                      static_cast<int>(mode) * 10 + len);
+  Bytes key(cipher_key_size(kind));
+  for (auto& b : key) b = static_cast<uint8_t>(rng());
+  Bytes pt(len);
+  for (auto& b : pt) b = static_cast<uint8_t>(rng());
+  Iv iv;
+  for (auto& b : iv) b = static_cast<uint8_t>(rng());
+
+  const Cipher c(kind, BytesView(key));
+  const Bytes ct = c.encrypt(mode, iv, BytesView(pt));
+  if (kind == CipherKind::kChaCha20 || mode == Mode::kCtr) {
+    EXPECT_EQ(ct.size(), pt.size());
+  } else {
+    EXPECT_GT(ct.size(), pt.size());
+    EXPECT_EQ(ct.size() % c.block_size(), 0u);
+  }
+  EXPECT_EQ(c.decrypt(mode, iv, BytesView(ct)), pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCiphers, CipherRoundTrip,
+    ::testing::Combine(
+        ::testing::Values(CipherKind::kAes128, CipherKind::kAes256,
+                          CipherKind::kDes, CipherKind::kTripleDes,
+                          CipherKind::kChaCha20),
+        ::testing::Values(Mode::kCbc, Mode::kCtr),
+        ::testing::Values(0, 1, 7, 8, 15, 16, 100, 10000)));
+
+TEST(CipherTest, KeySizeValidated) {
+  for (CipherKind kind :
+       {CipherKind::kAes128, CipherKind::kAes192, CipherKind::kAes256,
+        CipherKind::kDes, CipherKind::kTripleDes, CipherKind::kChaCha20}) {
+    const Bytes wrong(cipher_key_size(kind) + 1, 0);
+    EXPECT_THROW(Cipher(kind, BytesView(wrong)), Error)
+        << cipher_name(kind);
+  }
+}
+
+TEST(CipherTest, AesPathMatchesDirectAes) {
+  // The unified front end must produce byte-identical output to the
+  // direct AES mode functions.
+  const Bytes key = H("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes pt(100, 0x42);
+  Iv iv{};
+  iv[3] = 9;
+  const Cipher c(CipherKind::kAes128, BytesView(key));
+  const Aes aes{BytesView(key)};
+  EXPECT_EQ(c.encrypt(Mode::kCbc, iv, BytesView(pt)),
+            cbc_encrypt(aes, iv, BytesView(pt)));
+  EXPECT_EQ(c.encrypt(Mode::kCtr, iv, BytesView(pt)),
+            ctr_crypt(aes, iv, BytesView(pt)));
+}
+
+TEST(CipherTest, TamperedPaddingDetected) {
+  for (CipherKind kind : {CipherKind::kDes, CipherKind::kTripleDes}) {
+    Bytes key(cipher_key_size(kind), 0x11);
+    const Cipher c(kind, BytesView(key));
+    const Iv iv{};
+    const Bytes pt(24, 0x33);
+    Bytes ct = c.encrypt(Mode::kCbc, iv, BytesView(pt));
+    ct.back() ^= 0xFF;  // corrupt the padding block
+    try {
+      const Bytes out = c.decrypt(Mode::kCbc, iv, BytesView(ct));
+      EXPECT_NE(out, pt);
+    } catch (const CryptoError&) {
+      SUCCEED();
+    }
+  }
+}
+
+TEST(CipherTest, BlockSizes) {
+  EXPECT_EQ(Cipher(CipherKind::kAes128, BytesView(Bytes(16, 0))).block_size(),
+            16u);
+  EXPECT_EQ(Cipher(CipherKind::kDes, BytesView(Bytes(8, 0))).block_size(),
+            8u);
+  EXPECT_EQ(
+      Cipher(CipherKind::kChaCha20, BytesView(Bytes(32, 0))).block_size(),
+      1u);
+}
+
+}  // namespace
+}  // namespace szsec::crypto

@@ -1,0 +1,170 @@
+// Synthetic dataset generator tests: determinism, the statistical regimes
+// each surrogate must exhibit (sparsity, dynamic range, smoothness), and
+// the raw-I/O helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/stats.h"
+#include "data/datasets.h"
+#include "data/fieldgen.h"
+#include "data/io.h"
+
+namespace szsec::data {
+namespace {
+
+TEST(FieldGen, WhiteNoiseDeterministicAndBounded) {
+  const Dims dims{16, 16, 16};
+  const auto a = white_noise(dims, 1);
+  const auto b = white_noise(dims, 1);
+  const auto c = white_noise(dims, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (float v : a) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(FieldGen, SmoothNoiseIsSmootherThanWhite) {
+  const Dims dims{64, 64};
+  const auto white = white_noise(dims, 3);
+  const auto smooth = smooth_noise(dims, 3, 4);
+  // Mean absolute difference between neighbours, relative to stddev.
+  auto roughness = [&](const std::vector<float>& f) {
+    double acc = 0;
+    for (size_t i = 1; i < f.size(); ++i) {
+      acc += std::abs(static_cast<double>(f[i]) - f[i - 1]);
+    }
+    const Summary s = summarize(std::span<const float>(f));
+    return acc / static_cast<double>(f.size() - 1) / (s.stddev + 1e-12);
+  };
+  EXPECT_LT(roughness(smooth), roughness(white) / 3);
+}
+
+TEST(FieldGen, SmoothNoiseIsUnitVariance) {
+  const Dims dims{32, 32, 32};
+  const auto f = smooth_noise(dims, 5, 6);
+  const Summary s = summarize(std::span<const float>(f));
+  EXPECT_NEAR(s.mean, 0.0, 0.05);
+  EXPECT_NEAR(s.stddev, 1.0, 0.05);
+}
+
+TEST(FieldGen, BoxBlurPreservesConstant) {
+  const Dims dims{8, 8};
+  std::vector<float> f(dims.count(), 7.5f);
+  box_blur(f, dims, 2);
+  for (float v : f) EXPECT_NEAR(v, 7.5f, 1e-5f);
+}
+
+TEST(FieldGen, RescaleMapsToRange) {
+  std::vector<float> f = {-5.f, 0.f, 5.f};
+  rescale(f, 0.f, 1.f);
+  EXPECT_FLOAT_EQ(f[0], 0.f);
+  EXPECT_FLOAT_EQ(f[1], 0.5f);
+  EXPECT_FLOAT_EQ(f[2], 1.f);
+  std::vector<float> constant = {3.f, 3.f};
+  rescale(constant, -1.f, 1.f);
+  EXPECT_FLOAT_EQ(constant[0], -1.f);
+}
+
+TEST(Datasets, AllNamesGenerate) {
+  for (const std::string& name : dataset_names()) {
+    const Dataset d = make_dataset(name, Scale::kTiny);
+    EXPECT_EQ(d.name, name);
+    EXPECT_EQ(d.values.size(), d.dims.count());
+    EXPECT_GT(d.values.size(), 0u);
+    for (float v : d.values) EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_THROW(make_dataset("nope", Scale::kTiny), Error);
+}
+
+TEST(Datasets, Deterministic) {
+  const Dataset a = make_nyx(Scale::kTiny);
+  const Dataset b = make_nyx(Scale::kTiny);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(Datasets, ScalesIncreaseSize) {
+  const Dataset tiny = make_cloudf48(Scale::kTiny);
+  const Dataset bench = make_cloudf48(Scale::kBench);
+  EXPECT_GT(bench.values.size(), tiny.values.size());
+}
+
+TEST(Datasets, CloudAndQiAreSparse) {
+  // The easy-to-compress datasets are dominated by exact zeros.
+  for (const Dataset& d :
+       {make_cloudf48(Scale::kTiny), make_qi(Scale::kTiny)}) {
+    size_t zeros = 0;
+    for (float v : d.values) zeros += (v == 0.0f);
+    EXPECT_GT(static_cast<double>(zeros) / d.values.size(), 0.5)
+        << d.name;
+  }
+}
+
+TEST(Datasets, NyxHasHighDynamicRange) {
+  const Dataset d = make_nyx(Scale::kTiny);
+  const Summary s = summarize(std::span<const float>(d.values));
+  EXPECT_GT(s.max / std::max(1e-6, s.min), 100.0);
+  EXPECT_GT(s.max, 10.0);  // clustered overdensities
+}
+
+TEST(Datasets, TemperatureIsStratified) {
+  const Dataset d = make_temperature(Scale::kTiny);
+  // Mean of level z must decrease with z (lapse rate).
+  const size_t plane = d.dims[2] * d.dims[3];
+  const size_t nz = d.dims[1];
+  double prev = 1e9;
+  for (size_t z = 0; z < nz; ++z) {
+    double sum = 0;
+    for (size_t i = 0; i < plane; ++i) sum += d.values[z * plane + i];
+    const double mean = sum / static_cast<double>(plane);
+    EXPECT_LT(mean, prev);
+    prev = mean;
+  }
+}
+
+TEST(Datasets, Q2DecreasesWithAltitude) {
+  const Dataset d = make_q2(Scale::kTiny);
+  const size_t plane = d.dims[1] * d.dims[2];
+  double low = 0, high = 0;
+  for (size_t i = 0; i < plane; ++i) {
+    low += d.values[i];
+    high += d.values[(d.dims[0] - 1) * plane + i];
+  }
+  EXPECT_GT(low, high);
+}
+
+TEST(Io, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "szsec_io_test.bin")
+          .string();
+  const std::vector<float> values = {1.5f, -2.25f, 3.75f, 0.0f};
+  save_f32(path, values);
+  EXPECT_EQ(load_f32(path), values);
+  std::remove(path.c_str());
+}
+
+TEST(Io, LoadMissingFileThrows) {
+  EXPECT_THROW(load_f32("/nonexistent/szsec.bin"), Error);
+}
+
+TEST(Io, PgmWriter) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "szsec_io_test.pgm")
+          .string();
+  const Bytes pixels = {0, 128, 255, 64, 32, 16};
+  save_pgm(path, 3, 2, BytesView(pixels));
+  std::ifstream in(path, std::ios::binary);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "P5");
+  std::remove(path.c_str());
+  EXPECT_THROW(save_pgm(path, 2, 2, BytesView(pixels)), Error);
+}
+
+}  // namespace
+}  // namespace szsec::data

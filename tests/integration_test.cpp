@@ -1,0 +1,229 @@
+// Cross-module integration tests: the full paper pipeline on the
+// synthetic SDRBench surrogates — scheme comparisons that mirror the
+// evaluation's qualitative claims, plus randomness behaviour of the
+// produced containers (Section V-F in miniature).
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "core/secure_compressor.h"
+#include "data/datasets.h"
+#include "nist/sp800_22.h"
+
+namespace szsec {
+namespace {
+
+using core::CompressResult;
+using core::Scheme;
+using core::SecureCompressor;
+
+const Bytes kKey = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                    0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+CompressResult run_scheme(const data::Dataset& d, Scheme scheme, double eb) {
+  sz::Params params;
+  params.abs_error_bound = eb;
+  crypto::CtrDrbg drbg(0x5EED);
+  const SecureCompressor c(params, scheme,
+                           scheme == Scheme::kNone ? BytesView{}
+                                                   : BytesView(kKey),
+                           crypto::Mode::kCbc, &drbg);
+  return c.compress(std::span<const float>(d.values), d.dims);
+}
+
+class DatasetSchemeRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::string, Scheme>> {};
+
+TEST_P(DatasetSchemeRoundTrip, WithinBoundOnAllDatasets) {
+  const auto& [name, scheme] = GetParam();
+  const data::Dataset d = data::make_dataset(name, data::Scale::kTiny);
+  const double eb = 1e-4;
+  sz::Params params;
+  params.abs_error_bound = eb;
+  crypto::CtrDrbg drbg(99);
+  const SecureCompressor c(params, scheme,
+                           scheme == Scheme::kNone ? BytesView{}
+                                                   : BytesView(kKey),
+                           crypto::Mode::kCbc, &drbg);
+  const CompressResult r = c.compress(std::span<const float>(d.values),
+                                      d.dims);
+  const std::vector<float> out = c.decompress_f32(BytesView(r.container));
+  EXPECT_TRUE(within_abs_bound(std::span<const float>(d.values),
+                               std::span<const float>(out), eb))
+      << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasetsAllSchemes, DatasetSchemeRoundTrip,
+    ::testing::Combine(::testing::ValuesIn(data::dataset_names()),
+                       ::testing::Values(Scheme::kNone, Scheme::kCmprEncr,
+                                         Scheme::kEncrQuant,
+                                         Scheme::kEncrHuffman)));
+
+TEST(PaperClaims, CmprEncrAndEncrHuffmanRetainCompressionRatio) {
+  // Figure 5: both retain >99% of the baseline CR at bench scale.  At the
+  // tiny test scale the encrypted Huffman tree is a proportionally larger
+  // share of the container, so we assert 95% on the easy datasets and 75%
+  // on hard-to-compress Nyx (whose tree fraction peaks — the same outlier
+  // the paper calls out at 1e-7); the bench harness checks the 99% claim.
+  for (const std::string& name : {"CLOUDf48", "Q2", "Nyx"}) {
+    const data::Dataset d = data::make_dataset(name, data::Scale::kTiny);
+    const double base =
+        run_scheme(d, Scheme::kNone, 1e-4).stats.compression_ratio();
+    const double cmpr =
+        run_scheme(d, Scheme::kCmprEncr, 1e-4).stats.compression_ratio();
+    const double huff =
+        run_scheme(d, Scheme::kEncrHuffman, 1e-4).stats.compression_ratio();
+    EXPECT_GT(cmpr, 0.95 * base) << name;
+    EXPECT_GT(huff, (name == "Nyx" ? 0.75 : 0.95) * base) << name;
+  }
+}
+
+TEST(PaperClaims, EncrQuantCollapsesCrOnEasyData) {
+  // Figure 5: on easy-to-compress data, encrypting the quantization array
+  // before the lossless pass destroys most of its compressibility.
+  const data::Dataset d = data::make_cloudf48(data::Scale::kTiny);
+  const double base =
+      run_scheme(d, Scheme::kNone, 1e-3).stats.compression_ratio();
+  const double quant =
+      run_scheme(d, Scheme::kEncrQuant, 1e-3).stats.compression_ratio();
+  EXPECT_LT(quant, 0.5 * base);
+}
+
+TEST(PaperClaims, EncryptedVolumeOrdering) {
+  // Tree < quantization array < compressed stream (the paper's rationale
+  // for Encr-Huffman's light weight), on every dataset.
+  for (const std::string& name : data::dataset_names()) {
+    const data::Dataset d = data::make_dataset(name, data::Scale::kTiny);
+    const auto huff = run_scheme(d, Scheme::kEncrHuffman, 1e-4).stats;
+    const auto quant = run_scheme(d, Scheme::kEncrQuant, 1e-4).stats;
+    EXPECT_LT(huff.encrypted_bytes, quant.encrypted_bytes) << name;
+  }
+}
+
+TEST(PaperClaims, HuffmanTreeIsSmallFractionOfQuantArray) {
+  // Figure 4: tree <= ~5% of the quantization array on bench-like data.
+  const data::Dataset d = data::make_q2(data::Scale::kTiny);
+  const auto st = run_scheme(d, Scheme::kNone, 1e-5).stats;
+  ASSERT_GT(st.quant_array_bytes(), 0u);
+  EXPECT_LT(static_cast<double>(st.tree_bytes) / st.quant_array_bytes(),
+            0.25);  // generous at tiny scale; bench asserts ~5%
+}
+
+TEST(PaperClaims, TighterBoundsLowerCompressionRatio) {
+  // Table II: CR grows monotonically (within noise) with the error bound.
+  const data::Dataset d = data::make_q2(data::Scale::kTiny);
+  double prev = 0;
+  for (double eb : {1e-7, 1e-5, 1e-3}) {
+    const double cr = run_scheme(d, Scheme::kNone, eb).stats.compression_ratio();
+    EXPECT_GT(cr, prev * 0.8) << eb;  // allow mild non-monotonic noise
+    prev = cr;
+  }
+}
+
+TEST(PaperClaims, NyxIsHardCloudIsEasy) {
+  // Table II's headline contrast.
+  const auto nyx = run_scheme(data::make_nyx(data::Scale::kTiny),
+                              Scheme::kNone, 1e-4);
+  const auto cloud = run_scheme(data::make_cloudf48(data::Scale::kTiny),
+                                Scheme::kNone, 1e-4);
+  EXPECT_LT(nyx.stats.compression_ratio(), 6.0);
+  EXPECT_GT(cloud.stats.compression_ratio(),
+            3.0 * nyx.stats.compression_ratio());
+}
+
+TEST(Randomness, CmprEncrContainerBodyLooksRandom) {
+  // Section V-F: the Cmpr-Encr output (minus plaintext header) passes the
+  // core statistical tests.
+  const data::Dataset d = data::make_nyx(data::Scale::kTiny);
+  const auto r = run_scheme(d, Scheme::kCmprEncr, 1e-5);
+  const size_t header = 64;
+  const BytesView body =
+      BytesView(r.container).subspan(header, r.container.size() - header);
+  const nist::BitSequence bits{body};
+  EXPECT_TRUE(nist::frequency(bits).passed());
+  EXPECT_TRUE(nist::runs(bits).passed());
+  EXPECT_TRUE(nist::cumulative_sums(bits).passed());
+}
+
+TEST(Randomness, PlainSzContainerIsNotRandom) {
+  const data::Dataset d = data::make_cloudf48(data::Scale::kTiny);
+  const auto r = run_scheme(d, Scheme::kNone, 1e-3);
+  const nist::BitSequence bits{BytesView(r.container)};
+  // At least one of the core tests must reject structured compressed data.
+  const bool all_pass = nist::frequency(bits).passed() &&
+                        nist::runs(bits).passed() &&
+                        nist::approximate_entropy(bits).passed() &&
+                        nist::serial(bits).passed();
+  EXPECT_FALSE(all_pass);
+}
+
+TEST(Entropy, EncrQuantRaisesPayloadEntropy) {
+  // Section V-E: Encr-Quant pushes the pre-lossless payload entropy
+  // toward 8 bits/byte; the container (after lossless) stays near 8 for
+  // every scheme, but plain SZ's *payload* is much more structured.
+  const data::Dataset d = data::make_cloudf48(data::Scale::kTiny);
+  const auto none = run_scheme(d, Scheme::kNone, 1e-3);
+  const auto quant = run_scheme(d, Scheme::kEncrQuant, 1e-3);
+  // Proxy: Encr-Quant's container is much larger because the lossless
+  // stage cannot compress ciphertext.
+  EXPECT_GT(quant.container.size(), 2 * none.container.size());
+}
+
+class InterpSchemeRoundTrip : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(InterpSchemeRoundTrip, SchemesWorkOnInterpolationPredictor) {
+  // The paper argues its approach carries to newer SZ versions; verify
+  // every scheme round trips with the SZ3-style predictor.
+  const data::Dataset d = data::make_wf48(data::Scale::kTiny);
+  sz::Params params;
+  params.abs_error_bound = 1e-4;
+  params.predictor = sz::Predictor::kInterpolation;
+  crypto::CtrDrbg drbg(0x1A7B);
+  const SecureCompressor c(params, GetParam(),
+                           GetParam() == Scheme::kNone ? BytesView{}
+                                                       : BytesView(kKey),
+                           crypto::Mode::kCbc, &drbg);
+  const auto r = c.compress(std::span<const float>(d.values), d.dims);
+  const auto out = c.decompress_f32(BytesView(r.container));
+  EXPECT_TRUE(within_abs_bound(std::span<const float>(d.values),
+                               std::span<const float>(out), 1e-4));
+  EXPECT_EQ(core::peek_header(BytesView(r.container)).params.predictor,
+            sz::Predictor::kInterpolation);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, InterpSchemeRoundTrip,
+                         ::testing::Values(Scheme::kNone, Scheme::kCmprEncr,
+                                           Scheme::kEncrQuant,
+                                           Scheme::kEncrHuffman));
+
+TEST(Workflow, CompressOnceDecompressManyTimes) {
+  const data::Dataset d = data::make_wf48(data::Scale::kTiny);
+  sz::Params params;
+  params.abs_error_bound = 1e-3;
+  crypto::CtrDrbg drbg(123);
+  const SecureCompressor c(params, Scheme::kEncrHuffman, BytesView(kKey),
+                           crypto::Mode::kCbc, &drbg);
+  const auto r = c.compress(std::span<const float>(d.values), d.dims);
+  const auto out1 = c.decompress_f32(BytesView(r.container));
+  const auto out2 = c.decompress_f32(BytesView(r.container));
+  EXPECT_EQ(out1, out2);  // decompression is deterministic
+}
+
+TEST(Workflow, LossyIsIdempotentOnReconstructedData) {
+  // Compressing the reconstruction again with the same bound yields data
+  // that still satisfies the bound against the *original* within 2*eb.
+  const data::Dataset d = data::make_height(data::Scale::kTiny);
+  const double eb = 1e-3;
+  sz::Params params;
+  params.abs_error_bound = eb;
+  const SecureCompressor c(params, Scheme::kNone);
+  const auto r1 = c.compress(std::span<const float>(d.values), d.dims);
+  const auto mid = c.decompress_f32(BytesView(r1.container));
+  const auto r2 = c.compress(std::span<const float>(mid), d.dims);
+  const auto out = c.decompress_f32(BytesView(r2.container));
+  EXPECT_TRUE(within_abs_bound(std::span<const float>(d.values),
+                               std::span<const float>(out), 2 * eb));
+}
+
+}  // namespace
+}  // namespace szsec

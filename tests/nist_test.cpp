@@ -1,0 +1,311 @@
+// SP800-22 suite tests: worked examples from the specification pin the
+// statistics and p-values; deterministic DRBG streams check that random
+// data passes and structured data fails; the pass-rate harness is
+// exercised end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/drbg.h"
+#include "nist/sp800_22.h"
+#include "nist/special_functions.h"
+
+namespace szsec::nist {
+namespace {
+
+BitSequence bits_from_string(const std::string& s) {
+  std::vector<uint8_t> bits;
+  bits.reserve(s.size());
+  for (char c : s) {
+    if (c == '0' || c == '1') bits.push_back(c == '1');
+  }
+  return BitSequence(std::move(bits));
+}
+
+// --- Special functions -------------------------------------------------------
+
+TEST(SpecialFunctions, IgamcKnownValues) {
+  EXPECT_NEAR(igamc(1.0, 1.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(igamc(1.0, 2.0), std::exp(-2.0), 1e-12);
+  // Q(1/2, x) = erfc(sqrt(x)).
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(igamc(0.5, x), std::erfc(std::sqrt(x)), 1e-12);
+  }
+  EXPECT_NEAR(igamc(3.0, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(igam(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(SpecialFunctions, IgamPlusIgamcIsOne) {
+  for (double a : {0.5, 1.5, 4.0, 32.0}) {
+    for (double x : {0.01, 1.0, 4.0, 40.0}) {
+      EXPECT_NEAR(igam(a, x) + igamc(a, x), 1.0, 1e-10);
+    }
+  }
+}
+
+TEST(SpecialFunctions, NormalCdf) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+}
+
+// --- BitSequence --------------------------------------------------------------
+
+TEST(BitSequenceTest, UnpacksMsbFirst) {
+  const Bytes data = {0b10110000};
+  const BitSequence s{BytesView(data)};
+  ASSERT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.bit(0), 1);
+  EXPECT_EQ(s.bit(1), 0);
+  EXPECT_EQ(s.bit(2), 1);
+  EXPECT_EQ(s.bit(3), 1);
+  EXPECT_EQ(s.bit(4), 0);
+}
+
+// --- Worked examples from SP800-22 -------------------------------------------
+
+TEST(Sp80022, FrequencyExample) {
+  // Section 2.1.4: eps = 1011010101, S = 2, p-value = 0.527089.
+  const TestResult r = frequency(bits_from_string("1011010101"));
+  // (applicability floor waived by testing the statistic directly)
+  ASSERT_EQ(r.p_values.size(), 1u);
+  EXPECT_NEAR(r.p_values[0], 0.527089, 1e-6);
+}
+
+TEST(Sp80022, FrequencyPiExample) {
+  // Section 2.1.8: first 100 bits of pi's binary expansion, p = 0.109599.
+  const std::string pi100 =
+      "11001001000011111101101010100010001000010110100011"
+      "00001000110100110001001100011001100010100010111000";
+  const TestResult r = frequency(bits_from_string(pi100));
+  ASSERT_EQ(r.p_values.size(), 1u);
+  EXPECT_NEAR(r.p_values[0], 0.109599, 1e-6);
+}
+
+TEST(Sp80022, BlockFrequencyExample) {
+  // Section 2.2.4: eps = 0110011010, M = 3, p-value = 0.801252.
+  const TestResult r =
+      block_frequency(bits_from_string("0110011010"), 3);
+  ASSERT_EQ(r.p_values.size(), 1u);
+  EXPECT_NEAR(r.p_values[0], 0.801252, 1e-6);
+}
+
+TEST(Sp80022, RunsExample) {
+  // Section 2.3.4: eps = 1001101011, V = 7, p-value = 0.147232.
+  const TestResult r = runs(bits_from_string("1001101011"));
+  ASSERT_EQ(r.p_values.size(), 1u);
+  EXPECT_NEAR(r.p_values[0], 0.147232, 1e-6);
+}
+
+TEST(Sp80022, CumulativeSumsExample) {
+  // Section 2.13.4: eps = 1011010111, z = 4, p(forward) = 0.4116588.
+  const TestResult r = cumulative_sums(bits_from_string("1011010111"));
+  ASSERT_EQ(r.p_values.size(), 2u);
+  EXPECT_NEAR(r.p_values[0], 0.4116588, 1e-6);
+}
+
+TEST(Sp80022, SerialExample) {
+  // Section 2.11.4: eps = 0011011101, m = 3: p1 = 0.808792, p2 = 0.670320.
+  const TestResult r = serial(bits_from_string("0011011101"), 3);
+  ASSERT_EQ(r.p_values.size(), 2u);
+  EXPECT_NEAR(r.p_values[0], 0.808792, 1e-6);
+  EXPECT_NEAR(r.p_values[1], 0.670320, 1e-6);
+}
+
+TEST(Sp80022, ApproximateEntropyExample) {
+  // Section 2.12.4: eps = 0100110101, m = 3, p-value = 0.261961.
+  const TestResult r =
+      approximate_entropy(bits_from_string("0100110101"), 3);
+  ASSERT_EQ(r.p_values.size(), 1u);
+  EXPECT_NEAR(r.p_values[0], 0.261961, 1e-6);
+}
+
+// Applicability floors: the worked examples above are shorter than the
+// spec's recommended minimums, so production calls mark them
+// inapplicable; verify the floors hold on realistic calls.
+TEST(Sp80022, ApplicabilityFloors) {
+  crypto::CtrDrbg drbg(2);
+  const Bytes small = drbg.generate(8);  // 64 bits
+  const BitSequence s{BytesView(small)};
+  EXPECT_FALSE(frequency(s).applicable);
+  EXPECT_FALSE(longest_run_of_ones(s).applicable);
+  EXPECT_FALSE(binary_matrix_rank(s).applicable);
+  EXPECT_FALSE(universal(s).applicable);
+  EXPECT_FALSE(linear_complexity(s).applicable);
+  EXPECT_FALSE(random_excursions(s).applicable);
+}
+
+// --- Random data passes / structured data fails -------------------------------
+
+class RandomStreamTest : public ::testing::Test {
+ protected:
+  static const BitSequence& random_bits() {
+    // Deterministic 2 Mbit AES-CTR stream: statistically random and
+    // reproducible, so pass/fail below never flakes.
+    static const BitSequence s = [] {
+      crypto::CtrDrbg drbg(0xC0FFEE);
+      return BitSequence{BytesView(drbg.generate(1 << 18))};
+    }();
+    return s;
+  }
+};
+
+TEST_F(RandomStreamTest, AllTestsPassOnCtrKeystream) {
+  for (const TestResult& r : run_all(random_bits())) {
+    EXPECT_TRUE(r.applicable) << r.name;
+    EXPECT_TRUE(r.passed(0.01)) << r.name << " p=" <<
+        (r.p_values.empty() ? -1.0 : r.p_values[0]);
+  }
+}
+
+TEST(Sp80022, AllZerosFailsEverywhereApplicable) {
+  const Bytes zeros(1 << 15, 0x00);
+  const BitSequence s{BytesView(zeros)};
+  for (const TestResult& r : run_all(s)) {
+    if (!r.applicable) continue;
+    EXPECT_FALSE(r.passed(0.01)) << r.name;
+  }
+}
+
+TEST(Sp80022, BiasedStreamFailsFrequency) {
+  // 75% ones.
+  crypto::CtrDrbg drbg(5);
+  Bytes data = drbg.generate(1 << 14);
+  for (auto& b : data) b |= drbg.generate(1)[0];  // OR in more ones
+  const BitSequence s{BytesView(data)};
+  EXPECT_FALSE(frequency(s).passed(0.01));
+  EXPECT_FALSE(cumulative_sums(s).passed(0.01));
+}
+
+TEST(Sp80022, AlternatingStreamFailsRuns) {
+  const Bytes data(1 << 14, 0xAA);  // 101010...
+  const BitSequence s{BytesView(data)};
+  EXPECT_FALSE(runs(s).passed(0.01));
+  EXPECT_FALSE(serial(s).passed(0.01));
+  EXPECT_FALSE(approximate_entropy(s).passed(0.01));
+}
+
+TEST(Sp80022, PeriodicStreamFailsSpectral) {
+  // Strong periodicity shows up as DFT peaks.
+  Bytes data(1 << 14);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = (i % 3 == 0) ? 0xFF : 0x00;
+  }
+  const BitSequence s{BytesView(data)};
+  EXPECT_FALSE(spectral_dft(s).passed(0.01));
+}
+
+TEST(Sp80022, TextFailsTemplatesAndEntropy) {
+  std::string text;
+  while (text.size() < (1u << 14)) {
+    text += "secure compression for scientific computing ";
+  }
+  const Bytes data(text.begin(), text.end());
+  const BitSequence s{BytesView(data)};
+  EXPECT_FALSE(approximate_entropy(s).passed(0.01));
+  EXPECT_FALSE(serial(s).passed(0.01));
+}
+
+// --- Template machinery --------------------------------------------------------
+
+TEST(Templates, SmallAperiodicSetsAreExact) {
+  // Hand-enumerable cases: length 2 -> {01, 10}; length 3 -> {001, 011,
+  // 100, 110} (strings with a border, like 010 or 111, are excluded).
+  const auto t2 = aperiodic_templates(2);
+  EXPECT_EQ(t2, (std::vector<std::string>{"01", "10"}));
+  const auto t3 = aperiodic_templates(3);
+  EXPECT_EQ(t3, (std::vector<std::string>{"001", "011", "100", "110"}));
+}
+
+TEST(Templates, AperiodicityPropertyHolds) {
+  for (unsigned m : {4u, 6u, 9u}) {
+    const auto templates = aperiodic_templates(m);
+    EXPECT_GT(templates.size(), 0u);
+    for (const std::string& t : templates) {
+      ASSERT_EQ(t.size(), m);
+      // No proper border: prefix != suffix for every length.
+      for (size_t k = 1; k < m; ++k) {
+        EXPECT_NE(t.substr(0, m - k), t.substr(k)) << t;
+      }
+    }
+  }
+}
+
+TEST(Templates, CountsGrowWithLength) {
+  EXPECT_LT(aperiodic_templates(4).size(), aperiodic_templates(9).size());
+  // All-zeros / all-ones are always periodic.
+  for (const std::string& t : aperiodic_templates(5)) {
+    EXPECT_NE(t, "00000");
+    EXPECT_NE(t, "11111");
+  }
+}
+
+TEST(Templates, SuiteRunsMultipleTemplates) {
+  crypto::CtrDrbg drbg(0xFACE);
+  const Bytes data = drbg.generate(1 << 15);
+  const BitSequence s{BytesView(data)};
+  const auto results = non_overlapping_template_suite(s, 9, 8);
+  ASSERT_EQ(results.size(), 8u);
+  size_t passed = 0;
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.applicable);
+    passed += r.passed(0.01);
+  }
+  // Random data: expect nearly all templates to pass.
+  EXPECT_GE(passed, 7u);
+}
+
+// --- Harness -------------------------------------------------------------------
+
+TEST(PassRates, RandomDataScoresHigh) {
+  crypto::CtrDrbg drbg(0xBEEF);
+  const Bytes data = drbg.generate(1 << 19);  // 512 KiB, 4 streams
+  const PassRateReport rep = pass_rates(BytesView(data), 4);
+  ASSERT_EQ(rep.names.size(), 15u);
+  ASSERT_EQ(rep.pass_rate.size(), 15u);
+  double total = 0;
+  int applicable = 0;
+  for (size_t t = 0; t < rep.names.size(); ++t) {
+    if (rep.applicable_streams[t] == 0) continue;
+    ++applicable;
+    total += rep.pass_rate[t];
+  }
+  ASSERT_GT(applicable, 8);
+  EXPECT_GT(total / applicable, 0.9);
+}
+
+TEST(PassRates, StructuredDataScoresLow) {
+  Bytes data(1 << 18);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i);  // ramp: highly structured
+  }
+  const PassRateReport rep = pass_rates(BytesView(data), 4);
+  double total = 0;
+  int applicable = 0;
+  for (size_t t = 0; t < rep.names.size(); ++t) {
+    if (rep.applicable_streams[t] == 0) continue;
+    ++applicable;
+    total += rep.pass_rate[t];
+  }
+  ASSERT_GT(applicable, 0);
+  EXPECT_LT(total / applicable, 0.5);
+}
+
+TEST(PassRates, RejectsDegenerateInput) {
+  const Bytes tiny = {1, 2};
+  EXPECT_THROW(pass_rates(BytesView(tiny), 0), Error);
+  EXPECT_THROW(pass_rates(BytesView(tiny), 5), Error);
+}
+
+TEST(Sp80022, RunAllReturnsFifteenNamedTests) {
+  crypto::CtrDrbg drbg(1);
+  const Bytes data = drbg.generate(4096);
+  const auto results = run_all(BitSequence{BytesView(data)});
+  const auto names = test_names();
+  ASSERT_EQ(results.size(), 15u);
+  ASSERT_EQ(names.size(), 15u);
+  for (size_t i = 0; i < 15; ++i) EXPECT_EQ(results[i].name, names[i]);
+}
+
+}  // namespace
+}  // namespace szsec::nist

@@ -1,0 +1,220 @@
+// zfpl (ZFP-style transform codec) tests: exact invertibility of the
+// lifting transform, negabinary, embedded coding, and the end-to-end
+// accuracy guarantee across shapes, tolerances, and datasets.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/stats.h"
+#include "data/datasets.h"
+#include "zfpl/zfpl.h"
+
+namespace szsec::zfpl {
+namespace {
+
+void expect_round_trip(std::span<const float> data, const Dims& dims,
+                       double tol) {
+  const Bytes stream = compress(data, dims, tol);
+  EXPECT_EQ(stream_dims(BytesView(stream)), dims);
+  const std::vector<float> out = decompress(BytesView(stream));
+  ASSERT_EQ(out.size(), data.size());
+  EXPECT_TRUE(within_abs_bound(data, std::span<const float>(out), tol));
+}
+
+class ZfplTolTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZfplTolTest, SmoothField3DWithinTolerance) {
+  const Dims dims{17, 19, 23};
+  std::vector<float> f(dims.count());
+  for (size_t k = 0; k < 17; ++k) {
+    for (size_t j = 0; j < 19; ++j) {
+      for (size_t i = 0; i < 23; ++i) {
+        f[(k * 19 + j) * 23 + i] = static_cast<float>(
+            10.0 * std::sin(0.2 * k) * std::cos(0.3 * j) + 0.1 * i);
+      }
+    }
+  }
+  expect_round_trip(std::span<const float>(f), dims, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, ZfplTolTest,
+                         ::testing::Values(1e-7, 1e-5, 1e-3, 1e-1, 1.0));
+
+class ZfplShapeTest : public ::testing::TestWithParam<Dims> {};
+
+TEST_P(ZfplShapeTest, RandomWalkWithinTolerance) {
+  const Dims dims = GetParam();
+  std::mt19937_64 rng(dims.count() * 7);
+  std::vector<float> f(dims.count());
+  float walk = 0;
+  for (auto& v : f) {
+    walk += static_cast<float>((rng() % 100) - 50) * 1e-2f;
+    v = walk;
+  }
+  expect_round_trip(std::span<const float>(f), dims, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ZfplShapeTest,
+    ::testing::Values(Dims{1}, Dims{3}, Dims{4}, Dims{5}, Dims{64},
+                      Dims{4, 4}, Dims{5, 7}, Dims{16, 16}, Dims{4, 4, 4},
+                      Dims{5, 6, 7}, Dims{13, 9, 21}, Dims{2, 3, 4, 5},
+                      Dims{3, 8, 8, 8}));
+
+TEST(Zfpl, RandomNoiseWithinTolerance) {
+  const Dims dims{12, 12, 12};
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<float> vals(-100.f, 100.f);
+  std::vector<float> f(dims.count());
+  for (auto& v : f) v = vals(rng);
+  for (double tol : {1e-4, 1e-1, 10.0}) {
+    expect_round_trip(std::span<const float>(f), dims, tol);
+  }
+}
+
+TEST(Zfpl, HugeValuesWithTinyToleranceStaysExactViaRawBlocks) {
+  // Values ~1e8 with tol 1e-7: fixed-point precision is insufficient, so
+  // blocks must fall back to raw storage rather than miss the bound.
+  const Dims dims{8, 8, 8};
+  std::mt19937_64 rng(13);
+  std::vector<float> f(dims.count());
+  for (auto& v : f) {
+    v = 1e8f + static_cast<float>(rng() % 1000);
+  }
+  expect_round_trip(std::span<const float>(f), dims, 1e-7);
+}
+
+TEST(Zfpl, AllZeroCompressesToAlmostNothing) {
+  const Dims dims{32, 32, 32};
+  const std::vector<float> f(dims.count(), 0.0f);
+  const Bytes stream = compress(std::span<const float>(f), dims, 1e-6);
+  // 2 bits per block + header.
+  EXPECT_LT(stream.size(), dims.count() / 32 + 64);
+  const auto out = decompress(BytesView(stream));
+  for (float v : out) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Zfpl, NonFiniteValuesSurviveViaRawBlocks) {
+  const Dims dims{4, 4, 4};
+  std::vector<float> f(dims.count(), 1.0f);
+  f[7] = std::numeric_limits<float>::infinity();
+  f[20] = std::numeric_limits<float>::quiet_NaN();
+  const Bytes stream = compress(std::span<const float>(f), dims, 1e-3);
+  const auto out = decompress(BytesView(stream));
+  EXPECT_EQ(out[7], std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(std::isnan(out[20]));
+  EXPECT_NEAR(out[0], 1.0f, 1e-3);
+}
+
+TEST(Zfpl, SyntheticDatasetsWithinTolerance) {
+  for (const std::string& name : data::dataset_names()) {
+    const data::Dataset d = data::make_dataset(name, data::Scale::kTiny);
+    for (double tol : {1e-6, 1e-3}) {
+      expect_round_trip(std::span<const float>(d.values), d.dims, tol);
+    }
+  }
+}
+
+TEST(Zfpl, SmoothDataCompressesWell) {
+  const data::Dataset d = data::make_q2(data::Scale::kTiny);
+  const Bytes stream =
+      compress(std::span<const float>(d.values), d.dims, 1e-4);
+  EXPECT_LT(stream.size(), d.bytes() / 3);
+}
+
+TEST(Zfpl, LooserToleranceSmallerStream) {
+  const data::Dataset d = data::make_height(data::Scale::kTiny);
+  const size_t tight =
+      compress(std::span<const float>(d.values), d.dims, 1e-6).size();
+  const size_t loose =
+      compress(std::span<const float>(d.values), d.dims, 1e-2).size();
+  EXPECT_LT(loose, tight);
+}
+
+TEST(Zfpl, Deterministic) {
+  const data::Dataset d = data::make_nyx(data::Scale::kTiny);
+  EXPECT_EQ(compress(std::span<const float>(d.values), d.dims, 1e-4),
+            compress(std::span<const float>(d.values), d.dims, 1e-4));
+}
+
+TEST(Zfpl, CorruptStreamsThrow) {
+  const Dims dims{8, 8, 8};
+  const std::vector<float> f(dims.count(), 2.5f);
+  Bytes stream = compress(std::span<const float>(f), dims, 1e-3);
+  EXPECT_THROW(
+      decompress(BytesView(stream).subspan(0, stream.size() / 2)), Error);
+  Bytes bad_magic = stream;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(decompress(BytesView(bad_magic)), CorruptError);
+  EXPECT_THROW(compress(std::span<const float>(f), dims, 0.0), Error);
+  EXPECT_THROW(compress(std::span<const float>(f), dims, -1.0), Error);
+}
+
+TEST(Zfpl, ToleranceLadderIsMonotone) {
+  // Stream size must be non-increasing as tolerance loosens, across four
+  // decades, for every dataset regime.
+  for (const std::string& name : {"Q2", "Nyx", "CLOUDf48"}) {
+    const data::Dataset d = data::make_dataset(name, data::Scale::kTiny);
+    size_t prev = SIZE_MAX;
+    for (double tol : {1e-6, 1e-4, 1e-2, 1.0}) {
+      const size_t size =
+          compress(std::span<const float>(d.values), d.dims, tol).size();
+      EXPECT_LE(size, prev) << name << " tol " << tol;
+      prev = size;
+    }
+  }
+}
+
+TEST(Zfpl, ExactlyRepresentableFieldRoundTripsTightly) {
+  // Fields of small integers are exactly representable in the block
+  // fixed-point domain: reconstruction error must be far below tol.
+  const Dims dims{8, 8, 8};
+  std::mt19937_64 rng(23);
+  std::vector<float> f(dims.count());
+  for (auto& v : f) v = static_cast<float>(static_cast<int>(rng() % 17) - 8);
+  const Bytes stream = compress(std::span<const float>(f), dims, 1e-5);
+  const auto out = decompress(BytesView(stream));
+  for (size_t i = 0; i < f.size(); ++i) {
+    EXPECT_NEAR(out[i], f[i], 1e-5);
+  }
+}
+
+TEST(Zfpl, NegativeValuesRoundTrip) {
+  const Dims dims{4, 4, 8};
+  std::vector<float> f(dims.count());
+  for (size_t i = 0; i < f.size(); ++i) {
+    f[i] = -500.0f + static_cast<float>(i) * 7.7f;
+  }
+  expect_round_trip(std::span<const float>(f), dims, 1e-4);
+}
+
+TEST(Zfpl, MixedMagnitudeBlocks) {
+  // Alternating tiny/huge blocks exercise the per-block exponent.
+  const Dims dims{16, 4, 4};
+  std::vector<float> f(dims.count());
+  for (size_t i = 0; i < f.size(); ++i) {
+    const bool big = (i / 64) % 2 == 0;  // per 4x4x4 slab
+    f[i] = (big ? 1e6f : 1e-6f) * (1.0f + 0.001f * (i % 7));
+  }
+  expect_round_trip(std::span<const float>(f), dims, 1e-2);
+}
+
+TEST(Zfpl, BitflipsNeverCrash) {
+  const Dims dims{6, 10, 14};
+  std::mt19937_64 rng(17);
+  std::vector<float> f(dims.count());
+  for (auto& v : f) v = static_cast<float>(rng() % 1000) * 0.01f;
+  const Bytes stream = compress(std::span<const float>(f), dims, 1e-3);
+  for (int t = 0; t < 200; ++t) {
+    Bytes tampered = stream;
+    tampered[rng() % tampered.size()] ^=
+        static_cast<uint8_t>(1u << (rng() % 8));
+    try {
+      (void)decompress(BytesView(tampered));
+    } catch (const Error&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace szsec::zfpl
