@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_zlite.dir/bench_ablation_zlite.cpp.o"
+  "CMakeFiles/bench_ablation_zlite.dir/bench_ablation_zlite.cpp.o.d"
+  "bench_ablation_zlite"
+  "bench_ablation_zlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_zlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

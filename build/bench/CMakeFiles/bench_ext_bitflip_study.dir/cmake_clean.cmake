@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bitflip_study.dir/bench_ext_bitflip_study.cpp.o"
+  "CMakeFiles/bench_ext_bitflip_study.dir/bench_ext_bitflip_study.cpp.o.d"
+  "bench_ext_bitflip_study"
+  "bench_ext_bitflip_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bitflip_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

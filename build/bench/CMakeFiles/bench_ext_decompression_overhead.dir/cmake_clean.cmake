@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_decompression_overhead.dir/bench_ext_decompression_overhead.cpp.o"
+  "CMakeFiles/bench_ext_decompression_overhead.dir/bench_ext_decompression_overhead.cpp.o.d"
+  "bench_ext_decompression_overhead"
+  "bench_ext_decompression_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_decompression_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_zfp.dir/bench_ext_zfp.cpp.o"
+  "CMakeFiles/bench_ext_zfp.dir/bench_ext_zfp.cpp.o.d"
+  "bench_ext_zfp"
+  "bench_ext_zfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_zfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_normalized_cr.dir/bench_fig5_normalized_cr.cpp.o"
+  "CMakeFiles/bench_fig5_normalized_cr.dir/bench_fig5_normalized_cr.cpp.o.d"
+  "bench_fig5_normalized_cr"
+  "bench_fig5_normalized_cr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_normalized_cr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_baseline_cr.dir/bench_table2_baseline_cr.cpp.o"
+  "CMakeFiles/bench_table2_baseline_cr.dir/bench_table2_baseline_cr.cpp.o.d"
+  "bench_table2_baseline_cr"
+  "bench_table2_baseline_cr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_baseline_cr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

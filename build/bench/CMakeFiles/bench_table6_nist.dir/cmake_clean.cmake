@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_nist.dir/bench_table6_nist.cpp.o"
+  "CMakeFiles/bench_table6_nist.dir/bench_table6_nist.cpp.o.d"
+  "bench_table6_nist"
+  "bench_table6_nist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_nist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_profiler.dir/dataset_profiler.cpp.o"
+  "CMakeFiles/dataset_profiler.dir/dataset_profiler.cpp.o.d"
+  "dataset_profiler"
+  "dataset_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

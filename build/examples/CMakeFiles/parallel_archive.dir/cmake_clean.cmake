@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_archive.dir/parallel_archive.cpp.o"
+  "CMakeFiles/parallel_archive.dir/parallel_archive.cpp.o.d"
+  "parallel_archive"
+  "parallel_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

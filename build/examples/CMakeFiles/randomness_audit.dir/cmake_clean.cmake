@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomness_audit.dir/randomness_audit.cpp.o"
+  "CMakeFiles/randomness_audit.dir/randomness_audit.cpp.o.d"
+  "randomness_audit"
+  "randomness_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomness_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_climate_archive.dir/secure_climate_archive.cpp.o"
+  "CMakeFiles/secure_climate_archive.dir/secure_climate_archive.cpp.o.d"
+  "secure_climate_archive"
+  "secure_climate_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_climate_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szsec_cli.dir/szsec_cli.cpp.o"
+  "CMakeFiles/szsec_cli.dir/szsec_cli.cpp.o.d"
+  "szsec_cli"
+  "szsec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szsec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

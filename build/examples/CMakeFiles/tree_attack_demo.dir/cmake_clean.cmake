@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_attack_demo.dir/tree_attack_demo.cpp.o"
+  "CMakeFiles/tree_attack_demo.dir/tree_attack_demo.cpp.o.d"
+  "tree_attack_demo"
+  "tree_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

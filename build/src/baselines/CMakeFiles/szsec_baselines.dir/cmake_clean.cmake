@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szsec_baselines.dir/truncate.cpp.o"
+  "CMakeFiles/szsec_baselines.dir/truncate.cpp.o.d"
+  "libszsec_baselines.a"
+  "libszsec_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szsec_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szsec_common.dir/crc32.cpp.o"
+  "CMakeFiles/szsec_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/szsec_common.dir/hex.cpp.o"
+  "CMakeFiles/szsec_common.dir/hex.cpp.o.d"
+  "CMakeFiles/szsec_common.dir/stats.cpp.o"
+  "CMakeFiles/szsec_common.dir/stats.cpp.o.d"
+  "libszsec_common.a"
+  "libszsec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szsec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szsec_core.dir/secure_compressor.cpp.o"
+  "CMakeFiles/szsec_core.dir/secure_compressor.cpp.o.d"
+  "libszsec_core.a"
+  "libszsec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szsec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szsec_crypto.dir/aes.cpp.o"
+  "CMakeFiles/szsec_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/szsec_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/szsec_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/szsec_crypto.dir/cipher.cpp.o"
+  "CMakeFiles/szsec_crypto.dir/cipher.cpp.o.d"
+  "CMakeFiles/szsec_crypto.dir/des.cpp.o"
+  "CMakeFiles/szsec_crypto.dir/des.cpp.o.d"
+  "CMakeFiles/szsec_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/szsec_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/szsec_crypto.dir/modes.cpp.o"
+  "CMakeFiles/szsec_crypto.dir/modes.cpp.o.d"
+  "CMakeFiles/szsec_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/szsec_crypto.dir/sha256.cpp.o.d"
+  "libszsec_crypto.a"
+  "libszsec_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szsec_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/datasets.cpp" "src/data/CMakeFiles/szsec_data.dir/datasets.cpp.o" "gcc" "src/data/CMakeFiles/szsec_data.dir/datasets.cpp.o.d"
+  "/root/repo/src/data/fieldgen.cpp" "src/data/CMakeFiles/szsec_data.dir/fieldgen.cpp.o" "gcc" "src/data/CMakeFiles/szsec_data.dir/fieldgen.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/data/CMakeFiles/szsec_data.dir/io.cpp.o" "gcc" "src/data/CMakeFiles/szsec_data.dir/io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/szsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

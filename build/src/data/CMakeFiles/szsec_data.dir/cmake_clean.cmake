@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szsec_data.dir/datasets.cpp.o"
+  "CMakeFiles/szsec_data.dir/datasets.cpp.o.d"
+  "CMakeFiles/szsec_data.dir/fieldgen.cpp.o"
+  "CMakeFiles/szsec_data.dir/fieldgen.cpp.o.d"
+  "CMakeFiles/szsec_data.dir/io.cpp.o"
+  "CMakeFiles/szsec_data.dir/io.cpp.o.d"
+  "libszsec_data.a"
+  "libszsec_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szsec_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szsec_huffman.dir/huffman.cpp.o"
+  "CMakeFiles/szsec_huffman.dir/huffman.cpp.o.d"
+  "libszsec_huffman.a"
+  "libszsec_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szsec_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nist/sp800_22.cpp" "src/nist/CMakeFiles/szsec_nist.dir/sp800_22.cpp.o" "gcc" "src/nist/CMakeFiles/szsec_nist.dir/sp800_22.cpp.o.d"
+  "/root/repo/src/nist/special_functions.cpp" "src/nist/CMakeFiles/szsec_nist.dir/special_functions.cpp.o" "gcc" "src/nist/CMakeFiles/szsec_nist.dir/special_functions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/szsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

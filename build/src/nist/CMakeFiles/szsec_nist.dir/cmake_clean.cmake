@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szsec_nist.dir/sp800_22.cpp.o"
+  "CMakeFiles/szsec_nist.dir/sp800_22.cpp.o.d"
+  "CMakeFiles/szsec_nist.dir/special_functions.cpp.o"
+  "CMakeFiles/szsec_nist.dir/special_functions.cpp.o.d"
+  "libszsec_nist.a"
+  "libszsec_nist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szsec_nist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for szsec_nist.
+# This may be replaced when dependencies are built.

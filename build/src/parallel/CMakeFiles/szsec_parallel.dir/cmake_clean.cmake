@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szsec_parallel.dir/slab.cpp.o"
+  "CMakeFiles/szsec_parallel.dir/slab.cpp.o.d"
+  "CMakeFiles/szsec_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/szsec_parallel.dir/thread_pool.cpp.o.d"
+  "libszsec_parallel.a"
+  "libszsec_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szsec_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szsec_sz.dir/analysis.cpp.o"
+  "CMakeFiles/szsec_sz.dir/analysis.cpp.o.d"
+  "CMakeFiles/szsec_sz.dir/pipeline.cpp.o"
+  "CMakeFiles/szsec_sz.dir/pipeline.cpp.o.d"
+  "libszsec_sz.a"
+  "libszsec_sz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szsec_sz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szsec_zfpl.dir/zfpl.cpp.o"
+  "CMakeFiles/szsec_zfpl.dir/zfpl.cpp.o.d"
+  "libszsec_zfpl.a"
+  "libszsec_zfpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szsec_zfpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for szsec_zfpl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szsec_zlite.dir/zlite.cpp.o"
+  "CMakeFiles/szsec_zlite.dir/zlite.cpp.o.d"
+  "libszsec_zlite.a"
+  "libszsec_zlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szsec_zlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

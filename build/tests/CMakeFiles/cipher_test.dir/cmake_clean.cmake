@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cipher_test.dir/cipher_test.cpp.o"
+  "CMakeFiles/cipher_test.dir/cipher_test.cpp.o.d"
+  "cipher_test"
+  "cipher_test.pdb"
+  "cipher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cipher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

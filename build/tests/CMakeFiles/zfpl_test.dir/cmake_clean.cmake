@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zfpl_test.dir/zfpl_test.cpp.o"
+  "CMakeFiles/zfpl_test.dir/zfpl_test.cpp.o.d"
+  "zfpl_test"
+  "zfpl_test.pdb"
+  "zfpl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zfpl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
