@@ -14,15 +14,17 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/bench/CMakeFiles/bench_util.dir/DependInfo.cmake"
-  "/root/repo/build/src/core/CMakeFiles/szsec_core.dir/DependInfo.cmake"
-  "/root/repo/build/src/crypto/CMakeFiles/szsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/szsec_archive.dir/DependInfo.cmake"
   "/root/repo/build/src/data/CMakeFiles/szsec_data.dir/DependInfo.cmake"
   "/root/repo/build/src/nist/CMakeFiles/szsec_nist.dir/DependInfo.cmake"
   "/root/repo/build/src/baselines/CMakeFiles/szsec_baselines.dir/DependInfo.cmake"
-  "/root/repo/build/src/sz/CMakeFiles/szsec_sz.dir/DependInfo.cmake"
-  "/root/repo/build/src/huffman/CMakeFiles/szsec_huffman.dir/DependInfo.cmake"
-  "/root/repo/build/src/zlite/CMakeFiles/szsec_zlite.dir/DependInfo.cmake"
   "/root/repo/build/src/zfpl/CMakeFiles/szsec_zfpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/szsec_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/szsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sz/CMakeFiles/szsec_sz.dir/DependInfo.cmake"
+  "/root/repo/build/src/zlite/CMakeFiles/szsec_zlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/huffman/CMakeFiles/szsec_huffman.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/szsec_crypto.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/szsec_common.dir/DependInfo.cmake"
   )
 

@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/data/CMakeFiles/szsec_data.dir/DependInfo.cmake"
   "/root/repo/build/src/nist/CMakeFiles/szsec_nist.dir/DependInfo.cmake"
   "/root/repo/build/src/parallel/CMakeFiles/szsec_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/szsec_archive.dir/DependInfo.cmake"
   "/root/repo/build/src/sz/CMakeFiles/szsec_sz.dir/DependInfo.cmake"
   "/root/repo/build/src/huffman/CMakeFiles/szsec_huffman.dir/DependInfo.cmake"
   "/root/repo/build/src/zlite/CMakeFiles/szsec_zlite.dir/DependInfo.cmake"

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salvage_demo.dir/salvage_demo.cpp.o"
+  "CMakeFiles/salvage_demo.dir/salvage_demo.cpp.o.d"
+  "salvage_demo"
+  "salvage_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salvage_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

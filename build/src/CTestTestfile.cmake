@@ -11,6 +11,7 @@ subdirs("zlite")
 subdirs("sz")
 subdirs("core")
 subdirs("parallel")
+subdirs("archive")
 subdirs("baselines")
 subdirs("zfpl")
 subdirs("nist")

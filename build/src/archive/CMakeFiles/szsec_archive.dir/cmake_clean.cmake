@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szsec_archive.dir/chunked.cpp.o"
+  "CMakeFiles/szsec_archive.dir/chunked.cpp.o.d"
+  "libszsec_archive.a"
+  "libszsec_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szsec_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

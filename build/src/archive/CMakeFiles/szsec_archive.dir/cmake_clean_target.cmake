@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libszsec_archive.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/archive_test.cpp" "tests/CMakeFiles/archive_test.dir/archive_test.cpp.o" "gcc" "tests/CMakeFiles/archive_test.dir/archive_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/archive/CMakeFiles/szsec_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/szsec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/szsec_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/szsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sz/CMakeFiles/szsec_sz.dir/DependInfo.cmake"
+  "/root/repo/build/src/huffman/CMakeFiles/szsec_huffman.dir/DependInfo.cmake"
+  "/root/repo/build/src/zlite/CMakeFiles/szsec_zlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/szsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/szsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -16,6 +16,8 @@ include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/nist_test[1]_include.cmake")
 include("/root/repo/build/tests/data_test[1]_include.cmake")
 include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/archive_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
 include("/root/repo/build/tests/baselines_test[1]_include.cmake")

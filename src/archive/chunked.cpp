@@ -1,0 +1,576 @@
+#include "archive/chunked.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <optional>
+
+#include "common/crc32.h"
+
+namespace szsec::archive {
+
+namespace {
+
+using parallel::SlabConfig;
+using parallel::SlabPlan;
+
+constexpr uint64_t kMaxExtent = uint64_t{1} << 40;
+constexpr size_t kMarkerSize = sizeof(uint64_t);
+
+Bytes make_frame(uint64_t chunk_id, uint64_t row_start, uint64_t row_extent,
+                 const Bytes& container) {
+  ByteWriter w(container.size() + 32);
+  w.put_u64(kResyncMarker);
+  w.put_varint(chunk_id);
+  w.put_varint(row_start);
+  w.put_varint(row_extent);
+  w.put_varint(container.size());
+  w.put_u32(crc32(BytesView(container)));
+  w.put_bytes(BytesView(container));
+  return w.take();
+}
+
+/// A frame located in (possibly damaged) archive bytes.  `crc_ok` is the
+/// only integrity statement; the field values are sanity-capped but
+/// otherwise untrusted until cross-checked against the index or the
+/// chunk's own container header.
+struct Frame {
+  uint64_t chunk_id = 0;
+  uint64_t row_start = 0;
+  uint64_t row_extent = 0;
+  size_t offset = 0;     ///< absolute frame start (marker byte 0)
+  size_t frame_len = 0;  ///< marker..container end
+  BytesView container;
+  bool crc_ok = false;
+};
+
+/// Parses a frame whose marker starts at `pos`; nullopt when the bytes
+/// there do not form a plausible frame (truncated, absurd fields).
+std::optional<Frame> parse_frame_at(BytesView archive, size_t pos) {
+  try {
+    ByteReader r(archive.subspan(pos));
+    if (r.get_u64() != kResyncMarker) return std::nullopt;
+    Frame f;
+    f.offset = pos;
+    f.chunk_id = r.get_varint();
+    f.row_start = r.get_varint();
+    f.row_extent = r.get_varint();
+    if (f.chunk_id > kMaxExtent || f.row_start > kMaxExtent ||
+        f.row_extent == 0 || f.row_extent > kMaxExtent) {
+      return std::nullopt;
+    }
+    const uint64_t len = r.get_varint();
+    if (r.remaining() < sizeof(uint32_t) ||
+        len > r.remaining() - sizeof(uint32_t)) {
+      return std::nullopt;
+    }
+    const uint32_t crc = r.get_u32();
+    f.container = r.get_bytes(static_cast<size_t>(len));
+    f.frame_len = r.pos();
+    f.crc_ok = crc32(f.container) == crc;
+    return f;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+/// Finds the next resync marker at or after `pos` (byte-wise search).
+size_t find_marker(BytesView archive, size_t pos) {
+  uint8_t pattern[kMarkerSize];
+  std::memcpy(pattern, &kResyncMarker, kMarkerSize);
+  while (pos + kMarkerSize <= archive.size()) {
+    const auto* hit = static_cast<const uint8_t*>(
+        std::memchr(archive.data() + pos, pattern[0], archive.size() - pos));
+    if (hit == nullptr) break;
+    pos = static_cast<size_t>(hit - archive.data());
+    if (pos + kMarkerSize > archive.size()) break;
+    if (std::memcmp(archive.data() + pos, pattern, kMarkerSize) == 0) {
+      return pos;
+    }
+    ++pos;
+  }
+  return archive.size();
+}
+
+Dims dims_from_extents(const size_t* extents, size_t rank) {
+  switch (rank) {
+    case 1:
+      return Dims{extents[0]};
+    case 2:
+      return Dims{extents[0], extents[1]};
+    case 3:
+      return Dims{extents[0], extents[1], extents[2]};
+    default:
+      return Dims{extents[0], extents[1], extents[2], extents[3]};
+  }
+}
+
+/// Decodes one chunk container and validates it against the frame's row
+/// claim (and the field's plane dims when already known).  Returns the
+/// failure reason, or empty on success (with `out` filled).
+std::string try_decode_chunk(const Frame& f, BytesView key,
+                             const std::optional<Dims>& field_dims,
+                             std::vector<float>& out, Dims& chunk_dims) {
+  try {
+    const core::Header h = core::peek_header(f.container);
+    if (h.dims[0] != f.row_extent) return "container rows != frame rows";
+    if (field_dims) {
+      if (h.dims.rank() != field_dims->rank()) return "rank mismatch";
+      for (size_t i = 1; i < h.dims.rank(); ++i) {
+        if (h.dims[i] != (*field_dims)[i]) return "plane dims mismatch";
+      }
+    }
+    if (h.dtype != sz::DType::kFloat32) return "unsupported dtype";
+    core::CipherSpec spec{h.cipher_kind, h.cipher_mode};
+    spec.authenticate = (h.flags & core::kFlagAuthenticated) != 0;
+    const core::SecureCompressor c(h.params, h.scheme, key, spec);
+    out = c.decompress_f32(f.container);
+    if (out.size() != h.dims.count()) return "decoded size mismatch";
+    chunk_dims = h.dims;
+    return {};
+  } catch (const Error& e) {
+    return e.what();
+  }
+}
+
+}  // namespace
+
+const char* to_string(ChunkStatus s) {
+  switch (s) {
+    case ChunkStatus::kOk:
+      return "ok";
+    case ChunkStatus::kRelocated:
+      return "relocated";
+    case ChunkStatus::kCorrupt:
+      return "corrupt";
+    default:
+      return "missing";
+  }
+}
+
+ChunkedCompressResult compress_chunked(std::span<const float> data,
+                                       const Dims& dims,
+                                       const sz::Params& params,
+                                       core::Scheme scheme, BytesView key,
+                                       const core::CipherSpec& spec,
+                                       const ChunkedConfig& config,
+                                       crypto::CtrDrbg* seed_drbg) {
+  SZSEC_REQUIRE(data.size() == dims.count(), "data size mismatch");
+  parallel::ThreadPool pool(config.threads);
+  SlabConfig scfg;
+  scfg.threads = config.threads;
+  scfg.slabs = config.chunks;
+  const SlabPlan plan =
+      parallel::plan_slabs(dims, scfg, pool.thread_count());
+
+  crypto::CtrDrbg& master =
+      seed_drbg != nullptr ? *seed_drbg : crypto::global_drbg();
+  std::vector<crypto::CtrDrbg> drbgs;
+  drbgs.reserve(plan.count);
+  for (size_t i = 0; i < plan.count; ++i) {
+    drbgs.emplace_back(BytesView(master.generate(32)));
+  }
+
+  std::vector<core::CompressResult> results(plan.count);
+  parallel::parallel_for(pool, plan.count, [&](size_t i) {
+    const core::SecureCompressor compressor(params, scheme, key, spec,
+                                            &drbgs[i]);
+    const std::span<const float> slab = data.subspan(
+        plan.start[i] * plan.plane, plan.extent[i] * plan.plane);
+    results[i] = compressor.compress(
+        slab, parallel::slab_dims(dims, plan.extent[i]));
+  });
+
+  std::vector<Bytes> frames(plan.count);
+  for (size_t i = 0; i < plan.count; ++i) {
+    frames[i] =
+        make_frame(i, plan.start[i], plan.extent[i], results[i].container);
+  }
+
+  ChunkedCompressResult out;
+  out.chunk_count = plan.count;
+  ByteWriter w;
+  w.put_u32(kChunkedMagic);
+  w.put_u8(kChunkedVersion);
+  w.put_u8(static_cast<uint8_t>(dims.rank()));
+  for (size_t i = 0; i < dims.rank(); ++i) w.put_varint(dims[i]);
+  w.put_varint(plan.count);
+  uint64_t rel = 0;
+  for (size_t i = 0; i < plan.count; ++i) {
+    w.put_varint(rel);
+    w.put_varint(frames[i].size());
+    w.put_varint(plan.start[i]);
+    w.put_varint(plan.extent[i]);
+    rel += frames[i].size();
+  }
+  w.put_u32(crc32(BytesView(w.bytes())));
+
+  double weighted_predictable = 0;
+  for (const core::CompressResult& r : results) {
+    out.stats.raw_bytes += r.stats.raw_bytes;
+    out.stats.payload_bytes += r.stats.payload_bytes;
+    out.stats.tree_bytes += r.stats.tree_bytes;
+    out.stats.codeword_bytes += r.stats.codeword_bytes;
+    out.stats.unpredictable_bytes += r.stats.unpredictable_bytes;
+    out.stats.unpredictable_count += r.stats.unpredictable_count;
+    out.stats.element_count += r.stats.element_count;
+    out.stats.encrypted_bytes += r.stats.encrypted_bytes;
+    weighted_predictable +=
+        r.stats.predictable_fraction * r.stats.element_count;
+  }
+  out.stats.predictable_fraction =
+      out.stats.element_count == 0
+          ? 0
+          : weighted_predictable / out.stats.element_count;
+
+  Bytes archive = w.take();
+  for (const Bytes& f : frames) {
+    archive.insert(archive.end(), f.begin(), f.end());
+  }
+  out.archive = std::move(archive);
+  out.stats.container_bytes = out.archive.size();
+  return out;
+}
+
+ChunkIndex read_chunk_index(BytesView archive) {
+  ByteReader r(archive);
+  SZSEC_CHECK_FORMAT(r.get_u32() == kChunkedMagic, "bad archive magic");
+  SZSEC_CHECK_FORMAT(r.get_u8() == kChunkedVersion,
+                     "unsupported archive version");
+  const uint8_t rank = r.get_u8();
+  SZSEC_CHECK_FORMAT(rank >= 1 && rank <= Dims::kMaxRank, "bad rank");
+  size_t extents[Dims::kMaxRank] = {};
+  for (size_t i = 0; i < rank; ++i) {
+    const uint64_t e = r.get_varint();
+    SZSEC_CHECK_FORMAT(e > 0 && e <= kMaxExtent, "bad extent");
+    extents[i] = static_cast<size_t>(e);
+  }
+  ChunkIndex out;
+  out.dims = dims_from_extents(extents, rank);
+  const uint64_t count = r.get_varint();
+  SZSEC_CHECK_FORMAT(count >= 1 && count <= out.dims[0],
+                     "implausible chunk count");
+  uint64_t expect_rel = 0;
+  uint64_t expect_row = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    ChunkEntry e;
+    e.offset = r.get_varint();  // relative until body_start is known
+    e.frame_len = r.get_varint();
+    e.row_start = r.get_varint();
+    e.row_extent = r.get_varint();
+    SZSEC_CHECK_FORMAT(e.offset == expect_rel, "index offsets not dense");
+    SZSEC_CHECK_FORMAT(e.frame_len > 0, "empty frame");
+    SZSEC_CHECK_FORMAT(e.row_start == expect_row &&
+                           e.row_extent >= 1 &&
+                           e.row_start + e.row_extent <= out.dims[0],
+                       "index rows inconsistent");
+    expect_rel += e.frame_len;
+    expect_row += e.row_extent;
+    out.entries.push_back(e);
+  }
+  SZSEC_CHECK_FORMAT(expect_row == out.dims[0],
+                     "chunks do not cover the field");
+  const size_t crc_end = r.pos();
+  const uint32_t declared = r.get_u32();
+  SZSEC_CHECK_FORMAT(crc32(archive.subspan(0, crc_end)) == declared,
+                     "index CRC mismatch");
+  out.body_start = r.pos();
+  for (ChunkEntry& e : out.entries) e.offset += out.body_start;
+  return out;
+}
+
+Dims chunked_dims(BytesView archive) {
+  return read_chunk_index(archive).dims;
+}
+
+std::vector<float> decompress_chunked_f32(BytesView archive, BytesView key,
+                                          const ChunkedConfig& config) {
+  const ChunkIndex index = read_chunk_index(archive);
+  const size_t plane = index.dims.count() / index.dims[0];
+  std::vector<float> out(index.dims.count());
+
+  // Validate every frame before spending any decode time.
+  std::vector<Frame> frames;
+  for (size_t i = 0; i < index.entries.size(); ++i) {
+    const ChunkEntry& e = index.entries[i];
+    SZSEC_CHECK_FORMAT(e.offset + e.frame_len <= archive.size(),
+                       "frame extends past archive end");
+    const std::optional<Frame> f = parse_frame_at(archive, e.offset);
+    SZSEC_CHECK_FORMAT(f.has_value(), "unparseable chunk frame");
+    SZSEC_CHECK_FORMAT(f->chunk_id == i && f->row_start == e.row_start &&
+                           f->row_extent == e.row_extent &&
+                           f->frame_len == e.frame_len,
+                       "frame disagrees with index");
+    SZSEC_CHECK_FORMAT(f->crc_ok, "chunk CRC mismatch");
+    frames.push_back(*f);
+  }
+
+  parallel::ThreadPool pool(config.threads);
+  parallel::parallel_for(pool, frames.size(), [&](size_t i) {
+    std::vector<float> chunk;
+    Dims chunk_dims;
+    const std::string err =
+        try_decode_chunk(frames[i], key, index.dims, chunk, chunk_dims);
+    if (!err.empty()) {
+      throw CorruptError("chunk " + std::to_string(i) + ": " + err);
+    }
+    std::copy(chunk.begin(), chunk.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(
+                                frames[i].row_start * plane));
+  });
+  return out;
+}
+
+SalvageResult decompress_salvage(BytesView archive, BytesView key,
+                                 const SalvageOptions& opts) {
+  SalvageResult out;
+  SalvageReport& rep = out.report;
+
+  std::optional<ChunkIndex> index;
+  try {
+    index = read_chunk_index(archive);
+  } catch (const Error&) {
+  }
+  rep.index_intact = index.has_value();
+
+  // Phase 1: locate a CRC-valid frame per chunk id.  With an intact
+  // index, first try each chunk exactly where the index says (kOk); a
+  // full resync scan then rescues chunks whose offsets no longer hold
+  // (insertion, deletion, reordering) or, without an index, finds
+  // everything we will ever know about.
+  std::map<uint64_t, Frame> found;          // id -> CRC-valid frame
+  std::map<uint64_t, bool> relocated;       // id -> found via scan
+  std::map<uint64_t, std::string> failure;  // id -> latest reason
+  std::map<uint64_t, uint64_t> located_bad; // id -> damaged frame's length
+  size_t resolved_at_index = 0;
+
+  if (index) {
+    for (size_t i = 0; i < index->entries.size(); ++i) {
+      const ChunkEntry& e = index->entries[i];
+      if (e.offset >= archive.size()) {
+        failure[i] = "frame offset past archive end (truncated?)";
+        continue;
+      }
+      const std::optional<Frame> f = parse_frame_at(archive, e.offset);
+      if (!f) {
+        failure[i] = "no valid frame at indexed offset";
+        located_bad[i] = e.frame_len;
+        continue;
+      }
+      if (f->chunk_id != i || f->row_start != e.row_start ||
+          f->row_extent != e.row_extent) {
+        failure[i] = "frame fields disagree with index";
+        // A CRC-valid frame here belongs to a *different* chunk (offsets
+        // shifted by deletion/insertion) — chunk i itself may be gone,
+        // so don't claim a damaged frame was located for it.
+        if (!f->crc_ok) located_bad[i] = e.frame_len;
+        continue;
+      }
+      if (!f->crc_ok) {
+        failure[i] = "chunk CRC mismatch";
+        located_bad[i] = e.frame_len;
+        continue;
+      }
+      found.emplace(i, *f);
+      relocated[i] = false;
+      ++resolved_at_index;
+    }
+  }
+
+  const bool need_scan =
+      !index || resolved_at_index < index->entries.size();
+  if (need_scan) {
+    for (size_t pos = find_marker(archive, 0); pos < archive.size();
+         pos = find_marker(archive, pos)) {
+      const std::optional<Frame> f = parse_frame_at(archive, pos);
+      if (!f || !f->crc_ok) {
+        ++pos;  // false positive or damaged frame: keep scanning
+        continue;
+      }
+      if (index) {
+        // The CRC-protected index is authoritative: a scanned frame may
+        // only stand in for the chunk id it claims, at that id's rows.
+        const bool known = f->chunk_id < index->entries.size();
+        if (!known ||
+            index->entries[f->chunk_id].row_start != f->row_start ||
+            index->entries[f->chunk_id].row_extent != f->row_extent) {
+          pos += kMarkerSize;
+          continue;
+        }
+      }
+      if (found.emplace(f->chunk_id, *f).second) {
+        relocated[f->chunk_id] = true;
+      }
+      pos = f->offset + f->frame_len;
+    }
+  }
+
+  // Phase 2: decode every located frame; learn field dims from the index
+  // or from the first decodable chunk.
+  std::optional<Dims> field_dims;
+  if (index) field_dims = index->dims;
+
+  struct Decoded {
+    uint64_t chunk_id;
+    uint64_t row_start;
+    uint64_t row_extent;
+    size_t frame_len;
+    std::vector<float> data;
+  };
+  std::vector<Decoded> decoded;
+  uint64_t max_row_end = 0;
+  for (auto& [id, f] : found) {
+    std::vector<float> data;
+    Dims chunk_dims;
+    const std::string err =
+        try_decode_chunk(f, key, field_dims, data, chunk_dims);
+    if (!err.empty()) {
+      failure[id] = err;
+      continue;
+    }
+    if (!field_dims) {
+      // Scan-only recovery: plane dims come from the chunk itself; the
+      // slowest extent is completed below from row coverage.
+      field_dims = chunk_dims;
+    }
+    max_row_end = std::max(max_row_end, f.row_start + f.row_extent);
+    decoded.push_back(Decoded{id, f.row_start, f.row_extent, f.frame_len,
+                              std::move(data)});
+  }
+
+  if (!field_dims) {
+    // Nothing decodable at all: report whatever we know and bail out.
+    rep.chunks_expected = index ? index->entries.size() : 0;
+    rep.bytes_skipped = archive.size();
+    if (index) {
+      rep.elements_total = index->dims.count();
+      for (size_t i = 0; i < index->entries.size(); ++i) {
+        const ChunkEntry& e = index->entries[i];
+        const bool located = found.count(i) || located_bad.count(i);
+        rep.chunks.push_back(ChunkReport{
+            i, located ? ChunkStatus::kCorrupt : ChunkStatus::kMissing,
+            e.row_start, e.row_extent,
+            found.count(i) ? found[i].frame_len
+                           : (located_bad.count(i) ? located_bad[i] : 0),
+            failure.count(i) ? failure[i] : "undecodable"});
+      }
+      out.dims = index->dims;
+      out.f32.assign(out.dims.count(),
+                     opts.fill == FallbackFill::kNaN
+                         ? std::numeric_limits<float>::quiet_NaN()
+                         : 0.0f);
+    }
+    return out;
+  }
+
+  const uint64_t total_rows = index ? index->dims[0] : max_row_end;
+  out.dims = parallel::slab_dims(*field_dims,
+                                 static_cast<size_t>(total_rows));
+  const size_t plane = out.dims.count() / out.dims[0];
+  rep.elements_total = out.dims.count();
+
+  // Phase 3: assemble.  Rows are claimed first-come (decoded is in
+  // chunk-id order), so a duplicated or adversarially overlapping frame
+  // cannot overwrite data a legitimate chunk already recovered.
+  std::vector<uint8_t> row_claimed(out.dims[0], 0);
+  out.f32.assign(out.dims.count(), 0.0f);
+  double mean_acc = 0;
+  uint64_t mean_n = 0;
+  uint64_t frame_bytes_recovered = 0;
+  std::map<uint64_t, Decoded*> placed;
+  for (Decoded& d : decoded) {
+    if (d.row_start + d.row_extent > out.dims[0]) {
+      failure[d.chunk_id] = "rows outside the field";
+      continue;
+    }
+    bool overlap = false;
+    for (uint64_t rw = d.row_start; rw < d.row_start + d.row_extent; ++rw) {
+      if (row_claimed[rw]) overlap = true;
+    }
+    if (overlap) {
+      failure[d.chunk_id] = "rows overlap an already-recovered chunk";
+      continue;
+    }
+    for (uint64_t rw = d.row_start; rw < d.row_start + d.row_extent; ++rw) {
+      row_claimed[rw] = 1;
+    }
+    std::copy(d.data.begin(), d.data.end(),
+              out.f32.begin() +
+                  static_cast<std::ptrdiff_t>(d.row_start * plane));
+    for (float v : d.data) mean_acc += v;
+    mean_n += d.data.size();
+    frame_bytes_recovered += d.frame_len;
+    placed.emplace(d.chunk_id, &d);
+  }
+
+  // Fallback fill for unclaimed rows.
+  float fill = 0.0f;
+  if (opts.fill == FallbackFill::kNaN) {
+    fill = std::numeric_limits<float>::quiet_NaN();
+  } else if (opts.fill == FallbackFill::kMean && mean_n > 0) {
+    fill = static_cast<float>(mean_acc / static_cast<double>(mean_n));
+  }
+  for (size_t rw = 0; rw < out.dims[0]; ++rw) {
+    if (row_claimed[rw]) continue;
+    std::fill_n(out.f32.begin() + static_cast<std::ptrdiff_t>(rw * plane),
+                plane, fill);
+  }
+
+  // Phase 4: the report, one entry per expected chunk in id order.  With
+  // no index the expectation is reconstructed from the recovered frames:
+  // row gaps between them are attributed to missing ids.
+  rep.elements_recovered = mean_n;
+  rep.chunks_recovered = placed.size();
+  if (index) {
+    rep.chunks_expected = index->entries.size();
+    for (size_t i = 0; i < index->entries.size(); ++i) {
+      const ChunkEntry& e = index->entries[i];
+      ChunkReport cr;
+      cr.chunk_id = i;
+      cr.row_start = e.row_start;
+      cr.row_extent = e.row_extent;
+      if (auto it = placed.find(i); it != placed.end()) {
+        cr.status = relocated[i] ? ChunkStatus::kRelocated : ChunkStatus::kOk;
+        cr.frame_bytes = it->second->frame_len;
+      } else if (found.count(i) || located_bad.count(i)) {
+        cr.status = ChunkStatus::kCorrupt;
+        cr.detail = failure.count(i) ? failure[i] : "undecodable";
+        cr.frame_bytes = found.count(i) ? found[i].frame_len : located_bad[i];
+      } else {
+        cr.status = ChunkStatus::kMissing;
+        cr.detail = failure.count(i) ? failure[i] : "no frame found";
+      }
+      rep.chunks.push_back(std::move(cr));
+    }
+    const uint64_t accounted = frame_bytes_recovered + index->body_start;
+    rep.bytes_skipped =
+        archive.size() > accounted ? archive.size() - accounted : 0;
+  } else {
+    uint64_t next_gap_id = 0;
+    uint64_t row = 0;
+    for (auto& [id, d] : placed) {
+      if (d->row_start > row) {
+        rep.chunks.push_back(ChunkReport{
+            next_gap_id, ChunkStatus::kMissing, row, d->row_start - row, 0,
+            "no frame found for these rows"});
+      }
+      ChunkReport cr;
+      cr.chunk_id = id;
+      cr.status = ChunkStatus::kRelocated;
+      cr.row_start = d->row_start;
+      cr.row_extent = d->row_extent;
+      cr.frame_bytes = d->frame_len;
+      rep.chunks.push_back(std::move(cr));
+      next_gap_id = id + 1;
+      row = d->row_start + d->row_extent;
+    }
+    rep.chunks_expected = rep.chunks.size();
+    rep.bytes_skipped = archive.size() > frame_bytes_recovered
+                            ? archive.size() - frame_bytes_recovered
+                            : 0;
+  }
+  return out;
+}
+
+}  // namespace szsec::archive

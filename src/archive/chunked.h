@@ -1,0 +1,164 @@
+// Fault-tolerant chunked archives (container format v3).
+//
+// The single-container pipeline assumes its bytes arrive intact: one
+// flipped bit in a CBC block or in the Huffman tree loses the whole
+// field.  This module bounds the blast radius of corruption to one
+// chunk.  A field is split into independent slabs (the same planning as
+// src/parallel), each compressed + encrypted as a self-contained szsec
+// container with its own IV, and framed with a resync marker and a
+// CRC-32 so damage is detected per chunk and the decoder can skip it.
+//
+// Archive layout (v3):
+//   u32 magic "SZS3" | u8 version=3 | u8 rank | varint dims[rank]
+//   varint chunk_count
+//   index: chunk_count x (varint offset     -- frame start, relative
+//                                              to the first frame
+//                         varint frame_len
+//                         varint row_start | varint row_extent)
+//   u32 index_crc   -- CRC-32 of every byte from magic to here
+//   frames: chunk_count x
+//     u64 resync marker | varint chunk_id
+//     varint row_start | varint row_extent
+//     varint container_len | u32 container_crc | container bytes
+//
+// Frames are self-describing (id + row range + length + CRC behind a
+// fixed 8-byte marker), so the salvage decoder recovers intact chunks
+// even when the header/index is destroyed or frame offsets shifted
+// (byte insertion/deletion): it rescans the damaged region for the next
+// marker.  No plaintext statistics of the field are stored — the mean
+// fallback fill is computed from the *recovered* elements, so the
+// archive leaks nothing about encrypted content beyond its size.
+#pragma once
+
+#include <string>
+
+#include "parallel/slab.h"
+
+namespace szsec::archive {
+
+inline constexpr uint32_t kChunkedMagic = 0x33535A53;  // "SZS3"
+inline constexpr uint8_t kChunkedVersion = 3;
+/// Resync marker preceding every chunk frame ("SZ!RSYNC" backwards in
+/// memory: chosen once, never a valid container prefix).
+inline constexpr uint64_t kResyncMarker = 0x434E595352215A53ull;
+
+struct ChunkedConfig {
+  /// Worker threads for compression / strict decompression (0 = all).
+  unsigned threads = 0;
+  /// Number of chunks (0 = 2x threads, capped by the slowest extent).
+  size_t chunks = 0;
+};
+
+struct ChunkedCompressResult {
+  Bytes archive;
+  size_t chunk_count = 0;
+  /// Aggregate stats (sums over chunks; predictable_fraction weighted).
+  core::CompressStats stats;
+};
+
+/// Compresses `data` into a fault-tolerant chunked archive.  Parameters
+/// mirror parallel::compress_slabs; every chunk gets its own IV from
+/// `seed_drbg` (or the global DRBG).
+ChunkedCompressResult compress_chunked(std::span<const float> data,
+                                       const Dims& dims,
+                                       const sz::Params& params,
+                                       core::Scheme scheme, BytesView key,
+                                       const core::CipherSpec& spec = {},
+                                       const ChunkedConfig& config = {},
+                                       crypto::CtrDrbg* seed_drbg = nullptr);
+
+/// Strict decode: requires every chunk intact; throws CorruptError on any
+/// damage (the fail-fast path for callers who cannot accept data loss).
+std::vector<float> decompress_chunked_f32(BytesView archive, BytesView key,
+                                          const ChunkedConfig& config = {});
+
+/// Reads the archive's field dims without decompressing (strict parse).
+Dims chunked_dims(BytesView archive);
+
+/// One index entry, with `offset` made absolute (from archive start).
+struct ChunkEntry {
+  uint64_t offset = 0;     ///< frame start, absolute byte offset
+  uint64_t frame_len = 0;  ///< whole frame, marker included
+  uint64_t row_start = 0;  ///< slowest-dim start
+  uint64_t row_extent = 0;
+};
+
+/// Strictly parsed archive prelude; `body_start` is the offset of the
+/// first frame.  Throws CorruptError on any inconsistency (including an
+/// index CRC mismatch).  Used by tooling and the fault-injection harness
+/// to locate chunk boundaries.
+struct ChunkIndex {
+  Dims dims;
+  size_t body_start = 0;
+  std::vector<ChunkEntry> entries;
+};
+ChunkIndex read_chunk_index(BytesView archive);
+
+/// What happened to one chunk during salvage.
+enum class ChunkStatus : uint8_t {
+  kOk,         ///< decoded at its indexed position, CRC verified
+  kRelocated,  ///< decoded after a resync scan (index lost or offsets
+               ///< shifted by insertion/deletion/reordering)
+  kCorrupt,    ///< frame located but CRC/decode failed
+  kMissing,    ///< no frame for this chunk found anywhere
+};
+
+const char* to_string(ChunkStatus s);
+
+struct ChunkReport {
+  uint64_t chunk_id = 0;
+  ChunkStatus status = ChunkStatus::kMissing;
+  uint64_t row_start = 0;
+  uint64_t row_extent = 0;
+  uint64_t frame_bytes = 0;  ///< 0 when missing
+  std::string detail;        ///< failure reason, empty when kOk
+};
+
+/// Structured outcome of a salvage decode.
+struct SalvageReport {
+  bool index_intact = false;    ///< prelude + index CRC verified
+  uint64_t chunks_expected = 0; ///< from the index, or distinct frames seen
+  uint64_t chunks_recovered = 0;
+  uint64_t bytes_skipped = 0;   ///< archive bytes not part of a recovered
+                                ///< frame (or the intact prelude)
+  uint64_t elements_total = 0;
+  uint64_t elements_recovered = 0;
+  std::vector<ChunkReport> chunks;  ///< one per expected chunk, id order
+
+  bool complete() const { return chunks_recovered == chunks_expected; }
+  double recovered_fraction() const {
+    return elements_total == 0
+               ? 0.0
+               : static_cast<double>(elements_recovered) / elements_total;
+  }
+};
+
+/// Value written into regions whose chunk could not be recovered.
+enum class FallbackFill : uint8_t {
+  kZeros,
+  kNaN,
+  kMean,  ///< mean of the elements that *were* recovered (0 if none);
+          ///< computed at decode time so nothing plaintext is archived
+};
+
+struct SalvageOptions {
+  FallbackFill fill = FallbackFill::kMean;
+};
+
+struct SalvageResult {
+  Dims dims;               ///< rank 0 when nothing was recoverable
+  std::vector<float> f32;  ///< dims.count() elements (empty if rank 0)
+  SalvageReport report;
+};
+
+/// Best-effort decode: recovers every intact chunk from a truncated,
+/// bit-flipped, reordered, or chunk-dropped archive and fills lost
+/// regions per `opts.fill`.  Never throws on corrupt input — damage is
+/// reported in `SalvageResult::report`; an archive with nothing
+/// recoverable (not even field dims) yields an empty result.  Throws
+/// Error only for caller mistakes (e.g. missing key for an encrypted
+/// chunk is reported per chunk, not thrown).
+SalvageResult decompress_salvage(BytesView archive, BytesView key,
+                                 const SalvageOptions& opts = {});
+
+}  // namespace szsec::archive

@@ -116,6 +116,12 @@ class ByteReader {
       SZSEC_CHECK_FORMAT(pos_ < data_.size(), "truncated varint");
       SZSEC_CHECK_FORMAT(shift < 64, "varint too long");
       const uint8_t b = data_[pos_++];
+      // The 10th byte lands at shift 63: only its low bit fits in a
+      // uint64_t, so anything else would shift payload bits out of the
+      // value (an encoding of >= 2^64) and must be rejected, not
+      // silently truncated.
+      SZSEC_CHECK_FORMAT(shift < 63 || (b & 0xFE) == 0,
+                         "varint overflows 64 bits");
       v |= static_cast<uint64_t>(b & 0x7F) << shift;
       if ((b & 0x80) == 0) break;
       shift += 7;

@@ -271,10 +271,21 @@ DecompressResult SecureCompressor::decompress(BytesView container) const {
     decrypted_body = cipher_->decrypt(h.cipher_mode, h.iv, body);
     body = BytesView(decrypted_body);
   }
+  // Decompression-bomb guard: the legitimate payload is linear in the
+  // element count (codewords + unpredictable values) plus the Huffman
+  // table (bounded by quant_bins) plus cipher padding, so cap inflate at
+  // a generous multiple of that.  A tampered body that tries to inflate
+  // unboundedly throws CorruptError instead of exhausting memory.
+  const uint64_t elem_size = h.dtype == sz::DType::kFloat32 ? 4 : 8;
+  const uint64_t payload_cap =
+      2 * (static_cast<uint64_t>(h.dims.count()) * (elem_size + 9) +
+           static_cast<uint64_t>(h.params.quant_bins) * 16 +
+           h.payload_size) +
+      (uint64_t{1} << 20);
   Bytes payload;
   {
     ScopedStageTimer t(&times, "lossless");
-    payload = zlite::inflate(body);
+    payload = zlite::inflate(body, 0, static_cast<size_t>(payload_cap));
   }
   SZSEC_CHECK_FORMAT(
       crc32(BytesView(payload),

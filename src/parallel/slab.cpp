@@ -4,8 +4,6 @@
 
 namespace szsec::parallel {
 
-namespace {
-
 Dims slab_dims(const Dims& dims, size_t slab_extent) {
   switch (dims.rank()) {
     case 1:
@@ -18,13 +16,6 @@ Dims slab_dims(const Dims& dims, size_t slab_extent) {
       return Dims{slab_extent, dims[1], dims[2], dims[3]};
   }
 }
-
-struct SlabPlan {
-  size_t count;
-  std::vector<size_t> start;   // slowest-dim start per slab
-  std::vector<size_t> extent;  // slowest-dim extent per slab
-  size_t plane;                // elements per slowest-dim index
-};
 
 SlabPlan plan_slabs(const Dims& dims, const SlabConfig& config,
                     size_t threads) {
@@ -44,8 +35,6 @@ SlabPlan plan_slabs(const Dims& dims, const SlabConfig& config,
   }
   return plan;
 }
-
-}  // namespace
 
 SlabCompressResult compress_slabs(std::span<const float> data,
                                   const Dims& dims,

@@ -28,6 +28,23 @@ struct SlabConfig {
   size_t slabs = 0;
 };
 
+/// How a field splits along its slowest dimension.  Shared by the slab
+/// archive here and the fault-tolerant chunked archive (src/archive).
+struct SlabPlan {
+  size_t count = 0;
+  std::vector<size_t> start;   ///< slowest-dim start per slab
+  std::vector<size_t> extent;  ///< slowest-dim extent per slab
+  size_t plane = 0;            ///< elements per slowest-dim index
+};
+
+/// Splits `dims` into `config.slabs` slabs (0 = 2x `threads`, clamped to
+/// [1, dims[0]]); extents differ by at most one.
+SlabPlan plan_slabs(const Dims& dims, const SlabConfig& config,
+                    size_t threads);
+
+/// Dims of one slab: `dims` with the slowest extent replaced.
+Dims slab_dims(const Dims& dims, size_t slab_extent);
+
 struct SlabCompressResult {
   Bytes archive;
   size_t slab_count = 0;

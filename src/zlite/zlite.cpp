@@ -563,10 +563,13 @@ class CanonicalDecoder {
 };
 
 void inflate_tokens(LsbBitReader& r, const CanonicalDecoder& lit,
-                    const CanonicalDecoder& dist, Bytes& out) {
+                    const CanonicalDecoder& dist, Bytes& out,
+                    size_t max_size) {
   while (true) {
     const uint32_t sym = lit.decode(r);
     if (sym < 256) {
+      SZSEC_CHECK_FORMAT(max_size == 0 || out.size() < max_size,
+                         "inflated output exceeds declared size cap");
       out.push_back(static_cast<uint8_t>(sym));
     } else if (sym == kEob) {
       return;
@@ -580,6 +583,8 @@ void inflate_tokens(LsbBitReader& r, const CanonicalDecoder& lit,
       const size_t d =
           kDistBase[dsym] + static_cast<size_t>(r.get_bits(kDistExtra[dsym]));
       SZSEC_CHECK_FORMAT(d <= out.size(), "distance beyond output start");
+      SZSEC_CHECK_FORMAT(max_size == 0 || len <= max_size - out.size(),
+                         "inflated output exceeds declared size cap");
       // Byte-at-a-time copy handles overlapping matches correctly.
       const size_t start = out.size() - d;
       for (size_t i = 0; i < len; ++i) out.push_back(out[start + i]);
@@ -616,10 +621,10 @@ Bytes deflate(BytesView data, Level level) {
   return w.finish();
 }
 
-Bytes inflate(BytesView data, size_t size_hint) {
+Bytes inflate(BytesView data, size_t size_hint, size_t max_size) {
   LsbBitReader r(data);
   Bytes out;
-  out.reserve(size_hint);
+  out.reserve(max_size != 0 ? std::min(size_hint, max_size) : size_hint);
   bool final_block = false;
   do {
     final_block = r.get_bit() != 0;
@@ -629,13 +634,15 @@ Bytes inflate(BytesView data, size_t size_hint) {
       const uint64_t len = r.get_bits(16);
       const uint64_t nlen = r.get_bits(16);
       SZSEC_CHECK_FORMAT((len ^ nlen) == 0xFFFF, "stored block LEN mismatch");
+      SZSEC_CHECK_FORMAT(max_size == 0 || len <= max_size - out.size(),
+                         "inflated output exceeds declared size cap");
       const BytesView raw = r.get_bytes(static_cast<size_t>(len));
       out.insert(out.end(), raw.begin(), raw.end());
     } else if (btype == 1) {
       const auto& fx = fixed_codes();
       const CanonicalDecoder lit(fx.lit_len, kMaxLitBits);
       const CanonicalDecoder dist(fx.dist_len, kMaxLitBits);
-      inflate_tokens(r, lit, dist, out);
+      inflate_tokens(r, lit, dist, out, max_size);
     } else if (btype == 2) {
       const int nlit = static_cast<int>(r.get_bits(5)) + 257;
       const int ndist = static_cast<int>(r.get_bits(5)) + 1;
@@ -674,7 +681,7 @@ Bytes inflate(BytesView data, size_t size_hint) {
           lengths.data() + nlit, static_cast<size_t>(ndist));
       const CanonicalDecoder lit(lit_span, kMaxLitBits);
       const CanonicalDecoder dist(dist_span, kMaxLitBits);
-      inflate_tokens(r, lit, dist, out);
+      inflate_tokens(r, lit, dist, out, max_size);
     } else {
       throw CorruptError("corrupt: reserved block type");
     }

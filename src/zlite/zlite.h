@@ -30,7 +30,11 @@ enum class Level : int {
 Bytes deflate(BytesView data, Level level = Level::kDefault);
 
 /// Decompresses a zlite stream.  Throws CorruptError on malformed input.
-/// `size_hint` (optional) preallocates the output buffer.
-Bytes inflate(BytesView data, size_t size_hint = 0);
+/// `size_hint` (optional) preallocates the output buffer.  `max_size`
+/// (0 = unlimited) caps the output: a stream that would inflate past it
+/// throws CorruptError instead of allocating unboundedly, which is the
+/// decompression-bomb guard for decoders that know a plausible output
+/// size up front (the szsec container does — see SecureCompressor).
+Bytes inflate(BytesView data, size_t size_hint = 0, size_t max_size = 0);
 
 }  // namespace szsec::zlite

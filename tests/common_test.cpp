@@ -95,6 +95,39 @@ TEST(ByteStream, OverlongVarintThrows) {
   EXPECT_THROW(r.get_varint(), CorruptError);
 }
 
+// Pathological encodings whose 10th byte carries bits beyond 2^64-1 must
+// be rejected, not silently truncated modulo 2^64 (a forged length could
+// otherwise alias a small value).
+TEST(ByteStream, VarintOverflowingU64Throws) {
+  // 9 continuation bytes then 0x02: encodes 2^65.
+  Bytes buf(9, 0x80);
+  buf.push_back(0x02);
+  {
+    ByteReader r{BytesView(buf)};
+    EXPECT_THROW(r.get_varint(), CorruptError);
+  }
+  // Every 10th-byte value other than 0x00/0x01 overflows.
+  for (int last = 0x02; last <= 0x7F; last += 0x1D) {
+    Bytes b(9, 0xFF);
+    b.push_back(static_cast<uint8_t>(last));
+    ByteReader r{BytesView(b)};
+    EXPECT_THROW(r.get_varint(), CorruptError) << last;
+  }
+  // A continuation bit on the 10th byte can never terminate in range.
+  Bytes cont(9, 0xFF);
+  cont.push_back(0x81);
+  ByteReader rc{BytesView(cont)};
+  EXPECT_THROW(rc.get_varint(), CorruptError);
+}
+
+TEST(ByteStream, VarintMaxU64StillParses) {
+  Bytes buf(9, 0xFF);
+  buf.push_back(0x01);  // canonical encoding of 2^64-1
+  ByteReader r{BytesView(buf)};
+  EXPECT_EQ(r.get_varint(), ~0ull);
+  EXPECT_TRUE(r.done());
+}
+
 TEST(ByteStream, BlobRoundTrip) {
   ByteWriter w;
   const Bytes payload = {1, 2, 3, 4, 5};

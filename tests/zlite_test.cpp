@@ -221,6 +221,26 @@ TEST(Zlite, DeflateIsDeterministic) {
   EXPECT_EQ(deflate(BytesView(data)), deflate(BytesView(data)));
 }
 
+// Decompression-bomb guard: a stream expanding past max_size must throw
+// before allocating the full output, for every block type.
+TEST(Zlite, InflateMaxSizeCapsOutput) {
+  Bytes data(100000, 0x41);  // hugely compressible -> match-heavy stream
+  for (size_t i = 0; i < data.size(); i += 997) {
+    data[i] = static_cast<uint8_t>(i);
+  }
+  for (Level level : {Level::kStored, Level::kFast, Level::kDefault}) {
+    const Bytes packed = deflate(BytesView(data), level);
+    EXPECT_EQ(inflate(BytesView(packed), 0, data.size()), data);
+    EXPECT_EQ(inflate(BytesView(packed), 0, data.size() + 1), data);
+    EXPECT_THROW(inflate(BytesView(packed), 0, data.size() - 1),
+                 CorruptError);
+    EXPECT_THROW(inflate(BytesView(packed), 0, 1), CorruptError);
+  }
+  // max_size = 0 stays unlimited.
+  const Bytes packed = deflate(BytesView(data));
+  EXPECT_EQ(inflate(BytesView(packed)), data);
+}
+
 TEST(Zlite, LazyBeatsOrMatchesGreedyOnText) {
   Bytes data;
   const std::string phrase =
