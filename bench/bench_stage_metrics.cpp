@@ -1,0 +1,63 @@
+// Per-stage pipeline metrics, machine-readable.
+//
+// Runs every scheme over the Table II datasets at a fixed error bound
+// and dumps each stage's wall time and bytes-in/bytes-out (both
+// directions) from the codec's PipelineMetrics sink into
+// BENCH_stage_metrics.json.  This is the structured companion to the
+// Figure 7 time-breakdown bench: plot scripts and regression tracking
+// consume the JSON instead of scraping the printed table.
+//
+// Usage: bench_stage_metrics [output.json]   (default
+// BENCH_stage_metrics.json in the working directory)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace szsec;
+using namespace szsec::bench;
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_stage_metrics.json";
+  const double eb = 1e-5;
+  const std::vector<core::Scheme> schemes = {
+      core::Scheme::kNone, core::Scheme::kCmprEncr,
+      core::Scheme::kEncrQuant, core::Scheme::kEncrHuffman};
+
+  std::vector<StageMetricsRecord> records;
+  print_table_header(
+      "Per-stage compress time (ms) at eb=1e-5  [full detail -> " +
+          out_path + "]",
+      {"pred+quant", "huffman", "encrypt", "lossless", "total"}, 24, 10);
+  for (const std::string& name : table_datasets()) {
+    const data::Dataset& d = dataset(name);
+    for (core::Scheme scheme : schemes) {
+      const Measurement m = measure(d, scheme, eb,
+                                    /*measure_decompress=*/true);
+      StageMetricsRecord rec;
+      rec.dataset = name;
+      rec.scheme = core::scheme_name(scheme);
+      rec.error_bound = eb;
+      rec.raw_bytes = m.stats.raw_bytes;
+      rec.container_bytes = m.stats.container_bytes;
+      rec.compress = m.compress_times;
+      rec.decompress = m.decompress_times;
+      records.push_back(rec);
+
+      print_row(name + " / " + core::scheme_name(scheme),
+                {m.compress_times.get("predict+quantize") * 1e3,
+                 m.compress_times.get("huffman") * 1e3,
+                 m.compress_times.get("encrypt") * 1e3,
+                 m.compress_times.get("lossless") * 1e3,
+                 m.compress_times.total() * 1e3},
+                24, 10);
+    }
+  }
+
+  write_stage_metrics_json(out_path, records);
+  std::printf("\nwrote %zu records to %s\n", records.size(),
+              out_path.c_str());
+  return 0;
+}

@@ -140,6 +140,54 @@ double overhead_percent(const data::Dataset& d, core::Scheme scheme,
          median(std::move(base_times));
 }
 
+namespace {
+
+void write_metrics_object(std::FILE* f, const PipelineMetrics& m) {
+  std::fprintf(f, "{");
+  bool first = true;
+  for (const auto& [stage, metric] : m.all()) {
+    std::fprintf(f,
+                 "%s\n        \"%s\": {\"seconds\": %.9f, \"bytes_in\": "
+                 "%llu, \"bytes_out\": %llu}",
+                 first ? "" : ",", stage.c_str(), metric.seconds,
+                 static_cast<unsigned long long>(metric.bytes_in),
+                 static_cast<unsigned long long>(metric.bytes_out));
+    first = false;
+  }
+  std::fprintf(f, "\n      }");
+}
+
+}  // namespace
+
+void write_stage_metrics_json(
+    const std::string& path,
+    const std::vector<StageMetricsRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  SZSEC_REQUIRE(f != nullptr, "cannot open stage metrics output file");
+  std::fprintf(f, "[");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const StageMetricsRecord& r = records[i];
+    std::fprintf(f,
+                 "%s\n  {\n"
+                 "    \"dataset\": \"%s\",\n"
+                 "    \"scheme\": \"%s\",\n"
+                 "    \"error_bound\": %g,\n"
+                 "    \"raw_bytes\": %llu,\n"
+                 "    \"container_bytes\": %llu,\n"
+                 "    \"compress\": ",
+                 i == 0 ? "" : ",", r.dataset.c_str(), r.scheme.c_str(),
+                 r.error_bound,
+                 static_cast<unsigned long long>(r.raw_bytes),
+                 static_cast<unsigned long long>(r.container_bytes));
+    write_metrics_object(f, r.compress);
+    std::fprintf(f, ",\n    \"decompress\": ");
+    write_metrics_object(f, r.decompress);
+    std::fprintf(f, "\n  }");
+  }
+  std::fprintf(f, "\n]\n");
+  std::fclose(f);
+}
+
 std::string fmt(double v, int width, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%*.*f", width, precision, v);

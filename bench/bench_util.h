@@ -72,6 +72,29 @@ Measurement measure(const data::Dataset& d, core::Scheme scheme, double eb,
 double overhead_percent(const data::Dataset& d, core::Scheme scheme,
                         double eb);
 
+/// One dataset x scheme entry of the machine-readable stage-metrics
+/// dump: the full per-stage PipelineMetrics (seconds + bytes-in/out) for
+/// both directions, plus the end-to-end sizes.
+struct StageMetricsRecord {
+  std::string dataset;
+  std::string scheme;
+  double error_bound = 0;
+  uint64_t raw_bytes = 0;
+  uint64_t container_bytes = 0;
+  PipelineMetrics compress;
+  PipelineMetrics decompress;
+};
+
+/// Writes `records` to `path` as JSON:
+///   [{"dataset": ..., "scheme": ..., "error_bound": ...,
+///     "raw_bytes": ..., "container_bytes": ...,
+///     "compress":   {"<stage>": {"seconds":s,"bytes_in":i,"bytes_out":o}},
+///     "decompress": {...}}, ...]
+/// The consumer side (plot scripts, regression tracking) parses this
+/// instead of scraping the human-readable tables.
+void write_stage_metrics_json(const std::string& path,
+                              const std::vector<StageMetricsRecord>& records);
+
 /// Fixed-width table cell helpers.
 std::string fmt(double v, int width = 10, int precision = 3);
 void print_table_header(const std::string& title,

@@ -133,6 +133,24 @@ Options parse(int argc, char** argv) {
   return o;
 }
 
+// Per-stage breakdown from the codec's PipelineMetrics: wall time plus
+// the byte volume through each stage (and the resulting stage ratio).
+void print_stage_metrics(const char* title, const StageTimes& times) {
+  std::printf("%s\n", title);
+  std::printf("  %-18s %10s %12s %12s %8s\n", "stage", "ms", "bytes in",
+              "bytes out", "ratio");
+  for (const auto& [stage, m] : times.all()) {
+    std::printf("  %-18s %10.3f", stage.c_str(), m.seconds * 1e3);
+    if (m.bytes_in > 0 || m.bytes_out > 0) {
+      std::printf(" %12llu %12llu %8.3f",
+                  static_cast<unsigned long long>(m.bytes_in),
+                  static_cast<unsigned long long>(m.bytes_out), m.ratio());
+    }
+    std::printf("\n");
+  }
+  std::printf("  %-18s %10.3f\n", "total", times.total() * 1e3);
+}
+
 Bytes read_all(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in.good()) usage(("cannot open " + path).c_str());
@@ -168,6 +186,7 @@ int cmd_compress(const Options& o) {
               o.output.c_str(), values.size() * 4, r.container.size(),
               r.stats.compression_ratio(), core::scheme_name(o.scheme),
               o.eb);
+  print_stage_metrics("stages:", r.times);
   return 0;
 }
 
@@ -179,11 +198,13 @@ int cmd_decompress(const Options& o) {
   }
   const core::SecureCompressor c(sz::Params{}, h.scheme, BytesView(o.key),
                                  h.cipher_mode);
-  const std::vector<float> values = c.decompress_f32(BytesView(container));
-  data::save_f32(o.output, values);
+  core::DecompressResult r = c.decompress(BytesView(container));
+  SZSEC_REQUIRE(r.dtype == sz::DType::kFloat32, "container holds float64");
+  data::save_f32(o.output, r.f32);
   std::printf("%s: restored %zu floats (dims %s, eb %g)\n",
-              o.output.c_str(), values.size(), h.dims.to_string().c_str(),
+              o.output.c_str(), r.f32.size(), h.dims.to_string().c_str(),
               h.params.abs_error_bound);
+  print_stage_metrics("stages:", r.times);
   return 0;
 }
 

@@ -6,17 +6,27 @@
 #include <map>
 #include <optional>
 
+#include "common/bufpool.h"
 #include "common/crc32.h"
+#include "core/codec.h"
 
 namespace szsec::archive {
 
 namespace {
 
+using core::codec::CodecRuntime;
+using core::codec::RuntimeCache;
 using parallel::SlabConfig;
 using parallel::SlabPlan;
 
 constexpr uint64_t kMaxExtent = uint64_t{1} << 40;
 constexpr size_t kMarkerSize = sizeof(uint64_t);
+
+template <typename T>
+constexpr sz::DType dtype_of() {
+  return std::is_same_v<T, float> ? sz::DType::kFloat32
+                                  : sz::DType::kFloat64;
+}
 
 Bytes make_frame(uint64_t chunk_id, uint64_t row_start, uint64_t row_extent,
                  const Bytes& container) {
@@ -106,12 +116,18 @@ Dims dims_from_extents(const size_t* extents, size_t rank) {
   }
 }
 
-/// Decodes one chunk container and validates it against the frame's row
-/// claim (and the field's plane dims when already known).  Returns the
-/// failure reason, or empty on success (with `out` filled).
-std::string try_decode_chunk(const Frame& f, BytesView key,
+/// Decodes one chunk container through the shared codec path and
+/// validates it against the frame's row claim (and the field's plane
+/// dims when already known).  When `into` is non-empty the chunk is
+/// reconstructed directly into it (the strict decoder passes its slice
+/// of the output field); otherwise `own` is resized and filled.
+/// Returns the failure reason, or empty on success.
+template <typename T>
+std::string try_decode_chunk(const Frame& f, RuntimeCache& runtimes,
+                             BufferPool* pool,
                              const std::optional<Dims>& field_dims,
-                             std::vector<float>& out, Dims& chunk_dims) {
+                             std::span<T> into, std::vector<T>* own,
+                             Dims& chunk_dims) {
   try {
     const core::Header h = core::peek_header(f.container);
     if (h.dims[0] != f.row_extent) return "container rows != frame rows";
@@ -121,12 +137,24 @@ std::string try_decode_chunk(const Frame& f, BytesView key,
         if (h.dims[i] != (*field_dims)[i]) return "plane dims mismatch";
       }
     }
-    if (h.dtype != sz::DType::kFloat32) return "unsupported dtype";
+    if (h.dtype != dtype_of<T>()) return "container dtype mismatch";
     core::CipherSpec spec{h.cipher_kind, h.cipher_mode};
     spec.authenticate = (h.flags & core::kFlagAuthenticated) != 0;
-    const core::SecureCompressor c(h.params, h.scheme, key, spec);
-    out = c.decompress_f32(f.container);
-    if (out.size() != h.dims.count()) return "decoded size mismatch";
+    const CodecRuntime& runtime = runtimes.get(h.params, h.scheme, spec);
+    std::span<T> dst = into;
+    if (dst.empty()) {
+      own->resize(h.dims.count());
+      dst = std::span<T>(*own);
+    }
+    if (dst.size() != h.dims.count()) return "decoded size mismatch";
+    core::codec::DecodeOptions opts;
+    opts.pool = pool;
+    if constexpr (std::is_same_v<T, float>) {
+      opts.into_f32 = dst;
+    } else {
+      opts.into_f64 = dst;
+    }
+    (void)core::codec::decode_payload(runtime.config(), f.container, opts);
     chunk_dims = h.dims;
     return {};
   } catch (const Error& e) {
@@ -149,13 +177,17 @@ const char* to_string(ChunkStatus s) {
   }
 }
 
-ChunkedCompressResult compress_chunked(std::span<const float> data,
-                                       const Dims& dims,
-                                       const sz::Params& params,
-                                       core::Scheme scheme, BytesView key,
-                                       const core::CipherSpec& spec,
-                                       const ChunkedConfig& config,
-                                       crypto::CtrDrbg* seed_drbg) {
+namespace {
+
+template <typename T>
+ChunkedCompressResult compress_chunked_impl(std::span<const T> data,
+                                            const Dims& dims,
+                                            const sz::Params& params,
+                                            core::Scheme scheme,
+                                            BytesView key,
+                                            const core::CipherSpec& spec,
+                                            const ChunkedConfig& config,
+                                            crypto::CtrDrbg* seed_drbg) {
   SZSEC_REQUIRE(data.size() == dims.count(), "data size mismatch");
   parallel::ThreadPool pool(config.threads);
   SlabConfig scfg;
@@ -172,14 +204,17 @@ ChunkedCompressResult compress_chunked(std::span<const float> data,
     drbgs.emplace_back(BytesView(master.generate(32)));
   }
 
+  // One runtime (key schedule + MAC key) shared by every chunk; the
+  // codec config is immutable, so workers share it freely.
+  const CodecRuntime runtime(params, scheme, key, spec);
+  const core::codec::CodecConfig cfg = runtime.config();
+
   std::vector<core::CompressResult> results(plan.count);
   parallel::parallel_for(pool, plan.count, [&](size_t i) {
-    const core::SecureCompressor compressor(params, scheme, key, spec,
-                                            &drbgs[i]);
-    const std::span<const float> slab = data.subspan(
+    const std::span<const T> slab = data.subspan(
         plan.start[i] * plan.plane, plan.extent[i] * plan.plane);
-    results[i] = compressor.compress(
-        slab, parallel::slab_dims(dims, plan.extent[i]));
+    results[i] = core::codec::encode_payload(
+        cfg, slab, parallel::slab_dims(dims, plan.extent[i]), &drbgs[i]);
   });
 
   std::vector<Bytes> frames(plan.count);
@@ -233,6 +268,30 @@ ChunkedCompressResult compress_chunked(std::span<const float> data,
   return out;
 }
 
+}  // namespace
+
+ChunkedCompressResult compress_chunked(std::span<const float> data,
+                                       const Dims& dims,
+                                       const sz::Params& params,
+                                       core::Scheme scheme, BytesView key,
+                                       const core::CipherSpec& spec,
+                                       const ChunkedConfig& config,
+                                       crypto::CtrDrbg* seed_drbg) {
+  return compress_chunked_impl(data, dims, params, scheme, key, spec,
+                               config, seed_drbg);
+}
+
+ChunkedCompressResult compress_chunked(std::span<const double> data,
+                                       const Dims& dims,
+                                       const sz::Params& params,
+                                       core::Scheme scheme, BytesView key,
+                                       const core::CipherSpec& spec,
+                                       const ChunkedConfig& config,
+                                       crypto::CtrDrbg* seed_drbg) {
+  return compress_chunked_impl(data, dims, params, scheme, key, spec,
+                               config, seed_drbg);
+}
+
 ChunkIndex read_chunk_index(BytesView archive) {
   ByteReader r(archive);
   SZSEC_CHECK_FORMAT(r.get_u32() == kChunkedMagic, "bad archive magic");
@@ -284,11 +343,14 @@ Dims chunked_dims(BytesView archive) {
   return read_chunk_index(archive).dims;
 }
 
-std::vector<float> decompress_chunked_f32(BytesView archive, BytesView key,
-                                          const ChunkedConfig& config) {
+namespace {
+
+template <typename T>
+std::vector<T> decompress_chunked_impl(BytesView archive, BytesView key,
+                                       const ChunkedConfig& config) {
   const ChunkIndex index = read_chunk_index(archive);
   const size_t plane = index.dims.count() / index.dims[0];
-  std::vector<float> out(index.dims.count());
+  std::vector<T> out(index.dims.count());
 
   // Validate every frame before spending any decode time.
   std::vector<Frame> frames;
@@ -306,25 +368,56 @@ std::vector<float> decompress_chunked_f32(BytesView archive, BytesView key,
     frames.push_back(*f);
   }
 
+  // One runtime cache + scratch pool shared by every worker: key
+  // schedules are built once, and each chunk reconstructs straight into
+  // its slice of `out` with pooled inflate scratch.
+  RuntimeCache runtimes(key);
+  BufferPool scratch;
   parallel::ThreadPool pool(config.threads);
   parallel::parallel_for(pool, frames.size(), [&](size_t i) {
-    std::vector<float> chunk;
+    const std::span<T> slice =
+        std::span<T>(out).subspan(frames[i].row_start * plane,
+                                  frames[i].row_extent * plane);
     Dims chunk_dims;
-    const std::string err =
-        try_decode_chunk(frames[i], key, index.dims, chunk, chunk_dims);
+    const std::string err = try_decode_chunk<T>(
+        frames[i], runtimes, &scratch, index.dims, slice, nullptr,
+        chunk_dims);
     if (!err.empty()) {
       throw CorruptError("chunk " + std::to_string(i) + ": " + err);
     }
-    std::copy(chunk.begin(), chunk.end(),
-              out.begin() + static_cast<std::ptrdiff_t>(
-                                frames[i].row_start * plane));
   });
   return out;
 }
 
-SalvageResult decompress_salvage(BytesView archive, BytesView key,
-                                 const SalvageOptions& opts) {
+}  // namespace
+
+std::vector<float> decompress_chunked_f32(BytesView archive, BytesView key,
+                                          const ChunkedConfig& config) {
+  return decompress_chunked_impl<float>(archive, key, config);
+}
+
+std::vector<double> decompress_chunked_f64(BytesView archive, BytesView key,
+                                           const ChunkedConfig& config) {
+  return decompress_chunked_impl<double>(archive, key, config);
+}
+
+namespace {
+
+template <typename T>
+std::vector<T>& salvage_field(SalvageResult& out) {
+  if constexpr (std::is_same_v<T, float>) {
+    return out.f32;
+  } else {
+    return out.f64;
+  }
+}
+
+template <typename T>
+SalvageResult salvage_impl(BytesView archive, BytesView key,
+                           const SalvageOptions& opts) {
   SalvageResult out;
+  out.dtype = dtype_of<T>();
+  std::vector<T>& field = salvage_field<T>(out);
   SalvageReport& rep = out.report;
 
   std::optional<ChunkIndex> index;
@@ -416,15 +509,18 @@ SalvageResult decompress_salvage(BytesView archive, BytesView key,
     uint64_t row_start;
     uint64_t row_extent;
     size_t frame_len;
-    std::vector<float> data;
+    std::vector<T> data;
   };
+  RuntimeCache runtimes(key);
+  BufferPool scratch;
   std::vector<Decoded> decoded;
   uint64_t max_row_end = 0;
   for (auto& [id, f] : found) {
-    std::vector<float> data;
+    std::vector<T> data;
     Dims chunk_dims;
-    const std::string err =
-        try_decode_chunk(f, key, field_dims, data, chunk_dims);
+    const std::string err = try_decode_chunk<T>(
+        f, runtimes, &scratch, field_dims, std::span<T>{}, &data,
+        chunk_dims);
     if (!err.empty()) {
       failure[id] = err;
       continue;
@@ -456,10 +552,10 @@ SalvageResult decompress_salvage(BytesView archive, BytesView key,
             failure.count(i) ? failure[i] : "undecodable"});
       }
       out.dims = index->dims;
-      out.f32.assign(out.dims.count(),
-                     opts.fill == FallbackFill::kNaN
-                         ? std::numeric_limits<float>::quiet_NaN()
-                         : 0.0f);
+      field.assign(out.dims.count(),
+                   opts.fill == FallbackFill::kNaN
+                       ? std::numeric_limits<T>::quiet_NaN()
+                       : T{0});
     }
     return out;
   }
@@ -474,7 +570,7 @@ SalvageResult decompress_salvage(BytesView archive, BytesView key,
   // chunk-id order), so a duplicated or adversarially overlapping frame
   // cannot overwrite data a legitimate chunk already recovered.
   std::vector<uint8_t> row_claimed(out.dims[0], 0);
-  out.f32.assign(out.dims.count(), 0.0f);
+  field.assign(out.dims.count(), T{0});
   double mean_acc = 0;
   uint64_t mean_n = 0;
   uint64_t frame_bytes_recovered = 0;
@@ -496,24 +592,24 @@ SalvageResult decompress_salvage(BytesView archive, BytesView key,
       row_claimed[rw] = 1;
     }
     std::copy(d.data.begin(), d.data.end(),
-              out.f32.begin() +
+              field.begin() +
                   static_cast<std::ptrdiff_t>(d.row_start * plane));
-    for (float v : d.data) mean_acc += v;
+    for (T v : d.data) mean_acc += v;
     mean_n += d.data.size();
     frame_bytes_recovered += d.frame_len;
     placed.emplace(d.chunk_id, &d);
   }
 
   // Fallback fill for unclaimed rows.
-  float fill = 0.0f;
+  T fill = T{0};
   if (opts.fill == FallbackFill::kNaN) {
-    fill = std::numeric_limits<float>::quiet_NaN();
+    fill = std::numeric_limits<T>::quiet_NaN();
   } else if (opts.fill == FallbackFill::kMean && mean_n > 0) {
-    fill = static_cast<float>(mean_acc / static_cast<double>(mean_n));
+    fill = static_cast<T>(mean_acc / static_cast<double>(mean_n));
   }
   for (size_t rw = 0; rw < out.dims[0]; ++rw) {
     if (row_claimed[rw]) continue;
-    std::fill_n(out.f32.begin() + static_cast<std::ptrdiff_t>(rw * plane),
+    std::fill_n(field.begin() + static_cast<std::ptrdiff_t>(rw * plane),
                 plane, fill);
   }
 
@@ -571,6 +667,18 @@ SalvageResult decompress_salvage(BytesView archive, BytesView key,
                             : 0;
   }
   return out;
+}
+
+}  // namespace
+
+SalvageResult decompress_salvage(BytesView archive, BytesView key,
+                                 const SalvageOptions& opts) {
+  return salvage_impl<float>(archive, key, opts);
+}
+
+SalvageResult decompress_salvage_f64(BytesView archive, BytesView key,
+                                     const SalvageOptions& opts) {
+  return salvage_impl<double>(archive, key, opts);
 }
 
 }  // namespace szsec::archive

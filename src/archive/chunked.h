@@ -66,11 +66,20 @@ ChunkedCompressResult compress_chunked(std::span<const float> data,
                                        const core::CipherSpec& spec = {},
                                        const ChunkedConfig& config = {},
                                        crypto::CtrDrbg* seed_drbg = nullptr);
+ChunkedCompressResult compress_chunked(std::span<const double> data,
+                                       const Dims& dims,
+                                       const sz::Params& params,
+                                       core::Scheme scheme, BytesView key,
+                                       const core::CipherSpec& spec = {},
+                                       const ChunkedConfig& config = {},
+                                       crypto::CtrDrbg* seed_drbg = nullptr);
 
 /// Strict decode: requires every chunk intact; throws CorruptError on any
 /// damage (the fail-fast path for callers who cannot accept data loss).
 std::vector<float> decompress_chunked_f32(BytesView archive, BytesView key,
                                           const ChunkedConfig& config = {});
+std::vector<double> decompress_chunked_f64(BytesView archive, BytesView key,
+                                           const ChunkedConfig& config = {});
 
 /// Reads the archive's field dims without decompressing (strict parse).
 Dims chunked_dims(BytesView archive);
@@ -146,8 +155,12 @@ struct SalvageOptions {
 };
 
 struct SalvageResult {
-  Dims dims;               ///< rank 0 when nothing was recoverable
-  std::vector<float> f32;  ///< dims.count() elements (empty if rank 0)
+  Dims dims;  ///< rank 0 when nothing was recoverable
+  /// Element type of the populated vector: f32 for decompress_salvage,
+  /// f64 for decompress_salvage_f64.
+  sz::DType dtype = sz::DType::kFloat32;
+  std::vector<float> f32;   ///< dims.count() elements (empty if rank 0)
+  std::vector<double> f64;  ///< populated by decompress_salvage_f64
   SalvageReport report;
 };
 
@@ -160,5 +173,11 @@ struct SalvageResult {
 /// chunk is reported per chunk, not thrown).
 SalvageResult decompress_salvage(BytesView archive, BytesView key,
                                  const SalvageOptions& opts = {});
+
+/// decompress_salvage for float64 archives; chunks holding float32 are
+/// reported corrupt (dtype mismatch), mirroring the f32 path's handling
+/// of float64 chunks.
+SalvageResult decompress_salvage_f64(BytesView archive, BytesView key,
+                                     const SalvageOptions& opts = {});
 
 }  // namespace szsec::archive

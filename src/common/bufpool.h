@@ -1,0 +1,98 @@
+// A small free-list of byte buffers shared across codec invocations.
+//
+// The chunked/slab decode paths used to allocate (and free) a scratch
+// buffer per chunk for the inflated payload and the decrypted body; with
+// many small chunks the allocator churn dominates.  A BufferPool keeps
+// returned buffers (capacity intact) and hands them back to the next
+// chunk, so steady-state decoding performs no heap allocation for
+// scratch space.  Thread-safe: one pool is shared by every worker of a
+// parallel decode.
+#pragma once
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/bytestream.h"
+
+namespace szsec {
+
+class BufferPool {
+ public:
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns an empty buffer whose capacity is at least `reserve_hint`
+  /// when a pooled buffer satisfies it (the largest pooled buffer is
+  /// preferred); otherwise reserves fresh capacity.
+  Bytes acquire(size_t reserve_hint = 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        Bytes b = std::move(free_.back());
+        free_.pop_back();
+        b.clear();
+        if (reserve_hint > 0) b.reserve(reserve_hint);
+        return b;
+      }
+    }
+    Bytes b;
+    if (reserve_hint > 0) b.reserve(reserve_hint);
+    return b;
+  }
+
+  /// Returns a buffer's storage to the pool.  The pool keeps at most
+  /// `kMaxPooled` buffers; excess storage is freed.
+  void release(Bytes&& b) {
+    if (b.capacity() == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() < kMaxPooled) free_.push_back(std::move(b));
+  }
+
+  /// Buffers currently idle in the pool (test/diagnostic hook).
+  size_t idle_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  static constexpr size_t kMaxPooled = 64;
+
+  mutable std::mutex mu_;
+  std::vector<Bytes> free_;
+};
+
+/// RAII lease: acquires on construction, releases on destruction.
+/// `bytes()` is the working buffer; move it out with `take()` to keep
+/// the contents (the pool then recycles nothing for this lease).
+class PooledBytes {
+ public:
+  explicit PooledBytes(BufferPool* pool, size_t reserve_hint = 0)
+      : pool_(pool),
+        buf_(pool != nullptr ? pool->acquire(reserve_hint) : Bytes{}) {
+    if (pool_ == nullptr && reserve_hint > 0) buf_.reserve(reserve_hint);
+  }
+
+  PooledBytes(const PooledBytes&) = delete;
+  PooledBytes& operator=(const PooledBytes&) = delete;
+
+  ~PooledBytes() {
+    if (pool_ != nullptr) pool_->release(std::move(buf_));
+  }
+
+  Bytes& bytes() { return buf_; }
+  BytesView view() const { return BytesView(buf_); }
+
+  /// Moves the buffer out (it will not return to the pool).
+  Bytes take() {
+    pool_ = nullptr;
+    return std::move(buf_);
+  }
+
+ private:
+  BufferPool* pool_;
+  Bytes buf_;
+};
+
+}  // namespace szsec

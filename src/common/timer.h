@@ -50,33 +50,82 @@ class CpuTimer {
   double start_;
 };
 
-/// Accumulates named stage durations (prediction, quantization, huffman,
-/// encryption, lossless, ...) across one compression run.  Used to
-/// regenerate the paper's Figure 7 time breakdown.
-class StageTimes {
+/// Accounting for one named pipeline stage: wall time plus the byte
+/// volume that entered and left the stage, so a metrics consumer can
+/// derive both a Figure-7 style time breakdown and each stage's
+/// contribution to the final compression ratio.
+struct StageMetric {
+  double seconds = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+
+  /// Size reduction contributed by this stage (bytes_in / bytes_out);
+  /// 0 when the stage recorded no byte flow.
+  double ratio() const {
+    return bytes_out == 0 ? 0.0
+                          : static_cast<double>(bytes_in) /
+                                static_cast<double>(bytes_out);
+  }
+};
+
+/// Accumulates per-stage metrics (prediction, quantization, huffman,
+/// encryption, lossless, ...) across one compression run: durations for
+/// the paper's Figure 7 time breakdown plus bytes-in/bytes-out recorded
+/// by every codec stage.  The time-only interface (add/get/total) is the
+/// original StageTimes API; byte accounting arrived with the stage-graph
+/// codec and is optional for callers that only time.
+class PipelineMetrics {
  public:
   void add(const std::string& stage, double seconds) {
-    times_[stage] += seconds;
+    stages_[stage].seconds += seconds;
   }
 
+  void add_bytes(const std::string& stage, uint64_t bytes_in,
+                 uint64_t bytes_out) {
+    StageMetric& m = stages_[stage];
+    m.bytes_in += bytes_in;
+    m.bytes_out += bytes_out;
+  }
+
+  /// Seconds spent in `stage` (0 when never recorded).
   double get(const std::string& stage) const {
-    auto it = times_.find(stage);
-    return it == times_.end() ? 0.0 : it->second;
+    auto it = stages_.find(stage);
+    return it == stages_.end() ? 0.0 : it->second.seconds;
+  }
+
+  /// Full metric for `stage` (zero-initialized when never recorded).
+  StageMetric metric(const std::string& stage) const {
+    auto it = stages_.find(stage);
+    return it == stages_.end() ? StageMetric{} : it->second;
   }
 
   double total() const {
     double t = 0;
-    for (const auto& [_, v] : times_) t += v;
+    for (const auto& [_, m] : stages_) t += m.seconds;
     return t;
   }
 
-  const std::map<std::string, double>& all() const { return times_; }
+  const std::map<std::string, StageMetric>& all() const { return stages_; }
 
-  void clear() { times_.clear(); }
+  /// Accumulates another run's metrics (chunked archives sum their
+  /// per-chunk codec metrics into one archive-level breakdown).
+  void merge(const PipelineMetrics& other) {
+    for (const auto& [name, m] : other.stages_) {
+      StageMetric& mine = stages_[name];
+      mine.seconds += m.seconds;
+      mine.bytes_in += m.bytes_in;
+      mine.bytes_out += m.bytes_out;
+    }
+  }
+
+  void clear() { stages_.clear(); }
 
  private:
-  std::map<std::string, double> times_;
+  std::map<std::string, StageMetric> stages_;
 };
+
+/// Original name of the time-only sink; PipelineMetrics is a superset.
+using StageTimes = PipelineMetrics;
 
 /// RAII helper that adds the scope's duration to a StageTimes entry.
 /// A null sink disables timing with no branch in the hot path besides

@@ -1,73 +1,9 @@
 #include "core/secure_compressor.h"
 
-#include "common/crc32.h"
-#include "crypto/sha256.h"
-#include "sz/pipeline.h"
-#include "zlite/zlite.h"
-
 namespace szsec::core {
 
 namespace {
 
-// Payload layout (stage-3 output, pre-lossless).  For Encr-Quant the
-// tree+codewords travel as one ciphertext blob; for Encr-Huffman only the
-// tree blob is ciphertext.  Length prefixes stay in plaintext, exactly as
-// the paper's modified SZ-1.4 stores the encrypted-region size outside the
-// encryption so decompression can find it.
-//
-//   [quant section: scheme dependent]
-//   varint symbol_count
-//   blob   unpredictable
-//   varint unpredictable_count
-//   blob   side_info
-struct Payload {
-  Bytes tree_or_cipher;   // tree (plain or encrypted) or quant ciphertext
-  Bytes codewords;        // empty for Encr-Quant (inside the ciphertext)
-  uint64_t symbol_count = 0;
-  Bytes unpredictable;
-  uint64_t unpredictable_count = 0;
-  Bytes side_info;
-};
-
-Bytes assemble_payload(Scheme scheme, const Payload& p) {
-  ByteWriter w(p.tree_or_cipher.size() + p.codewords.size() +
-               p.unpredictable.size() + p.side_info.size() + 64);
-  w.put_blob(p.tree_or_cipher);
-  if (scheme != Scheme::kEncrQuant) w.put_blob(p.codewords);
-  w.put_varint(p.symbol_count);
-  w.put_blob(p.unpredictable);
-  w.put_varint(p.unpredictable_count);
-  w.put_blob(p.side_info);
-  return w.take();
-}
-
-Payload parse_payload(Scheme scheme, BytesView payload) {
-  ByteReader r(payload);
-  Payload p;
-  const BytesView first = r.get_blob();
-  p.tree_or_cipher.assign(first.begin(), first.end());
-  if (scheme != Scheme::kEncrQuant) {
-    const BytesView cw = r.get_blob();
-    p.codewords.assign(cw.begin(), cw.end());
-  }
-  p.symbol_count = r.get_varint();
-  const BytesView up = r.get_blob();
-  p.unpredictable.assign(up.begin(), up.end());
-  p.unpredictable_count = r.get_varint();
-  const BytesView side = r.get_blob();
-  p.side_info.assign(side.begin(), side.end());
-  SZSEC_CHECK_FORMAT(r.done(), "trailing bytes in payload");
-  return p;
-}
-
-}  // namespace
-
-Header peek_header(BytesView container) {
-  ByteReader r(container);
-  return read_header(r);
-}
-
-namespace {
 crypto::CipherKind aes_kind_for_key(BytesView key) {
   switch (key.size()) {
     case 16:
@@ -80,271 +16,46 @@ crypto::CipherKind aes_kind_for_key(BytesView key) {
       throw Error("AES key must be 16, 24, or 32 bytes");
   }
 }
+
+// The convenience constructor delegates here: resolve the AES variant
+// from the key length (Scheme::kNone never touches the key, so any
+// placeholder kind is fine).
+CipherSpec aes_spec_for(Scheme scheme, BytesView key, crypto::Mode mode) {
+  CipherSpec spec;
+  spec.mode = mode;
+  if (scheme != Scheme::kNone) {
+    SZSEC_REQUIRE(!key.empty(),
+                  "an encryption key is required for encrypting schemes");
+    spec.kind = aes_kind_for_key(key);
+  }
+  return spec;
+}
+
 }  // namespace
 
 SecureCompressor::SecureCompressor(sz::Params params, Scheme scheme,
                                    BytesView key, crypto::Mode mode,
                                    crypto::CtrDrbg* drbg)
-    : params_(params), scheme_(scheme), drbg_(drbg) {
-  spec_.mode = mode;
-  if (scheme_ != Scheme::kNone) {
-    SZSEC_REQUIRE(!key.empty(),
-                  "an encryption key is required for encrypting schemes");
-    spec_.kind = aes_kind_for_key(key);
-    cipher_.emplace(spec_.kind, key);
-  }
-}
+    : SecureCompressor(params, scheme, key, aes_spec_for(scheme, key, mode),
+                       drbg) {}
 
 SecureCompressor::SecureCompressor(sz::Params params, Scheme scheme,
                                    BytesView key, CipherSpec spec,
                                    crypto::CtrDrbg* drbg)
-    : params_(params), scheme_(scheme), spec_(spec), drbg_(drbg) {
-  if (scheme_ != Scheme::kNone) {
-    SZSEC_REQUIRE(!key.empty(),
-                  "an encryption key is required for encrypting schemes");
-    cipher_.emplace(spec_.kind, key);
-  }
-  if (spec_.authenticate) {
-    SZSEC_REQUIRE(!key.empty(), "authentication requires a key");
-    static const char kInfo[] = "szsec-auth-v1";
-    auth_key_ = crypto::hkdf_sha256(
-        key, /*salt=*/{},
-        BytesView(reinterpret_cast<const uint8_t*>(kInfo), sizeof(kInfo)),
-        32);
-  }
-}
-
-template <typename T>
-CompressResult SecureCompressor::compress_impl(std::span<const T> data,
-                                               const Dims& dims) const {
-  CompressResult result;
-  StageTimes& times = result.times;
-  CompressStats& st = result.stats;
-
-  // Stages 1+2: prediction + linear-scale quantization.
-  const sz::QuantizedField q =
-      sz::predict_quantize(data, dims, params_, &times);
-
-  // Stage 3: Huffman encoding of the quantization array.
-  const sz::EncodedQuant enc = sz::huffman_encode_codes(q, &times);
-
-  st.raw_bytes = data.size_bytes();
-  st.element_count = data.size();
-  st.tree_bytes = enc.tree.size();
-  st.codeword_bytes = enc.codewords.size();
-  st.unpredictable_bytes = q.unpredictable.size();
-  st.unpredictable_count = q.unpredictable_count;
-  st.predictable_fraction = sz::predictable_fraction(q);
-
-  Header h;
-  h.scheme = scheme_;
-  h.cipher_kind = spec_.kind;
-  h.cipher_mode = spec_.mode;
-  h.dtype = q.dtype;
-  h.dims = dims;
-  // Use the pipeline's resolved parameters (a REL bound becomes ABS here)
-  // so decompression never needs the original data's range.
-  h.params = q.params;
-
-  if (scheme_ != Scheme::kNone) {
-    crypto::CtrDrbg& drbg = drbg_ ? *drbg_ : crypto::global_drbg();
-    h.iv = drbg.generate_iv();
-  }
-
-  // Assemble the pre-lossless payload, encrypting the scheme's target
-  // region (Algorithm 1's orange/red/green paths).
-  Payload p;
-  p.symbol_count = enc.symbol_count;
-  p.unpredictable = q.unpredictable;
-  p.unpredictable_count = q.unpredictable_count;
-  p.side_info = q.side_info;
-  switch (scheme_) {
-    case Scheme::kNone:
-    case Scheme::kCmprEncr:
-      p.tree_or_cipher = enc.tree;
-      p.codewords = enc.codewords;
-      break;
-    case Scheme::kEncrQuant: {
-      // Encrypt the whole quantization array: tree + codewords.
-      ByteWriter qa(enc.tree.size() + enc.codewords.size() + 16);
-      qa.put_blob(enc.tree);
-      qa.put_blob(enc.codewords);
-      const Bytes quant_plain = qa.take();
-      st.encrypted_bytes = quant_plain.size();
-      ScopedStageTimer t(&times, "encrypt");
-      p.tree_or_cipher = cipher_->encrypt(spec_.mode, h.iv, quant_plain);
-      break;
-    }
-    case Scheme::kEncrHuffman: {
-      st.encrypted_bytes = enc.tree.size();
-      ScopedStageTimer t(&times, "encrypt");
-      p.tree_or_cipher = cipher_->encrypt(spec_.mode, h.iv, enc.tree);
-      p.codewords = enc.codewords;
-      break;
-    }
-  }
-
-  const Bytes payload = assemble_payload(scheme_, p);
-  st.payload_bytes = payload.size();
-  if (spec_.authenticate) h.flags |= kFlagAuthenticated;
-  // The CRC covers the semantic header fields (as seed) + the payload.
-  h.payload_crc = crc32(BytesView(payload),
-                        crc32(BytesView(header_semantic_bytes(h))));
-
-  // Stage 4: lossless pass (Zlib in the paper, zlite here).
-  Bytes body;
-  {
-    ScopedStageTimer t(&times, "lossless");
-    body = zlite::deflate(payload, params_.lossless_level);
-  }
-
-  // Cmpr-Encr: encrypt the compressor's final output.
-  if (scheme_ == Scheme::kCmprEncr) {
-    st.encrypted_bytes = body.size();
-    ScopedStageTimer t(&times, "encrypt");
-    body = cipher_->encrypt(spec_.mode, h.iv, body);
-  }
-
-  h.payload_size = body.size();
-  Bytes container = write_header(h);
-  container.insert(container.end(), body.begin(), body.end());
-  if (spec_.authenticate) {
-    // Encrypt-then-MAC over everything (header included): any bit of the
-    // container an attacker touches invalidates the tag.
-    const crypto::Sha256::Digest tag =
-        crypto::hmac_sha256(BytesView(auth_key_), BytesView(container));
-    container.insert(container.end(), tag.begin(), tag.end());
-  }
-  st.container_bytes = container.size();
-  result.container = std::move(container);
-  return result;
-}
+    : runtime_(params, scheme, key, spec), drbg_(drbg) {}
 
 CompressResult SecureCompressor::compress(std::span<const float> data,
                                           const Dims& dims) const {
-  return compress_impl(data, dims);
+  return codec::encode_payload(runtime_.config(), data, dims, drbg_);
 }
 
 CompressResult SecureCompressor::compress(std::span<const double> data,
                                           const Dims& dims) const {
-  return compress_impl(data, dims);
+  return codec::encode_payload(runtime_.config(), data, dims, drbg_);
 }
 
 DecompressResult SecureCompressor::decompress(BytesView container) const {
-  DecompressResult out;
-  StageTimes& times = out.times;
-
-  ByteReader r(container);
-  const Header h = read_header(r);
-  if (h.flags & kFlagAuthenticated) {
-    // Verify the tag before touching any other byte (encrypt-then-MAC).
-    if (auth_key_.empty()) {
-      throw CryptoError(
-          "container is authenticated but this compressor has no MAC key");
-    }
-    constexpr size_t kTag = crypto::Sha256::kDigestSize;
-    SZSEC_CHECK_FORMAT(container.size() >= kTag + r.pos(),
-                       "authenticated container too short");
-    const BytesView signed_part =
-        container.subspan(0, container.size() - kTag);
-    const BytesView tag = container.subspan(container.size() - kTag);
-    const crypto::Sha256::Digest expect =
-        crypto::hmac_sha256(BytesView(auth_key_), signed_part);
-    if (!crypto::constant_time_equal(BytesView(expect), tag)) {
-      throw CryptoError("authentication tag mismatch: container tampered "
-                        "with or wrong key");
-    }
-    r = ByteReader(signed_part);
-    (void)read_header(r);  // reposition past the header
-  }
-  SZSEC_REQUIRE(h.scheme == Scheme::kNone || cipher_.has_value(),
-                "container is encrypted but no key was supplied");
-  SZSEC_REQUIRE(h.scheme == Scheme::kNone ||
-                    cipher_->kind() == h.cipher_kind,
-                "container was encrypted with a different cipher");
-  BytesView body = r.get_bytes(static_cast<size_t>(h.payload_size));
-
-  // Reverse stage 4 (+ Cmpr-Encr's outer encryption).
-  Bytes decrypted_body;
-  if (h.scheme == Scheme::kCmprEncr) {
-    ScopedStageTimer t(&times, "decrypt");
-    decrypted_body = cipher_->decrypt(h.cipher_mode, h.iv, body);
-    body = BytesView(decrypted_body);
-  }
-  // Decompression-bomb guard: the legitimate payload is linear in the
-  // element count (codewords + unpredictable values) plus the Huffman
-  // table (bounded by quant_bins) plus cipher padding, so cap inflate at
-  // a generous multiple of that.  A tampered body that tries to inflate
-  // unboundedly throws CorruptError instead of exhausting memory.
-  const uint64_t elem_size = h.dtype == sz::DType::kFloat32 ? 4 : 8;
-  const uint64_t payload_cap =
-      2 * (static_cast<uint64_t>(h.dims.count()) * (elem_size + 9) +
-           static_cast<uint64_t>(h.params.quant_bins) * 16 +
-           h.payload_size) +
-      (uint64_t{1} << 20);
-  Bytes payload;
-  {
-    ScopedStageTimer t(&times, "lossless");
-    payload = zlite::inflate(body, 0, static_cast<size_t>(payload_cap));
-  }
-  SZSEC_CHECK_FORMAT(
-      crc32(BytesView(payload),
-            crc32(BytesView(header_semantic_bytes(h)))) == h.payload_crc,
-      "payload CRC mismatch (corruption or wrong key)");
-
-  Payload p = parse_payload(h.scheme, BytesView(payload));
-
-  // Reverse the scheme's in-pipeline encryption.
-  Bytes tree;
-  Bytes codewords = std::move(p.codewords);
-  switch (h.scheme) {
-    case Scheme::kNone:
-    case Scheme::kCmprEncr:
-      tree = std::move(p.tree_or_cipher);
-      break;
-    case Scheme::kEncrQuant: {
-      Bytes quant_plain;
-      {
-        ScopedStageTimer t(&times, "decrypt");
-        quant_plain =
-            cipher_->decrypt(h.cipher_mode, h.iv,
-                             BytesView(p.tree_or_cipher));
-      }
-      ByteReader qr{BytesView(quant_plain)};
-      const BytesView tr = qr.get_blob();
-      tree.assign(tr.begin(), tr.end());
-      const BytesView cw = qr.get_blob();
-      codewords.assign(cw.begin(), cw.end());
-      SZSEC_CHECK_FORMAT(qr.done(), "trailing bytes in quant section");
-      break;
-    }
-    case Scheme::kEncrHuffman: {
-      ScopedStageTimer t(&times, "decrypt");
-      tree = cipher_->decrypt(h.cipher_mode, h.iv,
-                              BytesView(p.tree_or_cipher));
-      break;
-    }
-  }
-
-  // Reverse stage 3.
-  const std::vector<uint32_t> codes = sz::huffman_decode_codes(
-      BytesView(tree), BytesView(codewords), p.symbol_count, &times);
-
-  // Reverse stages 1+2.
-  out.dtype = h.dtype;
-  out.dims = h.dims;
-  if (h.dtype == sz::DType::kFloat32) {
-    out.f32.resize(h.dims.count());
-    sz::reconstruct(h.params, h.dims, codes, BytesView(p.unpredictable),
-                    BytesView(p.side_info), std::span<float>(out.f32),
-                    &times);
-  } else {
-    out.f64.resize(h.dims.count());
-    sz::reconstruct(h.params, h.dims, codes, BytesView(p.unpredictable),
-                    BytesView(p.side_info), std::span<double>(out.f64),
-                    &times);
-  }
-  return out;
+  return codec::decode_payload(runtime_.config(), container);
 }
 
 std::vector<float> SecureCompressor::decompress_f32(

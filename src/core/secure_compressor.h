@@ -10,86 +10,20 @@
 //   auto result = c.compress(field, dims);        // -> result.container
 //   auto round  = c.decompress(result.container); // -> round.f32
 //
+// SecureCompressor is a thin facade: it owns a codec::CodecRuntime (key
+// schedules, MAC key) plus a DRBG pointer and forwards every call to the
+// shared codec::encode_payload / codec::decode_payload drivers in
+// core/codec.h.  The parallel slab archive and the fault-tolerant
+// chunked archive call those drivers directly — all three produce and
+// consume the same per-field bytes.
+//
 // Thread-safety: a SecureCompressor is immutable apart from its DRBG; use
 // one instance per thread or supply distinct DRBGs.
 #pragma once
 
-#include <memory>
-#include <optional>
-#include <vector>
-
-#include "common/bytestream.h"
-#include "common/dims.h"
-#include "common/timer.h"
-#include "crypto/cipher.h"
-#include "crypto/drbg.h"
-#include "crypto/modes.h"
-#include "core/container.h"
-#include "core/scheme.h"
-#include "sz/params.h"
+#include "core/codec.h"
 
 namespace szsec::core {
-
-/// Size/ratio accounting for one compression, feeding every table and
-/// figure in the evaluation.
-struct CompressStats {
-  uint64_t raw_bytes = 0;
-  uint64_t container_bytes = 0;     ///< header + body
-  uint64_t payload_bytes = 0;       ///< assembled stage-3 output size
-  uint64_t tree_bytes = 0;          ///< serialized Huffman tree
-  uint64_t codeword_bytes = 0;      ///< Huffman codeword stream
-  uint64_t unpredictable_bytes = 0;
-  uint64_t unpredictable_count = 0;
-  uint64_t element_count = 0;
-  uint64_t encrypted_bytes = 0;     ///< plaintext volume fed to AES
-  double predictable_fraction = 0;  ///< share of elements quantized
-
-  /// Quantization array = tree + codewords (paper Figures 2 and 4).
-  uint64_t quant_array_bytes() const { return tree_bytes + codeword_bytes; }
-
-  double compression_ratio() const {
-    return container_bytes == 0
-               ? 0.0
-               : static_cast<double>(raw_bytes) / container_bytes;
-  }
-};
-
-/// Result of SecureCompressor::compress.
-struct CompressResult {
-  Bytes container;
-  CompressStats stats;
-  StageTimes times;  ///< per-stage durations (Figure 7)
-};
-
-/// Result of SecureCompressor::decompress.  Exactly one of f32/f64 is
-/// populated, according to `dtype`.
-struct DecompressResult {
-  sz::DType dtype = sz::DType::kFloat32;
-  Dims dims;
-  std::vector<float> f32;
-  std::vector<double> f64;
-  StageTimes times;
-};
-
-/// Parses and returns the plaintext header of a container without
-/// decrypting or decompressing anything.
-Header peek_header(BytesView container);
-
-/// Cipher algorithm + mode selection for a SecureCompressor.  The paper
-/// fixes AES-128-CBC; the other algorithms exist for the cipher ablation
-/// bench (DES/3DES from Section II-B, ChaCha20 as the modern
-/// light-weight alternative).
-struct CipherSpec {
-  crypto::CipherKind kind = crypto::CipherKind::kAes128;
-  crypto::Mode mode = crypto::Mode::kCbc;
-
-  /// Append an HMAC-SHA256 tag over the whole container
-  /// (encrypt-then-MAC) and verify it before decryption.  The MAC key is
-  /// HKDF-derived from the cipher key, so one master key drives both.
-  /// This goes beyond the paper (whose integrity check is implicit) and
-  /// turns "corruption is detected" into "tampering is rejected".
-  bool authenticate = false;
-};
 
 class SecureCompressor {
  public:
@@ -97,7 +31,9 @@ class SecureCompressor {
   /// be 16/24/32 bytes — the AES variant is chosen by key length — for
   /// encrypting schemes, and is ignored (may be empty) for Scheme::kNone.
   /// `drbg` supplies IVs; pass nullptr to use the process-global
-  /// generator.
+  /// generator.  Authentication cannot be enabled through this
+  /// constructor — pass a CipherSpec with `authenticate = true` to the
+  /// full-control overload instead.
   SecureCompressor(sz::Params params, Scheme scheme, BytesView key = {},
                    crypto::Mode mode = crypto::Mode::kCbc,
                    crypto::CtrDrbg* drbg = nullptr);
@@ -119,19 +55,11 @@ class SecureCompressor {
   std::vector<float> decompress_f32(BytesView container) const;
   std::vector<double> decompress_f64(BytesView container) const;
 
-  Scheme scheme() const { return scheme_; }
-  const sz::Params& params() const { return params_; }
+  Scheme scheme() const { return runtime_.scheme(); }
+  const sz::Params& params() const { return runtime_.params(); }
 
  private:
-  template <typename T>
-  CompressResult compress_impl(std::span<const T> data,
-                               const Dims& dims) const;
-
-  sz::Params params_;
-  Scheme scheme_;
-  CipherSpec spec_;
-  std::optional<crypto::Cipher> cipher_;
-  Bytes auth_key_;  ///< HKDF-derived MAC key (empty unless authenticating)
+  codec::CodecRuntime runtime_;
   crypto::CtrDrbg* drbg_;
 };
 

@@ -1,0 +1,157 @@
+// The composable stage-graph core of the szsec codec.
+//
+// The paper's three secure schemes are the *same* four-stage SZ-1.4
+// pipeline with a cipher spliced in at different points.  This header
+// makes that literal: every scheme is a PipelineSpec — an ordered chain
+// of Stage implementations — and one generic driver
+// (codec::encode_payload / codec::decode_payload, see core/codec.h)
+// walks the chain forward to build a container and backward to decode
+// one.  The v2 single-file container and every chunk of a v3 archive
+// run the identical chain; only the framing around the codec differs.
+//
+//   kPredictQuantize   stages 1+2: prediction + linear-scale quantization
+//   kHuffman           stage 3: tree + codeword stream
+//   kCipherQuant       splice: encrypt tree+codewords      (Encr-Quant)
+//   kCipherTree        splice: encrypt the tree only       (Encr-Huffman)
+//   kLossless          stage 4: payload framing + DEFLATE
+//   kCipherStream      splice: encrypt the final stream    (Cmpr-Encr)
+//
+// Zero-copy rule: stage boundaries exchange BytesView borrows
+// (PayloadView).  On decode the views alias the inflated payload
+// scratch buffer; a stage only materializes fresh bytes at an
+// encryption boundary (ciphertext cannot alias plaintext).  Every stage
+// records wall time and bytes-in/bytes-out into a PipelineMetrics sink.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "common/bufpool.h"
+#include "common/bytestream.h"
+#include "common/dims.h"
+#include "common/timer.h"
+#include "core/container.h"
+#include "core/scheme.h"
+#include "crypto/cipher.h"
+#include "sz/pipeline.h"
+
+namespace szsec::core {
+
+/// Cipher algorithm + mode selection for the codec (and the
+/// SecureCompressor facade).  The paper fixes AES-128-CBC; the other
+/// algorithms exist for the cipher ablation bench (DES/3DES from
+/// Section II-B, ChaCha20 as the modern light-weight alternative).
+struct CipherSpec {
+  crypto::CipherKind kind = crypto::CipherKind::kAes128;
+  crypto::Mode mode = crypto::Mode::kCbc;
+
+  /// Append an HMAC-SHA256 tag over the whole container
+  /// (encrypt-then-MAC) and verify it before decryption.  The MAC key is
+  /// HKDF-derived from the cipher key, so one master key drives both.
+  /// This goes beyond the paper (whose integrity check is implicit) and
+  /// turns "corruption is detected" into "tampering is rejected".
+  bool authenticate = false;
+};
+
+namespace codec {
+
+/// The stages a scheme's pipeline is composed of.
+enum class StageId : uint8_t {
+  kPredictQuantize,  ///< stages 1+2 (fused single pass)
+  kHuffman,          ///< stage 3
+  kCipherQuant,      ///< cipher splice after stage 3: tree + codewords
+  kCipherTree,       ///< cipher splice after stage 3: tree only
+  kLossless,         ///< stage 4 (payload assembly + DEFLATE)
+  kCipherStream,     ///< cipher splice after stage 4: whole stream
+};
+
+/// Immutable per-codec configuration, shared by every chunk (and every
+/// worker thread) of one archive: parameters, the scheme's chain, and
+/// the cipher/MAC material.  Build one via CodecRuntime (core/codec.h).
+struct CodecConfig {
+  sz::Params params;
+  Scheme scheme = Scheme::kNone;
+  CipherSpec spec;
+  /// Null for Scheme::kNone; otherwise outlives the config (owned by
+  /// the CodecRuntime that produced it).
+  const crypto::Cipher* cipher = nullptr;
+  /// HKDF-derived MAC key; empty unless spec.authenticate.
+  BytesView auth_key;
+};
+
+/// Zero-copy stage-3 payload.  Every field is a borrow: on encode into
+/// the encoder's QuantizedField/EncodedQuant/ciphertext scratch, on
+/// decode into the inflated payload buffer (or a splice stage's
+/// plaintext scratch).  The serialized layout (assemble_payload /
+/// parse_payload in core/codec.h) is unchanged from the original
+/// format: for Encr-Quant the tree+codewords travel as one ciphertext
+/// blob; for Encr-Huffman only the tree blob is ciphertext; length
+/// prefixes stay plaintext exactly as the paper's modified SZ-1.4
+/// stores the encrypted-region size outside the encryption.
+struct PayloadView {
+  BytesView tree_or_cipher;  ///< tree (plain or encrypted) or quant ciphertext
+  BytesView codewords;       ///< empty for Encr-Quant (inside the ciphertext)
+  uint64_t symbol_count = 0;
+  BytesView unpredictable;
+  uint64_t unpredictable_count = 0;
+  BytesView side_info;
+};
+
+struct EncodeContext;
+struct DecodeContext;
+
+/// One pipeline stage.  Implementations are stateless singletons (see
+/// stage()); all run state lives in the contexts, so one Stage serves
+/// every thread of a parallel archive concurrently.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  virtual StageId id() const = 0;
+  /// Metric key recorded by forward() ("predict+quantize", "huffman",
+  /// "encrypt", "lossless").
+  virtual const char* name() const = 0;
+  /// Metric key recorded by inverse() ("reconstruct", "huffman",
+  /// "decrypt", "lossless").
+  virtual const char* inverse_name() const = 0;
+
+  /// Encode-direction transform; records time + bytes into
+  /// ctx.metrics and size accounting into ctx.stats.
+  virtual void forward(EncodeContext& ctx) const = 0;
+  /// Decode-direction transform (chains run in reverse order).
+  virtual void inverse(DecodeContext& ctx) const = 0;
+};
+
+/// The stateless singleton implementing `id`.
+const Stage& stage(StageId id);
+
+/// Maps a Scheme to its ordered forward stage chain — the single source
+/// of truth for where each scheme splices its cipher:
+///
+///   kNone         predict-quantize > huffman > lossless
+///   kCmprEncr     predict-quantize > huffman > lossless > cipher-stream
+///   kEncrQuant    predict-quantize > huffman > cipher-quant > lossless
+///   kEncrHuffman  predict-quantize > huffman > cipher-tree  > lossless
+///
+/// Decode walks the same chain in reverse.
+struct PipelineSpec {
+  static constexpr size_t kMaxStages = 4;
+
+  std::array<StageId, kMaxStages> stages{};
+  size_t count = 0;
+
+  static const PipelineSpec& for_scheme(Scheme scheme);
+
+  std::span<const StageId> chain() const { return {stages.data(), count}; }
+
+  bool contains(StageId id) const {
+    for (size_t i = 0; i < count; ++i) {
+      if (stages[i] == id) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace codec
+}  // namespace szsec::core

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/bufpool.h"
+#include "core/codec.h"
+
 namespace szsec::parallel {
 
 Dims slab_dims(const Dims& dims, size_t slab_extent) {
@@ -36,13 +39,16 @@ SlabPlan plan_slabs(const Dims& dims, const SlabConfig& config,
   return plan;
 }
 
-SlabCompressResult compress_slabs(std::span<const float> data,
-                                  const Dims& dims,
-                                  const sz::Params& params,
-                                  core::Scheme scheme, BytesView key,
-                                  const core::CipherSpec& spec,
-                                  const SlabConfig& config,
-                                  crypto::CtrDrbg* seed_drbg) {
+namespace {
+
+template <typename T>
+SlabCompressResult compress_slabs_impl(std::span<const T> data,
+                                       const Dims& dims,
+                                       const sz::Params& params,
+                                       core::Scheme scheme, BytesView key,
+                                       const core::CipherSpec& spec,
+                                       const SlabConfig& config,
+                                       crypto::CtrDrbg* seed_drbg) {
   SZSEC_REQUIRE(data.size() == dims.count(), "data size mismatch");
   ThreadPool pool(config.threads);
   const SlabPlan plan = plan_slabs(dims, config, pool.thread_count());
@@ -57,15 +63,17 @@ SlabCompressResult compress_slabs(std::span<const float> data,
     drbgs.emplace_back(BytesView(master.generate(32)));
   }
 
+  // One runtime (key schedule + MAC key) shared by every slab worker.
+  const core::codec::CodecRuntime runtime(params, scheme, key, spec);
+  const core::codec::CodecConfig cfg = runtime.config();
+
   std::vector<core::CompressResult> results(plan.count);
   parallel_for(pool, plan.count, [&](size_t i) {
-    const core::SecureCompressor compressor(params, scheme, key, spec,
-                                            &drbgs[i]);
-    const std::span<const float> slab =
+    const std::span<const T> slab =
         data.subspan(plan.start[i] * plan.plane,
                      plan.extent[i] * plan.plane);
-    results[i] =
-        compressor.compress(slab, slab_dims(dims, plan.extent[i]));
+    results[i] = core::codec::encode_payload(
+        cfg, slab, slab_dims(dims, plan.extent[i]), &drbgs[i]);
   });
 
   SlabCompressResult out;
@@ -97,6 +105,30 @@ SlabCompressResult compress_slabs(std::span<const float> data,
   out.archive = w.take();
   out.stats.container_bytes = out.archive.size();
   return out;
+}
+
+}  // namespace
+
+SlabCompressResult compress_slabs(std::span<const float> data,
+                                  const Dims& dims,
+                                  const sz::Params& params,
+                                  core::Scheme scheme, BytesView key,
+                                  const core::CipherSpec& spec,
+                                  const SlabConfig& config,
+                                  crypto::CtrDrbg* seed_drbg) {
+  return compress_slabs_impl(data, dims, params, scheme, key, spec, config,
+                             seed_drbg);
+}
+
+SlabCompressResult compress_slabs(std::span<const double> data,
+                                  const Dims& dims,
+                                  const sz::Params& params,
+                                  core::Scheme scheme, BytesView key,
+                                  const core::CipherSpec& spec,
+                                  const SlabConfig& config,
+                                  crypto::CtrDrbg* seed_drbg) {
+  return compress_slabs_impl(data, dims, params, scheme, key, spec, config,
+                             seed_drbg);
 }
 
 namespace {
@@ -141,15 +173,15 @@ ParsedArchive parse_archive(BytesView archive) {
   return out;
 }
 
-}  // namespace
-
-Dims archive_dims(BytesView archive) { return parse_archive(archive).dims; }
-
-std::vector<float> decompress_slabs_f32(BytesView archive, BytesView key,
-                                        const SlabConfig& config) {
+template <typename T>
+std::vector<T> decompress_slabs_impl(BytesView archive, BytesView key,
+                                     const SlabConfig& config) {
   const ParsedArchive parsed = parse_archive(archive);
-  std::vector<float> out(parsed.dims.count());
+  std::vector<T> out(parsed.dims.count());
   const size_t plane = parsed.dims.count() / parsed.dims[0];
+  constexpr sz::DType kWant = std::is_same_v<T, float>
+                                  ? sz::DType::kFloat32
+                                  : sz::DType::kFloat64;
 
   // Peek every header up front to learn slab extents and validate the
   // archive is internally consistent.
@@ -161,6 +193,7 @@ std::vector<float> decompress_slabs_f32(BytesView archive, BytesView key,
     SZSEC_CHECK_FORMAT(h.dims.rank() == parsed.dims.rank(),
                        "slab rank mismatch");
     SZSEC_CHECK_FORMAT(h.dims.count() % plane == 0, "slab extent mismatch");
+    SZSEC_CHECK_FORMAT(h.dtype == kWant, "slab dtype mismatch");
     offsets.push_back(pos);
     headers.push_back(h);
     pos += h.dims[0];
@@ -168,19 +201,44 @@ std::vector<float> decompress_slabs_f32(BytesView archive, BytesView key,
   SZSEC_CHECK_FORMAT(pos == parsed.dims[0],
                      "slab extents do not cover the field");
 
+  // Key schedules are cached across slabs; each slab reconstructs
+  // straight into its slice of `out` with pooled inflate scratch.
+  core::codec::RuntimeCache runtimes(key);
+  BufferPool scratch;
   ThreadPool pool(config.threads);
   parallel_for(pool, parsed.slabs.size(), [&](size_t i) {
     const core::Header& h = headers[i];
-    const core::SecureCompressor compressor(
-        h.params, h.scheme, key,
-        core::CipherSpec{h.cipher_kind, h.cipher_mode});
-    const std::vector<float> slab =
-        compressor.decompress_f32(parsed.slabs[i]);
-    std::copy(slab.begin(), slab.end(),
-              out.begin() +
-                  static_cast<std::ptrdiff_t>(offsets[i] * plane));
+    core::CipherSpec spec{h.cipher_kind, h.cipher_mode};
+    spec.authenticate = (h.flags & core::kFlagAuthenticated) != 0;
+    const core::codec::CodecRuntime& runtime =
+        runtimes.get(h.params, h.scheme, spec);
+    core::codec::DecodeOptions opts;
+    opts.pool = &scratch;
+    const std::span<T> slice =
+        std::span<T>(out).subspan(offsets[i] * plane, h.dims.count());
+    if constexpr (std::is_same_v<T, float>) {
+      opts.into_f32 = slice;
+    } else {
+      opts.into_f64 = slice;
+    }
+    (void)core::codec::decode_payload(runtime.config(), parsed.slabs[i],
+                                      opts);
   });
   return out;
+}
+
+}  // namespace
+
+Dims archive_dims(BytesView archive) { return parse_archive(archive).dims; }
+
+std::vector<float> decompress_slabs_f32(BytesView archive, BytesView key,
+                                        const SlabConfig& config) {
+  return decompress_slabs_impl<float>(archive, key, config);
+}
+
+std::vector<double> decompress_slabs_f64(BytesView archive, BytesView key,
+                                         const SlabConfig& config) {
+  return decompress_slabs_impl<double>(archive, key, config);
 }
 
 }  // namespace szsec::parallel

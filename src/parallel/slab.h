@@ -63,11 +63,20 @@ SlabCompressResult compress_slabs(std::span<const float> data,
                                   const core::CipherSpec& spec = {},
                                   const SlabConfig& config = {},
                                   crypto::CtrDrbg* seed_drbg = nullptr);
+SlabCompressResult compress_slabs(std::span<const double> data,
+                                  const Dims& dims,
+                                  const sz::Params& params,
+                                  core::Scheme scheme, BytesView key,
+                                  const core::CipherSpec& spec = {},
+                                  const SlabConfig& config = {},
+                                  crypto::CtrDrbg* seed_drbg = nullptr);
 
 /// Decompresses a slab archive produced by compress_slabs (also
 /// thread-parallel).  Requires the same key for encrypted schemes.
 std::vector<float> decompress_slabs_f32(BytesView archive, BytesView key,
                                         const SlabConfig& config = {});
+std::vector<double> decompress_slabs_f64(BytesView archive, BytesView key,
+                                         const SlabConfig& config = {});
 
 /// Reads back the archive's field dims without decompressing.
 Dims archive_dims(BytesView archive);

@@ -622,9 +622,18 @@ Bytes deflate(BytesView data, Level level) {
 }
 
 Bytes inflate(BytesView data, size_t size_hint, size_t max_size) {
-  LsbBitReader r(data);
   Bytes out;
-  out.reserve(max_size != 0 ? std::min(size_hint, max_size) : size_hint);
+  inflate_into(data, out, size_hint, max_size);
+  return out;
+}
+
+void inflate_into(BytesView data, Bytes& out, size_t size_hint,
+                  size_t max_size) {
+  LsbBitReader r(data);
+  out.clear();
+  const size_t want = max_size != 0 ? std::min(size_hint, max_size)
+                                    : size_hint;
+  if (want > out.capacity()) out.reserve(want);
   bool final_block = false;
   do {
     final_block = r.get_bit() != 0;
@@ -686,7 +695,6 @@ Bytes inflate(BytesView data, size_t size_hint, size_t max_size) {
       throw CorruptError("corrupt: reserved block type");
     }
   } while (!final_block);
-  return out;
 }
 
 }  // namespace szsec::zlite

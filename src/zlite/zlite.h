@@ -37,4 +37,11 @@ Bytes deflate(BytesView data, Level level = Level::kDefault);
 /// size up front (the szsec container does — see SecureCompressor).
 Bytes inflate(BytesView data, size_t size_hint = 0, size_t max_size = 0);
 
+/// inflate() into a caller-owned buffer: `out` is cleared and filled,
+/// reusing its existing capacity.  Lets pooled scratch buffers (see
+/// common/bufpool.h) absorb the per-chunk allocation of archive decode
+/// paths.
+void inflate_into(BytesView data, Bytes& out, size_t size_hint = 0,
+                  size_t max_size = 0);
+
 }  // namespace szsec::zlite

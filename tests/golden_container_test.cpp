@@ -1,0 +1,152 @@
+// Golden-container tests: the serialized output of every scheme (v2
+// containers, v3 chunked archives, v1 slab archives) is locked to
+// SHA-256 digests captured from the pre-stage-graph implementation.
+// Compression with a fixed DRBG seed is fully deterministic, so any
+// refactor that changes a single output byte — stage ordering, payload
+// layout, IV consumption, framing — fails here before it can silently
+// break format compatibility with existing archives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "archive/chunked.h"
+#include "common/hex.h"
+#include "core/secure_compressor.h"
+#include "crypto/sha256.h"
+#include "parallel/slab.h"
+
+namespace szsec {
+namespace {
+
+const Bytes kKey = {0, 1, 2,  3,  4,  5,  6,  7,
+                    8, 9, 10, 11, 12, 13, 14, 15};
+const Dims kDims{12, 16, 20};
+
+std::vector<float> golden_field_f32(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<float> f(kDims.count());
+  float walk = 10.0f;
+  for (auto& v : f) {
+    walk += static_cast<float>((rng() % 2001) - 1000) * 1e-4f;
+    v = walk;
+  }
+  return f;
+}
+
+std::vector<double> golden_field_f64() {
+  std::vector<double> f(kDims.count());
+  for (size_t i = 0; i < f.size(); ++i) f[i] = std::cos(i * 0.01) * 50;
+  return f;
+}
+
+sz::Params golden_params() {
+  sz::Params params;
+  params.abs_error_bound = 1e-4;
+  return params;
+}
+
+std::string digest(BytesView bytes) {
+  const auto d = crypto::Sha256::hash(bytes);
+  return to_hex(BytesView(d));
+}
+
+Bytes compress_v2(core::Scheme scheme, crypto::Mode mode) {
+  const std::vector<float> f = golden_field_f32(17);
+  crypto::CtrDrbg drbg(0xC0FFEE);
+  const core::SecureCompressor c(golden_params(), scheme, BytesView(kKey),
+                                 mode, &drbg);
+  return c.compress(std::span<const float>(f), kDims).container;
+}
+
+TEST(GoldenContainer, SchemeNone) {
+  EXPECT_EQ(
+      digest(BytesView(compress_v2(core::Scheme::kNone, crypto::Mode::kCbc))),
+      "b61956d6ff4e599b3e00de5504f65753b396553a766d1cba26eae51b4b4f70a8");
+}
+
+TEST(GoldenContainer, SchemeCmprEncr) {
+  EXPECT_EQ(
+      digest(BytesView(
+          compress_v2(core::Scheme::kCmprEncr, crypto::Mode::kCbc))),
+      "f9751bb8438d204d5f9e7e4d7228ffa80042c76208c5d138812cbbe68626d36a");
+}
+
+TEST(GoldenContainer, SchemeEncrQuant) {
+  EXPECT_EQ(
+      digest(BytesView(
+          compress_v2(core::Scheme::kEncrQuant, crypto::Mode::kCbc))),
+      "076e35e1f2c9cb1eb25b948fb4aac8ac610e9bf8a09a0fa43cb247e2ee0241a0");
+}
+
+TEST(GoldenContainer, SchemeEncrHuffman) {
+  EXPECT_EQ(
+      digest(BytesView(
+          compress_v2(core::Scheme::kEncrHuffman, crypto::Mode::kCbc))),
+      "9cae546ebf236276f897204799b0ef55c810777a697b389cfe0b0f35a6a81c93");
+}
+
+TEST(GoldenContainer, CtrMode) {
+  EXPECT_EQ(
+      digest(BytesView(
+          compress_v2(core::Scheme::kEncrQuant, crypto::Mode::kCtr))),
+      "a50a92d5ccd26574f3bda32eb0ca8557d6c4293c867fd32ec6f9e1339fd03baf");
+}
+
+TEST(GoldenContainer, Authenticated) {
+  const std::vector<float> f = golden_field_f32(17);
+  crypto::CtrDrbg drbg(0xC0FFEE);
+  core::CipherSpec spec;
+  spec.authenticate = true;
+  const core::SecureCompressor c(golden_params(),
+                                 core::Scheme::kEncrHuffman, BytesView(kKey),
+                                 spec, &drbg);
+  const auto r = c.compress(std::span<const float>(f), kDims);
+  EXPECT_EQ(
+      digest(BytesView(r.container)),
+      "b63b4364d9f42adb62ceea4b110d9e09abe7fc55a77fb93e0afd0e7dfb08b3f1");
+}
+
+TEST(GoldenContainer, Float64) {
+  const std::vector<double> d64 = golden_field_f64();
+  crypto::CtrDrbg drbg(0xC0FFEE);
+  const core::SecureCompressor c(golden_params(), core::Scheme::kEncrQuant,
+                                 BytesView(kKey), crypto::Mode::kCbc, &drbg);
+  const auto r = c.compress(std::span<const double>(d64), kDims);
+  EXPECT_EQ(
+      digest(BytesView(r.container)),
+      "f61a10f6433f14d8358d9bf674121a9bc1adb4d9a9d426bb236734702aec2348");
+}
+
+TEST(GoldenContainer, ChunkedArchive) {
+  const std::vector<float> f = golden_field_f32(17);
+  crypto::CtrDrbg drbg(0xABCD);
+  archive::ChunkedConfig cfg;
+  cfg.threads = 2;
+  cfg.chunks = 4;
+  const auto r = archive::compress_chunked(
+      std::span<const float>(f), kDims, golden_params(),
+      core::Scheme::kEncrHuffman, BytesView(kKey), core::CipherSpec{}, cfg,
+      &drbg);
+  EXPECT_EQ(
+      digest(BytesView(r.archive)),
+      "f3c578186833f9cb9d44e3e7c2958e4a6136d234adfe3e6e5d16c9613082d188");
+}
+
+TEST(GoldenContainer, SlabArchive) {
+  const std::vector<float> f = golden_field_f32(17);
+  crypto::CtrDrbg drbg(0xABCD);
+  parallel::SlabConfig cfg;
+  cfg.threads = 2;
+  cfg.slabs = 4;
+  const auto r = parallel::compress_slabs(
+      std::span<const float>(f), kDims, golden_params(),
+      core::Scheme::kCmprEncr, BytesView(kKey), core::CipherSpec{}, cfg,
+      &drbg);
+  EXPECT_EQ(
+      digest(BytesView(r.archive)),
+      "5c8c10668628689ee3746de1c692229a8ddfe54032568ab8eb38ce7343330bb6");
+}
+
+}  // namespace
+}  // namespace szsec
