@@ -1,0 +1,185 @@
+// Thread-scaling of the v3 chunked codec path, machine-readable.
+//
+// For every Table II dataset, compresses + decompresses through the
+// chunked archive (pinned chunk plan) at thread counts {1, 2, 4, 8},
+// measuring *wall-clock* medians (CpuTimer would sum the workers' time
+// and hide the speedup).  Each parallel run's archive is checked
+// byte-for-byte against the single-threaded one — the scaling numbers
+// are only meaningful because the output is provably identical.
+//
+// Results go to BENCH_parallel_scaling.json:
+//   [{"dataset": ..., "scheme": ..., "error_bound": ...,
+//     "chunks": ..., "threads": ...,
+//     "raw_bytes": ..., "archive_bytes": ...,
+//     "compress_seconds": ..., "decompress_seconds": ...,
+//     "compress_speedup": ..., "decompress_speedup": ...,
+//     "byte_identical": true}, ...]
+// where speedups are relative to the threads=1 row of the same dataset.
+//
+// Usage: bench_parallel_scaling [output.json]   (default
+// BENCH_parallel_scaling.json in the working directory)
+//
+// NOTE: on a single-core machine every speedup is ~1.0 (or slightly
+// below, from scheduler overhead); the emitter reports what it measures.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "archive/chunked.h"
+#include "bench_util.h"
+
+using namespace szsec;
+using namespace szsec::bench;
+
+namespace {
+
+// Pinned so the slab plan — and therefore the bytes — never depends on
+// the worker count.  8 chunks keeps all sweep points (up to 8 threads)
+// busy while leaving per-chunk work large enough to matter.
+constexpr size_t kChunks = 8;
+constexpr double kEb = 1e-5;
+
+struct ScalingRecord {
+  std::string dataset;
+  unsigned threads = 1;
+  uint64_t raw_bytes = 0;
+  uint64_t archive_bytes = 0;
+  double compress_seconds = 0;
+  double decompress_seconds = 0;
+  bool byte_identical = true;
+};
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const size_t n = xs.size();
+  return n % 2 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+archive::ChunkedCompressResult compress_once(const data::Dataset& d,
+                                             unsigned threads) {
+  sz::Params params;
+  params.abs_error_bound = kEb;
+  archive::ChunkedConfig config;
+  config.threads = threads;
+  config.chunks = kChunks;
+  // Fresh DRBG with a fixed seed per run: IVs — and so the bytes — are
+  // reproducible across runs and thread counts.
+  crypto::CtrDrbg drbg(0x5CA1E);
+  return archive::compress_chunked(std::span<const float>(d.values), d.dims,
+                                   params, core::Scheme::kEncrHuffman,
+                                   bench_key(), core::CipherSpec{}, config,
+                                   &drbg);
+}
+
+ScalingRecord measure_threads(const data::Dataset& d, unsigned threads,
+                              const Bytes& reference_archive) {
+  ScalingRecord rec;
+  rec.threads = threads;
+  rec.raw_bytes = d.bytes();
+
+  archive::ChunkedCompressResult last = compress_once(d, threads);  // warmup
+  std::vector<double> comp;
+  for (int r = 0; r < bench_runs(); ++r) {
+    WallTimer t;
+    last = compress_once(d, threads);
+    comp.push_back(t.elapsed_s());
+  }
+  rec.compress_seconds = median(std::move(comp));
+  rec.archive_bytes = last.archive.size();
+  rec.byte_identical =
+      reference_archive.empty() || last.archive == reference_archive;
+
+  archive::ChunkedConfig dc;
+  dc.threads = threads;
+  std::vector<double> decomp;
+  for (int r = 0; r < bench_runs(); ++r) {
+    WallTimer t;
+    (void)archive::decompress_chunked_f32(BytesView(last.archive),
+                                          bench_key(), dc);
+    decomp.push_back(t.elapsed_s());
+  }
+  rec.decompress_seconds = median(std::move(decomp));
+  return rec;
+}
+
+void write_json(const std::string& path,
+                const std::vector<ScalingRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  SZSEC_REQUIRE(f != nullptr, "cannot open scaling output file");
+  std::fprintf(f, "[");
+  // threads=1 baseline per dataset for the speedup columns.
+  std::map<std::string, const ScalingRecord*> base;
+  for (const ScalingRecord& r : records) {
+    if (r.threads == 1) base[r.dataset] = &r;
+  }
+  for (size_t i = 0; i < records.size(); ++i) {
+    const ScalingRecord& r = records[i];
+    const ScalingRecord* b = base.at(r.dataset);
+    std::fprintf(f,
+                 "%s\n  {\"dataset\": \"%s\", \"scheme\": \"%s\", "
+                 "\"error_bound\": %g, \"chunks\": %zu, \"threads\": %u,\n"
+                 "   \"raw_bytes\": %llu, \"archive_bytes\": %llu,\n"
+                 "   \"compress_seconds\": %.9f, "
+                 "\"decompress_seconds\": %.9f,\n"
+                 "   \"compress_speedup\": %.3f, "
+                 "\"decompress_speedup\": %.3f,\n"
+                 "   \"byte_identical\": %s}",
+                 i == 0 ? "" : ",", r.dataset.c_str(),
+                 core::scheme_name(core::Scheme::kEncrHuffman), kEb,
+                 kChunks, r.threads,
+                 static_cast<unsigned long long>(r.raw_bytes),
+                 static_cast<unsigned long long>(r.archive_bytes),
+                 r.compress_seconds, r.decompress_seconds,
+                 b->compress_seconds / r.compress_seconds,
+                 b->decompress_seconds / r.decompress_seconds,
+                 r.byte_identical ? "true" : "false");
+  }
+  std::fprintf(f, "\n]\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_parallel_scaling.json";
+  const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+
+  std::vector<ScalingRecord> records;
+  bool all_identical = true;
+  print_table_header(
+      "Chunked codec wall time (ms), Encr-Huffman eb=1e-5, " +
+          std::to_string(kChunks) + " chunks  [-> " + out_path + "]",
+      {"threads", "comp ms", "decomp ms", "comp x", "decomp x"}, 16, 10);
+  for (const std::string& name : table_datasets()) {
+    const data::Dataset& d = dataset(name);
+    // Single-threaded archive: the byte-identity reference for every
+    // parallel sweep point of this dataset.
+    const Bytes reference = compress_once(d, 1).archive;
+    double base_comp = 0, base_decomp = 0;
+    for (unsigned threads : thread_counts) {
+      ScalingRecord rec = measure_threads(d, threads, reference);
+      rec.dataset = name;
+      if (threads == 1) {
+        base_comp = rec.compress_seconds;
+        base_decomp = rec.decompress_seconds;
+      }
+      all_identical = all_identical && rec.byte_identical;
+      print_row(name, {static_cast<double>(threads),
+                       rec.compress_seconds * 1e3,
+                       rec.decompress_seconds * 1e3,
+                       base_comp / rec.compress_seconds,
+                       base_decomp / rec.decompress_seconds},
+                16, 10);
+      records.push_back(std::move(rec));
+    }
+  }
+
+  write_json(out_path, records);
+  std::printf("\nwrote %zu records to %s (byte identity: %s)\n",
+              records.size(), out_path.c_str(),
+              all_identical ? "PASS" : "FAIL");
+  return all_identical ? 0 : 1;
+}

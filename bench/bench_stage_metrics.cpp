@@ -7,35 +7,116 @@
 // Figure 7 time-breakdown bench: plot scripts and regression tracking
 // consume the JSON instead of scraping the printed table.
 //
-// Usage: bench_stage_metrics [output.json]   (default
-// BENCH_stage_metrics.json in the working directory)
+// Usage: bench_stage_metrics [--threads N] [output.json]
+//   default output: BENCH_stage_metrics.json in the working directory.
+//
+// --threads N routes every measurement through the v3 chunked archive
+// path (pinned chunk plan) with N codec workers instead of the v2
+// single-container path; the recorded PipelineMetrics are then the sum
+// over all chunks and workers.  Per-stage *seconds* stay comparable to
+// the serial run (they are summed CPU work, not wall time); use
+// bench_parallel_scaling for wall-clock speedup curves.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "archive/chunked.h"
 #include "bench_util.h"
 
 using namespace szsec;
 using namespace szsec::bench;
 
+namespace {
+
+// Chunk count pinned so the slab plan (and the bytes) never depends on
+// the worker count.
+constexpr size_t kChunks = 8;
+
+// measure()-equivalent for the chunked path: median-of-runs timing with
+// one warmup, metrics taken from the last run.
+Measurement measure_chunked(const data::Dataset& d, core::Scheme scheme,
+                            double eb, unsigned threads) {
+  sz::Params params;
+  params.abs_error_bound = eb;
+  const BytesView key =
+      scheme == core::Scheme::kNone ? BytesView{} : bench_key();
+  archive::ChunkedConfig config;
+  config.threads = threads;
+  config.chunks = kChunks;
+  const std::span<const float> values(d.values);
+
+  Measurement m;
+  m.raw_bytes = d.bytes();
+  auto run = [&] {
+    crypto::CtrDrbg drbg(0x5EC0DE);  // fresh per run: reproducible IVs
+    return archive::compress_chunked(values, d.dims, params, scheme, key,
+                                     core::CipherSpec{}, config, &drbg);
+  };
+  archive::ChunkedCompressResult last = run();  // warmup
+  std::vector<double> comp_times;
+  for (int r = 0; r < bench_runs(); ++r) {
+    WallTimer t;
+    last = run();
+    comp_times.push_back(t.elapsed_s());
+  }
+  std::sort(comp_times.begin(), comp_times.end());
+  m.compress_seconds = comp_times[comp_times.size() / 2];
+  m.stats = last.stats;
+  m.compress_times = last.times;
+
+  std::vector<double> decomp_times;
+  PipelineMetrics decode_metrics;
+  for (int r = 0; r < bench_runs(); ++r) {
+    archive::ChunkedConfig dc = config;
+    decode_metrics.clear();
+    dc.metrics = &decode_metrics;
+    WallTimer t;
+    (void)archive::decompress_chunked_f32(BytesView(last.archive), key, dc);
+    decomp_times.push_back(t.elapsed_s());
+  }
+  std::sort(decomp_times.begin(), decomp_times.end());
+  m.decompress_seconds = decomp_times[decomp_times.size() / 2];
+  m.decompress_times = decode_metrics;
+  return m;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const std::string out_path =
-      argc > 1 ? argv[1] : "BENCH_stage_metrics.json";
+  std::string out_path = "BENCH_stage_metrics.json";
+  unsigned threads = 0;  // 0 = v2 single-container path (the default)
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      if (threads < 1) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return 2;
+      }
+    } else {
+      out_path = arg;
+    }
+  }
   const double eb = 1e-5;
   const std::vector<core::Scheme> schemes = {
       core::Scheme::kNone, core::Scheme::kCmprEncr,
       core::Scheme::kEncrQuant, core::Scheme::kEncrHuffman};
 
   std::vector<StageMetricsRecord> records;
+  const std::string mode =
+      threads == 0 ? "single container"
+                   : "chunked, " + std::to_string(threads) + " threads";
   print_table_header(
-      "Per-stage compress time (ms) at eb=1e-5  [full detail -> " +
-          out_path + "]",
+      "Per-stage compress time (ms) at eb=1e-5, " + mode +
+          "  [full detail -> " + out_path + "]",
       {"pred+quant", "huffman", "encrypt", "lossless", "total"}, 24, 10);
   for (const std::string& name : table_datasets()) {
     const data::Dataset& d = dataset(name);
     for (core::Scheme scheme : schemes) {
-      const Measurement m = measure(d, scheme, eb,
-                                    /*measure_decompress=*/true);
+      const Measurement m =
+          threads == 0 ? measure(d, scheme, eb, /*measure_decompress=*/true)
+                       : measure_chunked(d, scheme, eb, threads);
       StageMetricsRecord rec;
       rec.dataset = name;
       rec.scheme = core::scheme_name(scheme);

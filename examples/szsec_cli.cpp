@@ -4,9 +4,16 @@
 //   szsec_cli compress   <in.bin> <out.szs> --dims Z,Y,X --eb 1e-4
 //             [--scheme none|cmpr-encr|encr-quant|encr-huffman]
 //             [--key <hex 16/24/32 bytes> | --password <string>]
-//             [--mode cbc|ctr]
+//             [--mode cbc|ctr] [--chunks N] [--threads N]
 //   szsec_cli decompress <in.szs> <out.bin> [--key <hex> | --password <s>]
+//             [--threads N]
 //   szsec_cli info       <in.szs>
+//
+// --chunks N writes a fault-tolerant v3 chunked archive (N independent
+// chunks) instead of a single v2 container; --threads N fans the
+// per-chunk codec work across N workers (chunked archives only — output
+// bytes are identical for every thread count).  decompress and info
+// detect the container kind from the magic.
 //
 // --password derives an AES-128 key via PBKDF2-HMAC-SHA256 (100k
 // iterations, fixed application salt) — convenient for interactive use;
@@ -19,6 +26,8 @@
 #include <sstream>
 #include <string>
 
+#include "archive/chunked.h"
+#include "common/bytestream.h"
 #include "common/hex.h"
 #include "core/secure_compressor.h"
 #include "crypto/sha256.h"
@@ -36,6 +45,8 @@ struct Options {
   core::Scheme scheme = core::Scheme::kEncrHuffman;
   crypto::Mode mode = crypto::Mode::kCbc;
   Bytes key;
+  size_t chunks = 0;     // >0: write a v3 chunked archive
+  unsigned threads = 1;  // chunked codec workers (1 = serial)
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -46,8 +57,11 @@ struct Options {
       "  szsec_cli compress <in.bin> <out.szs> --dims Z,Y,X --eb 1e-4\n"
       "            [--scheme none|cmpr-encr|encr-quant|encr-huffman]\n"
       "            [--key <hex>] [--mode cbc|ctr]\n"
+      "            [--chunks N] [--threads N]\n"
       "  szsec_cli decompress <in.szs> <out.bin> [--key <hex>]\n"
-      "  szsec_cli info <in.szs>\n");
+      "            [--threads N]\n"
+      "  szsec_cli info <in.szs>\n"
+      "(see docs/CLI.md for the full reference)\n");
   std::exit(2);
 }
 
@@ -113,6 +127,13 @@ Options parse(int argc, char** argv) {
       } else {
         usage("unknown --mode");
       }
+    } else if (arg == "--chunks") {
+      o.chunks = std::stoull(next());
+      if (o.chunks == 0) usage("--chunks must be >= 1");
+    } else if (arg == "--threads") {
+      const long t = std::stol(next());
+      if (t < 1) usage("--threads must be >= 1");
+      o.threads = static_cast<unsigned>(t);
     } else if (arg == "--scheme") {
       const std::string s = next();
       if (s == "none") {
@@ -151,6 +172,13 @@ void print_stage_metrics(const char* title, const StageTimes& times) {
   std::printf("  %-18s %10.3f\n", "total", times.total() * 1e3);
 }
 
+bool is_chunked_archive(BytesView bytes) {
+  if (bytes.size() < sizeof(uint32_t)) return false;
+  uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  return magic == archive::kChunkedMagic;
+}
+
 Bytes read_all(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in.good()) usage(("cannot open " + path).c_str());
@@ -175,6 +203,27 @@ int cmd_compress(const Options& o) {
   }
   sz::Params params;
   params.abs_error_bound = o.eb;
+  if (o.chunks > 0) {
+    archive::ChunkedConfig config;
+    config.chunks = o.chunks;
+    config.threads = o.threads;
+    const archive::ChunkedCompressResult r = archive::compress_chunked(
+        std::span<const float>(values), o.dims, params, o.scheme,
+        BytesView(o.key), core::CipherSpec{crypto::CipherKind::kAes128,
+                                           o.mode},
+        config);
+    std::ofstream out(o.output, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(r.archive.data()),
+              static_cast<std::streamsize>(r.archive.size()));
+    std::printf(
+        "%s: %zu -> %zu bytes (%.2fx), scheme %s, eb %g, "
+        "%zu chunks, %u threads\n",
+        o.output.c_str(), values.size() * 4, r.archive.size(),
+        r.stats.compression_ratio(), core::scheme_name(o.scheme), o.eb,
+        r.chunk_count, o.threads);
+    print_stage_metrics("stages (summed over chunks):", r.times);
+    return 0;
+  }
   const core::SecureCompressor c(params, o.scheme, BytesView(o.key),
                                  o.mode);
   const core::CompressResult r =
@@ -192,6 +241,23 @@ int cmd_compress(const Options& o) {
 
 int cmd_decompress(const Options& o) {
   const Bytes container = read_all(o.input);
+  if (is_chunked_archive(BytesView(container))) {
+    archive::ChunkedConfig config;
+    config.threads = o.threads;
+    PipelineMetrics metrics;
+    config.metrics = &metrics;
+    const std::vector<float> values = archive::decompress_chunked_f32(
+        BytesView(container), BytesView(o.key), config);
+    data::save_f32(o.output, values);
+    std::printf("%s: restored %zu floats (dims %s, %u threads)\n",
+                o.output.c_str(), values.size(),
+                archive::chunked_dims(BytesView(container))
+                    .to_string()
+                    .c_str(),
+                o.threads);
+    print_stage_metrics("stages (summed over chunks):", metrics);
+    return 0;
+  }
   const core::Header h = core::peek_header(BytesView(container));
   if (h.scheme != core::Scheme::kNone && o.key.empty()) {
     usage("this container is encrypted; supply --key");
@@ -210,6 +276,44 @@ int cmd_decompress(const Options& o) {
 
 int cmd_info(const Options& o) {
   const Bytes container = read_all(o.input);
+  if (is_chunked_archive(BytesView(container))) {
+    const archive::ChunkIndex index =
+        archive::read_chunk_index(BytesView(container));
+    std::printf("container:     v3 chunked archive\n");
+    std::printf("dims:          %s (%zu elements)\n",
+                index.dims.to_string().c_str(), index.dims.count());
+    std::printf("chunks:        %zu\n", index.entries.size());
+    std::printf("  %6s %12s %12s %10s %10s\n", "chunk", "offset", "bytes",
+                "row start", "rows");
+    for (size_t i = 0; i < index.entries.size(); ++i) {
+      const archive::ChunkEntry& e = index.entries[i];
+      std::printf("  %6zu %12llu %12llu %10llu %10llu\n", i,
+                  static_cast<unsigned long long>(e.offset),
+                  static_cast<unsigned long long>(e.frame_len),
+                  static_cast<unsigned long long>(e.row_start),
+                  static_cast<unsigned long long>(e.row_extent));
+    }
+    // Per-chunk scheme/cipher details come from the first chunk's own
+    // container header (all chunks agree in an undamaged archive).
+    if (!index.entries.empty()) {
+      const archive::ChunkEntry& first = index.entries.front();
+      ByteReader r(BytesView(container).subspan(
+          static_cast<size_t>(first.offset)));
+      r.get_u64();                     // resync marker
+      r.get_varint();                  // chunk id
+      r.get_varint();                  // row start
+      r.get_varint();                  // row extent
+      const uint64_t len = r.get_varint();
+      r.get_u32();                     // container CRC
+      const core::Header h =
+          core::peek_header(r.get_bytes(static_cast<size_t>(len)));
+      std::printf("scheme:        %s\n", core::scheme_name(h.scheme));
+      std::printf("cipher mode:   %s\n", crypto::mode_name(h.cipher_mode));
+      std::printf("error bound:   %g (absolute)\n",
+                  h.params.abs_error_bound);
+    }
+    return 0;
+  }
   const core::Header h = core::peek_header(BytesView(container));
   std::printf("scheme:        %s\n", core::scheme_name(h.scheme));
   std::printf("cipher mode:   %s\n", crypto::mode_name(h.cipher_mode));

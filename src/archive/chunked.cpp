@@ -4,11 +4,13 @@
 #include <cstring>
 #include <limits>
 #include <map>
+#include <memory>
 #include <optional>
 
 #include "common/bufpool.h"
 #include "common/crc32.h"
 #include "core/codec.h"
+#include "parallel/chunk_scheduler.h"
 
 namespace szsec::archive {
 
@@ -16,8 +18,28 @@ namespace {
 
 using core::codec::CodecRuntime;
 using core::codec::RuntimeCache;
+using parallel::ChunkSchedulerConfig;
+using parallel::ParallelChunkScheduler;
 using parallel::SlabConfig;
 using parallel::SlabPlan;
+
+/// Scratch state owned by one pool worker: key-schedule cache plus
+/// inflate buffers, reused chunk after chunk without cross-worker locks.
+struct WorkerState {
+  explicit WorkerState(BytesView key) : runtimes(key) {}
+  RuntimeCache runtimes;
+  BufferPool scratch;
+};
+
+std::vector<std::unique_ptr<WorkerState>> make_worker_states(
+    size_t count, BytesView key) {
+  std::vector<std::unique_ptr<WorkerState>> states;
+  states.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    states.push_back(std::make_unique<WorkerState>(key));
+  }
+  return states;
+}
 
 constexpr uint64_t kMaxExtent = uint64_t{1} << 40;
 constexpr size_t kMarkerSize = sizeof(uint64_t);
@@ -127,7 +149,8 @@ std::string try_decode_chunk(const Frame& f, RuntimeCache& runtimes,
                              BufferPool* pool,
                              const std::optional<Dims>& field_dims,
                              std::span<T> into, std::vector<T>* own,
-                             Dims& chunk_dims) {
+                             Dims& chunk_dims,
+                             PipelineMetrics* times = nullptr) {
   try {
     const core::Header h = core::peek_header(f.container);
     if (h.dims[0] != f.row_extent) return "container rows != frame rows";
@@ -154,7 +177,9 @@ std::string try_decode_chunk(const Frame& f, RuntimeCache& runtimes,
     } else {
       opts.into_f64 = dst;
     }
-    (void)core::codec::decode_payload(runtime.config(), f.container, opts);
+    const core::DecompressResult r =
+        core::codec::decode_payload(runtime.config(), f.container, opts);
+    if (times != nullptr) times->merge(r.times);
     chunk_dims = h.dims;
     return {};
   } catch (const Error& e) {
@@ -189,13 +214,17 @@ ChunkedCompressResult compress_chunked_impl(std::span<const T> data,
                                             const ChunkedConfig& config,
                                             crypto::CtrDrbg* seed_drbg) {
   SZSEC_REQUIRE(data.size() == dims.count(), "data size mismatch");
-  parallel::ThreadPool pool(config.threads);
+  ParallelChunkScheduler sched(
+      ChunkSchedulerConfig{config.threads, config.max_in_flight});
   SlabConfig scfg;
   scfg.threads = config.threads;
   scfg.slabs = config.chunks;
   const SlabPlan plan =
-      parallel::plan_slabs(dims, scfg, pool.thread_count());
+      parallel::plan_slabs(dims, scfg, sched.thread_count());
 
+  // Per-chunk DRBGs are derived serially from the master BEFORE fan-out,
+  // so chunk i's IV depends only on its index and the seed — the archive
+  // bytes are identical for every thread count.
   crypto::CtrDrbg& master =
       seed_drbg != nullptr ? *seed_drbg : crypto::global_drbg();
   std::vector<crypto::CtrDrbg> drbgs;
@@ -209,22 +238,54 @@ ChunkedCompressResult compress_chunked_impl(std::span<const T> data,
   const CodecRuntime runtime(params, scheme, key, spec);
   const core::codec::CodecConfig cfg = runtime.config();
 
-  std::vector<core::CompressResult> results(plan.count);
-  parallel::parallel_for(pool, plan.count, [&](size_t i) {
-    const std::span<const T> slab = data.subspan(
-        plan.start[i] * plan.plane, plan.extent[i] * plan.plane);
-    results[i] = core::codec::encode_payload(
-        cfg, slab, parallel::slab_dims(dims, plan.extent[i]), &drbgs[i]);
-  });
-
-  std::vector<Bytes> frames(plan.count);
-  for (size_t i = 0; i < plan.count; ++i) {
-    frames[i] =
-        make_frame(i, plan.start[i], plan.extent[i], results[i].container);
-  }
+  // Workers encode + frame their chunk; the ordered commit appends the
+  // frame to the body and folds stats/metrics — deterministic because
+  // commits arrive in chunk-index order whatever the completion order.
+  struct ChunkProduct {
+    Bytes frame;
+    core::CompressStats stats;
+    PipelineMetrics times;
+  };
 
   ChunkedCompressResult out;
   out.chunk_count = plan.count;
+  Bytes body;
+  std::vector<uint64_t> frame_len(plan.count, 0);
+  double weighted_predictable = 0;
+
+  sched.run_ordered<ChunkProduct>(
+      plan.count,
+      [&](size_t, size_t i) {
+        const std::span<const T> slab = data.subspan(
+            plan.start[i] * plan.plane, plan.extent[i] * plan.plane);
+        core::CompressResult r = core::codec::encode_payload(
+            cfg, slab, parallel::slab_dims(dims, plan.extent[i]),
+            &drbgs[i]);
+        return ChunkProduct{
+            make_frame(i, plan.start[i], plan.extent[i], r.container),
+            r.stats, std::move(r.times)};
+      },
+      [&](size_t i, ChunkProduct&& p) {
+        frame_len[i] = p.frame.size();
+        body.insert(body.end(), p.frame.begin(), p.frame.end());
+        out.stats.raw_bytes += p.stats.raw_bytes;
+        out.stats.payload_bytes += p.stats.payload_bytes;
+        out.stats.tree_bytes += p.stats.tree_bytes;
+        out.stats.codeword_bytes += p.stats.codeword_bytes;
+        out.stats.unpredictable_bytes += p.stats.unpredictable_bytes;
+        out.stats.unpredictable_count += p.stats.unpredictable_count;
+        out.stats.element_count += p.stats.element_count;
+        out.stats.encrypted_bytes += p.stats.encrypted_bytes;
+        weighted_predictable +=
+            p.stats.predictable_fraction * p.stats.element_count;
+        out.times.merge(p.times);
+      });
+
+  out.stats.predictable_fraction =
+      out.stats.element_count == 0
+          ? 0
+          : weighted_predictable / out.stats.element_count;
+
   ByteWriter w;
   w.put_u32(kChunkedMagic);
   w.put_u8(kChunkedVersion);
@@ -234,35 +295,15 @@ ChunkedCompressResult compress_chunked_impl(std::span<const T> data,
   uint64_t rel = 0;
   for (size_t i = 0; i < plan.count; ++i) {
     w.put_varint(rel);
-    w.put_varint(frames[i].size());
+    w.put_varint(frame_len[i]);
     w.put_varint(plan.start[i]);
     w.put_varint(plan.extent[i]);
-    rel += frames[i].size();
+    rel += frame_len[i];
   }
   w.put_u32(crc32(BytesView(w.bytes())));
 
-  double weighted_predictable = 0;
-  for (const core::CompressResult& r : results) {
-    out.stats.raw_bytes += r.stats.raw_bytes;
-    out.stats.payload_bytes += r.stats.payload_bytes;
-    out.stats.tree_bytes += r.stats.tree_bytes;
-    out.stats.codeword_bytes += r.stats.codeword_bytes;
-    out.stats.unpredictable_bytes += r.stats.unpredictable_bytes;
-    out.stats.unpredictable_count += r.stats.unpredictable_count;
-    out.stats.element_count += r.stats.element_count;
-    out.stats.encrypted_bytes += r.stats.encrypted_bytes;
-    weighted_predictable +=
-        r.stats.predictable_fraction * r.stats.element_count;
-  }
-  out.stats.predictable_fraction =
-      out.stats.element_count == 0
-          ? 0
-          : weighted_predictable / out.stats.element_count;
-
   Bytes archive = w.take();
-  for (const Bytes& f : frames) {
-    archive.insert(archive.end(), f.begin(), f.end());
-  }
+  archive.insert(archive.end(), body.begin(), body.end());
   out.archive = std::move(archive);
   out.stats.container_bytes = out.archive.size();
   return out;
@@ -368,24 +409,38 @@ std::vector<T> decompress_chunked_impl(BytesView archive, BytesView key,
     frames.push_back(*f);
   }
 
-  // One runtime cache + scratch pool shared by every worker: key
-  // schedules are built once, and each chunk reconstructs straight into
-  // its slice of `out` with pooled inflate scratch.
-  RuntimeCache runtimes(key);
-  BufferPool scratch;
-  parallel::ThreadPool pool(config.threads);
-  parallel::parallel_for(pool, frames.size(), [&](size_t i) {
-    const std::span<T> slice =
-        std::span<T>(out).subspan(frames[i].row_start * plane,
-                                  frames[i].row_extent * plane);
-    Dims chunk_dims;
-    const std::string err = try_decode_chunk<T>(
-        frames[i], runtimes, &scratch, index.dims, slice, nullptr,
-        chunk_dims);
-    if (!err.empty()) {
-      throw CorruptError("chunk " + std::to_string(i) + ": " + err);
-    }
-  });
+  // Per-worker runtime caches + scratch pools: key schedules are built
+  // at most once per worker, each chunk reconstructs straight into its
+  // slice of `out` (slices are disjoint, so workers never contend), and
+  // per-chunk metrics are merged in index order on this thread.
+  ParallelChunkScheduler sched(
+      ChunkSchedulerConfig{config.threads, config.max_in_flight});
+  const auto workers = make_worker_states(sched.thread_count(), key);
+  struct ChunkDecode {
+    std::string error;
+    PipelineMetrics times;
+  };
+  sched.run_ordered<ChunkDecode>(
+      frames.size(),
+      [&](size_t worker, size_t i) {
+        const std::span<T> slice =
+            std::span<T>(out).subspan(frames[i].row_start * plane,
+                                      frames[i].row_extent * plane);
+        Dims chunk_dims;
+        ChunkDecode d;
+        d.error = try_decode_chunk<T>(
+            frames[i], workers[worker]->runtimes,
+            &workers[worker]->scratch, index.dims, slice, nullptr,
+            chunk_dims, &d.times);
+        return d;
+      },
+      [&](size_t i, ChunkDecode&& d) {
+        if (!d.error.empty()) {
+          throw CorruptError("chunk " + std::to_string(i) + ": " +
+                             d.error);
+        }
+        if (config.metrics != nullptr) config.metrics->merge(d.times);
+      });
   return out;
 }
 
@@ -511,29 +566,66 @@ SalvageResult salvage_impl(BytesView archive, BytesView key,
     size_t frame_len;
     std::vector<T> data;
   };
-  RuntimeCache runtimes(key);
-  BufferPool scratch;
+  // Chunk decodes fan out across workers (each with its own runtime
+  // cache + scratch pool); a corrupt chunk is an error *value*, never an
+  // exception, so one bad worker result cannot abort the salvage.
+  // Commits arrive in chunk-id order, keeping the report and the
+  // first-come row-claiming below deterministic.
+  std::vector<std::pair<uint64_t, const Frame*>> jobs;
+  jobs.reserve(found.size());
+  for (auto& [id, f] : found) jobs.emplace_back(id, &f);
+
+  struct SalvageDecode {
+    std::string error;
+    Dims chunk_dims;
+    std::vector<T> data;
+  };
+  ParallelChunkScheduler sched(ChunkSchedulerConfig{opts.threads, 0});
+  const auto workers = make_worker_states(sched.thread_count(), key);
   std::vector<Decoded> decoded;
   uint64_t max_row_end = 0;
-  for (auto& [id, f] : found) {
-    std::vector<T> data;
-    Dims chunk_dims;
-    const std::string err = try_decode_chunk<T>(
-        f, runtimes, &scratch, field_dims, std::span<T>{}, &data,
-        chunk_dims);
-    if (!err.empty()) {
-      failure[id] = err;
-      continue;
-    }
-    if (!field_dims) {
-      // Scan-only recovery: plane dims come from the chunk itself; the
-      // slowest extent is completed below from row coverage.
-      field_dims = chunk_dims;
-    }
-    max_row_end = std::max(max_row_end, f.row_start + f.row_extent);
-    decoded.push_back(Decoded{id, f.row_start, f.row_extent, f.frame_len,
-                              std::move(data)});
-  }
+  // With an intact index the field dims are known before fan-out and
+  // every worker validates against them; scan-only recovery learns them
+  // from the first decodable chunk at commit time instead (plane checks
+  // for later chunks then happen in the commit).
+  const std::optional<Dims> produce_dims = field_dims;
+  sched.run_ordered<SalvageDecode>(
+      jobs.size(),
+      [&](size_t worker, size_t j) {
+        SalvageDecode d;
+        d.error = try_decode_chunk<T>(
+            *jobs[j].second, workers[worker]->runtimes,
+            &workers[worker]->scratch, produce_dims, std::span<T>{},
+            &d.data, d.chunk_dims);
+        return d;
+      },
+      [&](size_t j, SalvageDecode&& d) {
+        const uint64_t id = jobs[j].first;
+        const Frame& f = *jobs[j].second;
+        if (d.error.empty() && !produce_dims && field_dims) {
+          if (d.chunk_dims.rank() != field_dims->rank()) {
+            d.error = "rank mismatch";
+          } else {
+            for (size_t i = 1; i < d.chunk_dims.rank(); ++i) {
+              if (d.chunk_dims[i] != (*field_dims)[i]) {
+                d.error = "plane dims mismatch";
+              }
+            }
+          }
+        }
+        if (!d.error.empty()) {
+          failure[id] = d.error;
+          return;
+        }
+        if (!field_dims) {
+          // Scan-only recovery: plane dims come from the chunk itself;
+          // the slowest extent is completed below from row coverage.
+          field_dims = d.chunk_dims;
+        }
+        max_row_end = std::max(max_row_end, f.row_start + f.row_extent);
+        decoded.push_back(Decoded{id, f.row_start, f.row_extent,
+                                  f.frame_len, std::move(d.data)});
+      });
 
   if (!field_dims) {
     // Nothing decodable at all: report whatever we know and bail out.

@@ -28,10 +28,18 @@
 // marker.  No plaintext statistics of the field are stored — the mean
 // fallback fill is computed from the *recovered* elements, so the
 // archive leaks nothing about encrypted content beyond its size.
+//
+// Threading model: both directions run chunk-parallel on a
+// parallel::ParallelChunkScheduler — bounded in-flight chunks, per-worker
+// scratch state, and commits in chunk-index order on the calling thread.
+// Output is byte-identical for every thread count: per-chunk IVs are
+// derived from the chunk index before fan-out, and the archive is
+// assembled in index order regardless of completion order.
 #pragma once
 
 #include <string>
 
+#include "common/timer.h"
 #include "parallel/slab.h"
 
 namespace szsec::archive {
@@ -43,10 +51,20 @@ inline constexpr uint8_t kChunkedVersion = 3;
 inline constexpr uint64_t kResyncMarker = 0x434E595352215A53ull;
 
 struct ChunkedConfig {
-  /// Worker threads for compression / strict decompression (0 = all).
+  /// Worker threads for compression / strict decompression
+  /// (0 = parallel::default_thread_count(), honoring SZSEC_THREADS).
   unsigned threads = 0;
   /// Number of chunks (0 = 2x threads, capped by the slowest extent).
+  /// NOTE: for reproducible bytes across machines/thread counts, pin
+  /// this explicitly — the default is derived from `threads`.
   size_t chunks = 0;
+  /// Backpressure window: chunks submitted but not yet committed
+  /// (0 = 2x threads).  Bounds peak memory for huge archives.
+  size_t max_in_flight = 0;
+  /// Optional sink receiving the per-stage PipelineMetrics aggregated
+  /// across all chunks and workers of a decode (compression reports its
+  /// metrics in ChunkedCompressResult::times instead).  Not owned.
+  PipelineMetrics* metrics = nullptr;
 };
 
 struct ChunkedCompressResult {
@@ -54,6 +72,9 @@ struct ChunkedCompressResult {
   size_t chunk_count = 0;
   /// Aggregate stats (sums over chunks; predictable_fraction weighted).
   core::CompressStats stats;
+  /// Per-stage time + byte-flow metrics summed over every chunk (all
+  /// workers), merged deterministically in chunk-index order.
+  PipelineMetrics times;
 };
 
 /// Compresses `data` into a fault-tolerant chunked archive.  Parameters
@@ -152,6 +173,10 @@ enum class FallbackFill : uint8_t {
 
 struct SalvageOptions {
   FallbackFill fill = FallbackFill::kMean;
+  /// Worker threads for the per-chunk decode phase (0 = default count).
+  /// A worker hitting a corrupt chunk reports it in the SalvageReport
+  /// and never aborts the run.
+  unsigned threads = 0;
 };
 
 struct SalvageResult {

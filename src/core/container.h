@@ -19,7 +19,9 @@
 
 namespace szsec::core {
 
-inline constexpr uint32_t kMagic = 0x31535A53;  // "SZS1" little-endian
+/// Container magic, "SZS1" little-endian.
+inline constexpr uint32_t kMagic = 0x31535A53;
+/// Container format version written and accepted by this build.
 inline constexpr uint8_t kVersion = 2;
 
 /// Header flag bits.

@@ -13,9 +13,11 @@
 // SecureCompressor is a thin facade: it owns a codec::CodecRuntime (key
 // schedules, MAC key) plus a DRBG pointer and forwards every call to the
 // shared codec::encode_payload / codec::decode_payload drivers in
-// core/codec.h.  The parallel slab archive and the fault-tolerant
-// chunked archive call those drivers directly — all three produce and
-// consume the same per-field bytes.
+// core/codec.h.  The parallel slab archive (src/parallel) and the
+// fault-tolerant chunked archive (src/archive) call those drivers
+// directly — all three produce and consume the same per-field bytes —
+// and the chunked archive additionally runs them chunk-parallel with
+// byte-identical output (see docs/ARCHITECTURE.md).
 //
 // Thread-safety: a SecureCompressor is immutable apart from its DRBG; use
 // one instance per thread or supply distinct DRBGs.
@@ -43,19 +45,24 @@ class SecureCompressor {
   SecureCompressor(sz::Params params, Scheme scheme, BytesView key,
                    CipherSpec spec, crypto::CtrDrbg* drbg = nullptr);
 
+  /// Compresses one field into a v2 container.  Every reconstructed
+  /// value will be within params().abs_error_bound of the original.
   CompressResult compress(std::span<const float> data, const Dims& dims) const;
   CompressResult compress(std::span<const double> data,
                           const Dims& dims) const;
 
   /// Decompresses any scheme (read from the header).  Requires the same
-  /// key the container was produced with (for encrypting schemes).
+  /// key the container was produced with (for encrypting schemes);
+  /// throws CorruptError on damaged input, never returns wrong data.
   DecompressResult decompress(BytesView container) const;
 
   /// Convenience wrappers that additionally check the dtype.
   std::vector<float> decompress_f32(BytesView container) const;
   std::vector<double> decompress_f64(BytesView container) const;
 
+  /// Scheme this instance was constructed with.
   Scheme scheme() const { return runtime_.scheme(); }
+  /// Compression parameters this instance was constructed with.
   const sz::Params& params() const { return runtime_.params(); }
 
  private:

@@ -1,0 +1,152 @@
+// Ordered, backpressured fan-out of per-chunk codec work.
+//
+// Archives are sequences of independently coded chunks, so the natural
+// parallel unit is "encode/decode one chunk" — but the archive bytes (and
+// every aggregate: stats, metrics, the index) must come out in chunk-index
+// order no matter which worker finishes first.  ParallelChunkScheduler
+// provides exactly that contract:
+//
+//   * produce(worker, index) runs on a pool worker, any completion order;
+//   * commit(index, result) runs on the CALLING thread in strictly
+//     increasing index order — so commit-side state (an output buffer, a
+//     PipelineMetrics sink, floating-point stat accumulators) needs no
+//     locking and aggregates deterministically;
+//   * at most window() indices are submitted-but-uncommitted at any
+//     moment.  This is backpressure: peak memory is O(window x chunk),
+//     independent of archive length and of how unevenly chunks complete
+//     (without it, one slow chunk 0 would let thousands of completed
+//     results pile up waiting to commit);
+//   * the worker argument of produce (ThreadPool::current_worker_index())
+//     indexes per-worker scratch state — BufferPool, RuntimeCache — so
+//     workers reuse buffers and key schedules without contending on a
+//     shared lock;
+//   * an exception from produce or commit stops new submissions, drains
+//     every in-flight task (workers never outlive the call's stack
+//     state), and is rethrown to the caller.
+//
+// Determinism note: the scheduler never changes WHAT is computed, only
+// WHEN.  Chunked archive bytes are identical for any thread count because
+// per-chunk IVs are derived from the chunk index before fan-out and
+// commits happen in index order (locked by golden_container_test and
+// parallel_roundtrip_test).
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "parallel/thread_pool.h"
+
+namespace szsec::parallel {
+
+/// Construction-time knobs of a ParallelChunkScheduler.
+struct ChunkSchedulerConfig {
+  /// Worker threads (0 = default_thread_count(), which honors the
+  /// SZSEC_THREADS environment variable).
+  unsigned threads = 0;
+  /// Backpressure window: maximum chunks submitted but not yet committed
+  /// (0 = 2x threads).  Smaller bounds memory tighter; larger absorbs
+  /// more completion-order skew before workers idle.
+  size_t max_in_flight = 0;
+};
+
+/// Fans per-chunk work onto a private ThreadPool with a bounded
+/// in-flight window and commits results on the calling thread in strict
+/// chunk-index order (see the file comment for the full contract).
+/// Reusable: run_ordered may be called any number of times.
+class ParallelChunkScheduler {
+ public:
+  /// Spawns the worker pool; both config fields accept 0 for defaults.
+  explicit ParallelChunkScheduler(const ChunkSchedulerConfig& config = {})
+      : pool_(config.threads),
+        window_(config.max_in_flight != 0 ? config.max_in_flight
+                                          : 2 * pool_.thread_count()) {}
+
+  /// Worker threads in the underlying pool.
+  size_t thread_count() const { return pool_.thread_count(); }
+  /// Resolved backpressure window (submitted-but-uncommitted bound).
+  size_t window() const { return window_; }
+
+  /// Runs produce(worker, index) for every index in [0, n) across the
+  /// pool and feeds each result to commit(index, result) on this thread
+  /// in strictly increasing index order, holding at most window() chunks
+  /// in flight.  `worker` is in [0, thread_count()).  The first
+  /// exception thrown by produce or commit aborts the run (no further
+  /// submissions or commits), is held until every in-flight task has
+  /// drained, and is then rethrown here.
+  template <typename Result>
+  void run_ordered(size_t n,
+                   const std::function<Result(size_t, size_t)>& produce,
+                   const std::function<void(size_t, Result&&)>& commit) {
+    if (n == 0) return;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<size_t, Result> ready;  // completed, awaiting ordered commit
+    std::exception_ptr error;
+    size_t in_flight = 0;  // submitted, not yet completed
+    size_t next_submit = 0;
+    size_t next_commit = 0;
+
+    auto run_one = [&](size_t index) {
+      std::optional<Result> r;
+      try {
+        r.emplace(produce(ThreadPool::current_worker_index(), index));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (r.has_value()) ready.emplace(index, std::move(*r));
+        --in_flight;
+      }
+      cv.notify_all();
+    };
+
+    std::unique_lock<std::mutex> lock(mu);
+    while (next_commit < n && !error) {
+      // Keep the window full.  Submission happens unlocked (the pool has
+      // its own mutex and submit can block on allocation).
+      while (next_submit < n && next_submit - next_commit < window_ &&
+             !error) {
+        const size_t index = next_submit++;
+        ++in_flight;
+        lock.unlock();
+        pool_.submit([&run_one, index] { run_one(index); });
+        lock.lock();
+      }
+      cv.wait(lock, [&] { return ready.count(next_commit) > 0 || error; });
+      // Commit every contiguous ready result, unlocked (commit may do
+      // real work: appending frames, merging metrics).
+      while (!error) {
+        auto it = ready.find(next_commit);
+        if (it == ready.end()) break;
+        Result r = std::move(it->second);
+        ready.erase(it);
+        lock.unlock();
+        try {
+          commit(next_commit, std::move(r));
+        } catch (...) {
+          lock.lock();
+          if (!error) error = std::current_exception();
+          break;
+        }
+        lock.lock();
+        ++next_commit;
+      }
+    }
+    // Drain before returning or rethrowing: in-flight tasks reference
+    // produce and this frame's locals.
+    cv.wait(lock, [&] { return in_flight == 0; });
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  ThreadPool pool_;
+  size_t window_;
+};
+
+}  // namespace szsec::parallel

@@ -1,14 +1,27 @@
 #include "parallel/thread_pool.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 namespace szsec::parallel {
 
-ThreadPool::ThreadPool(unsigned threads) {
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
+namespace {
+thread_local size_t tl_worker_index = ThreadPool::kNotAWorker;
+}  // namespace
+
+unsigned default_thread_count() {
+  if (const char* env = std::getenv("SZSEC_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return static_cast<unsigned>(n);
   }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = default_thread_count();
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -32,7 +45,10 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return future;
 }
 
-void ThreadPool::worker_loop() {
+size_t ThreadPool::current_worker_index() { return tl_worker_index; }
+
+void ThreadPool::worker_loop(size_t index) {
+  tl_worker_index = index;
   while (true) {
     std::packaged_task<void()> task;
     {

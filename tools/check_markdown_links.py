@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Checks local links in markdown files.
+
+Scans the given files/directories for markdown links and images,
+resolves every *local* target (external http(s)/mailto links are
+skipped) relative to the containing file, and fails when the target
+file does not exist or a `#fragment` names a heading the target does
+not contain.  Anchors are slugged GitHub-style.
+
+Standard library only — runs anywhere CI has python3.
+
+Usage: check_markdown_links.py <file-or-dir> [...]
+Exit status: 0 when every local link resolves, 1 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) / ![alt](target).  Reference-style
+# definitions: "[label]: target".
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+EXTERNAL = re.compile(r"^(https?|ftp|mailto):", re.IGNORECASE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slug(heading: str) -> str:
+    """GitHub-style anchor slug of a heading line."""
+    text = re.sub(r"[`*_]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(md: Path) -> set:
+    slugs = set()
+    counts = {}
+    for m in HEADING.finditer(md.read_text(encoding="utf-8")):
+        s = slug(m.group(1))
+        n = counts.get(s, 0)
+        counts[s] = n + 1
+        slugs.add(s if n == 0 else f"{s}-{n}")
+    return slugs
+
+
+def md_files(args):
+    for arg in args:
+        p = Path(arg)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.md"))
+        else:
+            yield p
+
+
+def check_file(md: Path, slug_cache: dict) -> list:
+    errors = []
+    # Links inside fenced code blocks are illustrative, not navigable.
+    text = CODE_FENCE.sub("", md.read_text(encoding="utf-8"))
+    targets = [m.group(1) for m in INLINE_LINK.finditer(text)]
+    targets += [m.group(1) for m in REF_DEF.finditer(text)]
+    for target in targets:
+        if EXTERNAL.match(target):
+            continue
+        path_part, _, fragment = target.partition("#")
+        dest = md if not path_part else (md.parent / path_part).resolve()
+        if not dest.exists():
+            errors.append(f"{md}: broken link -> {target}")
+            continue
+        if fragment and dest.suffix == ".md":
+            if dest not in slug_cache:
+                slug_cache[dest] = heading_slugs(dest)
+            if fragment.lower() not in slug_cache[dest]:
+                errors.append(f"{md}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    checked = 0
+    slug_cache = {}
+    for md in md_files(argv[1:]):
+        if not md.exists():
+            errors.append(f"{md}: file not found")
+            continue
+        checked += 1
+        errors.extend(check_file(md, slug_cache))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {checked} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
