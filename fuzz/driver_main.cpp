@@ -1,0 +1,55 @@
+// Standalone replay driver, linked in place of libFuzzer when the
+// toolchain does not support -fsanitize=fuzzer (e.g. plain GCC).  It
+// accepts the same positional arguments a libFuzzer binary does for
+// replay — corpus files and/or directories — runs each input once
+// through LLVMFuzzerTestOneInput, and ignores libFuzzer-style `-flag`
+// options so the same ctest command line works in both modes.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+std::vector<uint8_t> read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.empty() || arg[0] == '-') continue;  // libFuzzer flag: ignore
+    const std::filesystem::path p(arg);
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& e : std::filesystem::recursive_directory_iterator(p)) {
+        if (e.is_regular_file()) inputs.push_back(e.path());
+      }
+    } else if (std::filesystem::exists(p)) {
+      inputs.push_back(p);
+    } else {
+      std::fprintf(stderr, "no such input: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  // Directory iteration order is filesystem-dependent; sort for a
+  // deterministic replay sequence.
+  std::sort(inputs.begin(), inputs.end());
+  for (const auto& p : inputs) {
+    const std::vector<uint8_t> bytes = read_file(p);
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  }
+  std::printf("replayed %zu inputs (standalone driver; libFuzzer "
+              "unavailable in this toolchain)\n",
+              inputs.size());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// libFuzzer harness for the v3 chunked-archive surfaces: strict index
+// parse, strict f32/f64 decode, and salvage decode; see
+// src/testing/replay.cpp for the shared body.
+#include <cstddef>
+#include <cstdint>
+
+#include "testing/replay.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  szsec::testing::replay_chunked(szsec::BytesView(data, size));
+  return 0;
+}

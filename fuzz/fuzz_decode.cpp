@@ -1,0 +1,12 @@
+// libFuzzer harness for the v2 container decoder.  The body lives in
+// src/testing/replay.cpp so the corpus-replay test exercises the exact
+// same path on every plain ctest run.
+#include <cstddef>
+#include <cstdint>
+
+#include "testing/replay.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  szsec::testing::replay_decode(szsec::BytesView(data, size));
+  return 0;
+}

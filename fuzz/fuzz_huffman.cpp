@@ -1,0 +1,12 @@
+// libFuzzer harness for the canonical-Huffman table deserializer and
+// symbol decoder.  Input framing: [count u16][tree_len u16][tree][bits];
+// see src/testing/replay.cpp for the shared body.
+#include <cstddef>
+#include <cstdint>
+
+#include "testing/replay.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  szsec::testing::replay_huffman(szsec::BytesView(data, size));
+  return 0;
+}

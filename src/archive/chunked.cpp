@@ -346,6 +346,7 @@ ChunkIndex read_chunk_index(BytesView archive) {
     SZSEC_CHECK_FORMAT(e > 0 && e <= kMaxExtent, "bad extent");
     extents[i] = static_cast<size_t>(e);
   }
+  checked_field_elements(extents, rank);
   ChunkIndex out;
   out.dims = dims_from_extents(extents, rank);
   const uint64_t count = r.get_varint();
@@ -361,9 +362,12 @@ ChunkIndex read_chunk_index(BytesView archive) {
     e.row_extent = r.get_varint();
     SZSEC_CHECK_FORMAT(e.offset == expect_rel, "index offsets not dense");
     SZSEC_CHECK_FORMAT(e.frame_len > 0, "empty frame");
+    // row_extent is an unbounded varint here; phrase the bound
+    // subtractively so row_start + row_extent can never wrap uint64_t
+    // (row_start == expect_row <= dims[0] by induction).
     SZSEC_CHECK_FORMAT(e.row_start == expect_row &&
                            e.row_extent >= 1 &&
-                           e.row_start + e.row_extent <= out.dims[0],
+                           e.row_extent <= out.dims[0] - e.row_start,
                        "index rows inconsistent");
     expect_rel += e.frame_len;
     expect_row += e.row_extent;

@@ -56,6 +56,16 @@ class Dims {
     return s;
   }
 
+  /// Per-axis extent cap shared by every untrusted-header parser
+  /// (container, chunked archive index, slab archive).
+  static constexpr uint64_t kMaxExtent = uint64_t{1} << 40;
+
+  /// Whole-field element cap for untrusted headers.  Axes that each
+  /// pass the per-axis cap can still multiply past 2^64 at rank 4, so
+  /// parsers must bound the product overflow-safely before sizing any
+  /// allocation from it; see checked_field_elements().
+  static constexpr uint64_t kMaxElements = uint64_t{1} << 40;
+
   bool operator==(const Dims& o) const {
     if (rank_ != o.rank_) return false;
     for (size_t i = 0; i < rank_; ++i) {
@@ -77,5 +87,24 @@ class Dims {
   std::array<size_t, kMaxRank> d_{};
   size_t rank_ = 0;
 };
+
+/// Validates extents decoded from an untrusted header: every axis in
+/// [1, Dims::kMaxExtent] and the whole-field product within
+/// Dims::kMaxElements, accumulated without ever overflowing uint64_t.
+/// Throws CorruptError on violation; returns the element count.
+inline uint64_t checked_field_elements(const size_t* extents, size_t rank) {
+  SZSEC_CHECK_FORMAT(rank >= 1 && rank <= Dims::kMaxRank, "bad rank");
+  uint64_t total = 1;
+  for (size_t i = 0; i < rank; ++i) {
+    const uint64_t e = extents[i];
+    SZSEC_CHECK_FORMAT(e >= 1 && e <= Dims::kMaxExtent, "bad extent");
+    // total * e <= kMaxElements, phrased divisionally so the product
+    // is never actually formed when it would wrap.
+    SZSEC_CHECK_FORMAT(e <= Dims::kMaxElements / total,
+                       "field element count exceeds format limit");
+    total *= e;
+  }
+  return total;
+}
 
 }  // namespace szsec

@@ -88,6 +88,12 @@ class PredictQuantizeStage final : public Stage {
     const Header& h = ctx.header;
     ctx.out->dtype = h.dtype;
     ctx.out->dims = h.dims;
+    // The reconstructor requires one quantization code per element;
+    // enforce that here, before the dims-sized resize below, so a
+    // forged header with huge dims and a short symbol stream fails
+    // cleanly instead of committing the allocation first.
+    SZSEC_CHECK_FORMAT(ctx.codes.size() == h.dims.count(),
+                       "quantization code count does not match dims");
     const uint64_t in_bytes = ctx.codes.size() * sizeof(uint32_t) +
                               ctx.payload.unpredictable.size() +
                               ctx.payload.side_info.size();

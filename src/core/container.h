@@ -102,9 +102,10 @@ inline Header read_header(ByteReader& reader) {
   size_t extents[Dims::kMaxRank] = {};
   for (size_t i = 0; i < rank; ++i) {
     const uint64_t e = reader.get_varint();
-    SZSEC_CHECK_FORMAT(e > 0 && e <= (uint64_t{1} << 40), "bad extent");
+    SZSEC_CHECK_FORMAT(e > 0 && e <= Dims::kMaxExtent, "bad extent");
     extents[i] = static_cast<size_t>(e);
   }
+  checked_field_elements(extents, rank);
   switch (rank) {
     case 1:
       h.dims = Dims{extents[0]};

@@ -221,6 +221,11 @@ std::vector<uint32_t> decode(const CodeTable& table, BytesView bits,
   }
 
   BitReader r(bits);
+  // Every symbol consumes at least one bit, so a count beyond the
+  // bitstream's capacity is unsatisfiable; reject it before the
+  // reserve so a forged count can't drive a huge allocation.
+  SZSEC_CHECK_FORMAT(count <= static_cast<uint64_t>(bits.size()) * 8,
+                     "symbol count exceeds bitstream capacity");
   std::vector<uint32_t> out;
   out.reserve(count);
   for (size_t i = 0; i < count; ++i) {

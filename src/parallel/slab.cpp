@@ -148,9 +148,10 @@ ParsedArchive parse_archive(BytesView archive) {
   size_t extents[Dims::kMaxRank] = {};
   for (size_t i = 0; i < rank; ++i) {
     const uint64_t e = r.get_varint();
-    SZSEC_CHECK_FORMAT(e > 0 && e <= (uint64_t{1} << 40), "bad extent");
+    SZSEC_CHECK_FORMAT(e > 0 && e <= Dims::kMaxExtent, "bad extent");
     extents[i] = static_cast<size_t>(e);
   }
+  checked_field_elements(extents, rank);
   ParsedArchive out;
   switch (rank) {
     case 1:

@@ -1,0 +1,33 @@
+// Round-trip oracle + differential harness for one sampled configuration.
+//
+// The oracle encodes mechanically checkable forms of the paper's claims:
+//
+//  * Error-bound preservation — every finite reconstructed value is
+//    within the (resolved) absolute error bound of the original, and
+//    non-finite values round-trip bit-exactly through the unpredictable
+//    encoder, for all three secure schemes exactly as for plain SZ.
+//  * Scheme-equivalent recovery — the same plaintext field is recovered
+//    regardless of where the cipher is spliced, which container framing
+//    carries the codec output (v2 single container, v3 chunked archive,
+//    v1 slab archive), how many worker threads ran, and whether decode
+//    targeted an owned vector or a caller span (zero-copy path).
+//  * Framing consistency — the plaintext header agrees with the
+//    configuration that produced the container, the byte layout adds up
+//    (header + payload + optional MAC tag == container), and the
+//    CompressStats / PipelineMetrics accounting matches reality.
+//
+// check_roundtrip returns human-readable violations instead of asserting
+// so the property test can attach SampledConfig::describe() — the full
+// reproduction recipe — to every failure.
+#pragma once
+
+#include "testing/generator.h"
+
+namespace szsec::testing {
+
+/// Runs the complete round-trip + differential battery for `cfg`.
+/// Empty result == every invariant held.  Throws nothing: unexpected
+/// exceptions from the codec are converted into violations.
+std::vector<std::string> check_roundtrip(const SampledConfig& cfg);
+
+}  // namespace szsec::testing

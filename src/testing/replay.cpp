@@ -1,0 +1,110 @@
+#include "testing/replay.h"
+
+#include <cstdlib>
+
+#include "archive/chunked.h"
+#include "core/secure_compressor.h"
+#include "crypto/cipher.h"
+#include "huffman/huffman.h"
+#include "zlite/zlite.h"
+
+namespace szsec::testing {
+
+Bytes replay_key(size_t n) {
+  Bytes k(n);
+  for (size_t i = 0; i < n; ++i) {
+    k[i] = static_cast<uint8_t>(0x5A ^ (7 * i + 9));
+  }
+  return k;
+}
+
+void replay_decode(BytesView input) {
+  core::Header h;
+  try {
+    h = core::peek_header(input);
+  } catch (const Error&) {
+    return;
+  }
+  core::CipherSpec spec;
+  spec.kind = h.cipher_kind;
+  spec.mode = h.cipher_mode;
+  spec.authenticate = (h.flags & core::kFlagAuthenticated) != 0;
+  const Bytes key = replay_key(crypto::cipher_key_size(h.cipher_kind));
+  try {
+    const core::SecureCompressor c(
+        sz::Params{}, h.scheme,
+        h.scheme == core::Scheme::kNone ? BytesView{} : BytesView(key), spec);
+    (void)c.decompress(input);
+  } catch (const Error&) {
+  }
+}
+
+void replay_huffman(BytesView input) {
+  if (input.size() < 4) return;
+  const size_t count = input[0] | (size_t{input[1]} << 8);
+  size_t tree_len = input[2] | (size_t{input[3]} << 8);
+  const BytesView rest = input.subspan(4);
+  if (tree_len > rest.size()) tree_len = rest.size();
+  try {
+    const huffman::CodeTable table =
+        huffman::deserialize_table(rest.subspan(0, tree_len));
+    (void)huffman::decode(table, rest.subspan(tree_len), count);
+  } catch (const Error&) {
+  }
+}
+
+void replay_zlite(BytesView input) {
+  Bytes plain;
+  try {
+    plain = zlite::inflate(input);
+  } catch (const Error&) {
+    return;
+  }
+  // Whatever inflates must survive our own deflate/inflate round trip
+  // bit-identically; abort (so the fuzzer records it) if not.
+  const Bytes re = zlite::deflate(BytesView(plain));
+  if (zlite::inflate(BytesView(re)) != plain) std::abort();
+}
+
+void replay_chunked(BytesView input) {
+  const Bytes key = replay_key(16);
+  archive::ChunkedConfig cfg;
+  cfg.threads = 1;
+  try {
+    (void)archive::read_chunk_index(input);
+  } catch (const Error&) {
+  }
+  try {
+    (void)archive::decompress_chunked_f32(input, BytesView(key), cfg);
+  } catch (const Error&) {
+  }
+  try {
+    (void)archive::decompress_chunked_f64(input, BytesView(key), cfg);
+  } catch (const Error&) {
+  }
+  archive::SalvageOptions opts;
+  opts.threads = 1;
+  try {
+    (void)archive::decompress_salvage(input, BytesView(key), opts);
+  } catch (const Error&) {
+  }
+}
+
+void replay_family(const std::string& family, BytesView input) {
+  if (family == "decode") {
+    replay_decode(input);
+  } else if (family == "huffman") {
+    replay_huffman(input);
+  } else if (family == "zlite") {
+    replay_zlite(input);
+  } else if (family == "chunked") {
+    replay_chunked(input);
+  } else {
+    replay_decode(input);
+    replay_huffman(input);
+    replay_zlite(input);
+    replay_chunked(input);
+  }
+}
+
+}  // namespace szsec::testing

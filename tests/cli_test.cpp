@@ -1,0 +1,200 @@
+// End-to-end coverage of the szsec_cli binary: compress / decompress /
+// info round trips through real temp files, the v3 chunked path
+// (--chunks/--threads), and the documented exit-code contract
+// (0 success, 1 szsec::Error, 2 usage error).  The binary path is
+// injected by CMake as SZSEC_CLI_PATH.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/io.h"
+
+namespace szsec {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr double kEb = 1e-3;
+// 16-byte AES-128 key as hex.
+constexpr const char* kKeyHex = "000102030405060708090a0b0c0d0e0f";
+constexpr const char* kWrongKeyHex = "ff0102030405060708090a0b0c0d0eff";
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+// Runs `szsec_cli <args>` capturing combined output.
+RunResult run_cli(const std::string& args, const fs::path& log) {
+  const std::string cmd = std::string(SZSEC_CLI_PATH) + " " + args + " > " +
+                          log.string() + " 2>&1";
+  const int status = std::system(cmd.c_str());
+  RunResult r;
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  std::ifstream in(log);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  r.output = ss.str();
+  return r;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) / "szsec_cli_test";
+    fs::create_directories(dir_);
+  }
+  fs::path p(const std::string& name) const { return dir_ / name; }
+  fs::path dir_;
+};
+
+std::vector<float> wave_field(size_t n) {
+  std::vector<float> f(n);
+  for (size_t i = 0; i < n; ++i) {
+    f[i] = std::sin(static_cast<float>(i) * 0.05f) * 10.0f;
+  }
+  return f;
+}
+
+TEST_F(CliTest, V2CompressDecompressInfoRoundTrip) {
+  const size_t n = 24 * 30;
+  const std::vector<float> field = wave_field(n);
+  data::save_f32(p("in.bin").string(), field);
+
+  const RunResult c = run_cli("compress " + p("in.bin").string() + " " +
+                                  p("out.szs").string() +
+                                  " --dims 24,30 --eb 1e-3"
+                                  " --scheme cmpr-encr --key " +
+                                  kKeyHex,
+                              p("c.log"));
+  ASSERT_EQ(c.exit_code, 0) << c.output;
+  EXPECT_NE(c.output.find("scheme Cmpr-Encr"), std::string::npos) << c.output;
+
+  const RunResult d = run_cli("decompress " + p("out.szs").string() + " " +
+                                  p("back.bin").string() + " --key " + kKeyHex,
+                              p("d.log"));
+  ASSERT_EQ(d.exit_code, 0) << d.output;
+  EXPECT_NE(d.output.find("restored 720 floats"), std::string::npos)
+      << d.output;
+
+  const std::vector<float> back = data::load_f32(p("back.bin").string());
+  ASSERT_EQ(back.size(), field.size());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_LE(std::abs(back[i] - field[i]), kEb) << "element " << i;
+  }
+
+  const RunResult info = run_cli("info " + p("out.szs").string(), p("i.log"));
+  ASSERT_EQ(info.exit_code, 0) << info.output;
+  EXPECT_NE(info.output.find("dims:          24x30 (720 elements)"),
+            std::string::npos)
+      << info.output;
+  EXPECT_NE(info.output.find("error bound:   0.001"), std::string::npos)
+      << info.output;
+}
+
+TEST_F(CliTest, ChunkedArchiveWithThreadsRoundTrip) {
+  const size_t n = 18 * 20;
+  const std::vector<float> field = wave_field(n);
+  data::save_f32(p("in3.bin").string(), field);
+
+  const RunResult c = run_cli("compress " + p("in3.bin").string() + " " +
+                                  p("out3.szs").string() +
+                                  " --dims 18,20 --eb 1e-3 --scheme"
+                                  " encr-huffman --key " +
+                                  kKeyHex + " --chunks 3 --threads 2",
+                              p("c3.log"));
+  ASSERT_EQ(c.exit_code, 0) << c.output;
+  EXPECT_NE(c.output.find("3 chunks, 2 threads"), std::string::npos)
+      << c.output;
+
+  const RunResult info = run_cli("info " + p("out3.szs").string(), p("i3.log"));
+  ASSERT_EQ(info.exit_code, 0) << info.output;
+  EXPECT_NE(info.output.find("v3 chunked archive"), std::string::npos)
+      << info.output;
+  EXPECT_NE(info.output.find("chunks:        3"), std::string::npos)
+      << info.output;
+
+  const RunResult d = run_cli("decompress " + p("out3.szs").string() + " " +
+                                  p("back3.bin").string() + " --key " +
+                                  kKeyHex + " --threads 4",
+                              p("d3.log"));
+  ASSERT_EQ(d.exit_code, 0) << d.output;
+  const std::vector<float> back = data::load_f32(p("back3.bin").string());
+  ASSERT_EQ(back.size(), field.size());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_LE(std::abs(back[i] - field[i]), kEb) << "element " << i;
+  }
+}
+
+TEST_F(CliTest, UsageErrorsExitTwo) {
+  // No arguments at all.
+  EXPECT_EQ(run_cli("", p("u0.log")).exit_code, 2);
+  // Unknown command.
+  EXPECT_EQ(run_cli("frobnicate x y", p("u1.log")).exit_code, 2);
+  // Unknown flag.
+  data::save_f32(p("u.bin").string(), wave_field(16));
+  EXPECT_EQ(run_cli("compress " + p("u.bin").string() + " " +
+                        p("u.szs").string() + " --dims 16 --eb 1e-3 --frob 3",
+                    p("u2.log"))
+                .exit_code,
+            2);
+  // compress without --dims.
+  EXPECT_EQ(run_cli("compress " + p("u.bin").string() + " " +
+                        p("u.szs").string() + " --eb 1e-3",
+                    p("u3.log"))
+                .exit_code,
+            2);
+  // Encrypting scheme without a key.
+  EXPECT_EQ(run_cli("compress " + p("u.bin").string() + " " +
+                        p("u.szs").string() +
+                        " --dims 16 --eb 1e-3 --scheme cmpr-encr",
+                    p("u4.log"))
+                .exit_code,
+            2);
+  // Missing input file.
+  const RunResult missing =
+      run_cli("info " + p("no_such_file.szs").string(), p("u5.log"));
+  EXPECT_EQ(missing.exit_code, 2);
+  EXPECT_NE(missing.output.find("cannot open"), std::string::npos)
+      << missing.output;
+}
+
+TEST_F(CliTest, DataErrorsExitOne) {
+  // A file that is not a container at all.
+  {
+    std::ofstream junk(p("junk.szs"), std::ios::binary);
+    junk << "this is not a szsec container";
+  }
+  const RunResult bad =
+      run_cli("decompress " + p("junk.szs").string() + " " +
+                  p("junk.bin").string() + " --key " + kKeyHex,
+              p("e0.log"));
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_NE(bad.output.find("error:"), std::string::npos) << bad.output;
+
+  // Wrong key on an encrypted container: must fail, not emit garbage.
+  data::save_f32(p("in.bin").string(), wave_field(64));
+  ASSERT_EQ(run_cli("compress " + p("in.bin").string() + " " +
+                        p("enc.szs").string() +
+                        " --dims 64 --eb 1e-3 --scheme encr-huffman --key " +
+                        kKeyHex,
+                    p("e1.log"))
+                .exit_code,
+            0);
+  const RunResult wrong =
+      run_cli("decompress " + p("enc.szs").string() + " " +
+                  p("wrong.bin").string() + " --key " + kWrongKeyHex,
+              p("e2.log"));
+  EXPECT_EQ(wrong.exit_code, 1);
+  EXPECT_FALSE(fs::exists(p("wrong.bin")));
+}
+
+}  // namespace
+}  // namespace szsec

@@ -1,0 +1,119 @@
+// Replays every checked-in fuzz corpus entry (tests/corpus/<family>/*)
+// through the matching strict-decoder surface via the exact functions
+// the fuzz harnesses call (src/testing/replay.h).  This runs on every
+// plain ctest invocation, so corpus regressions are caught without any
+// fuzzing toolchain in the loop.
+//
+// Budgets: the default instance replays each entry once (tier-1 cost,
+// milliseconds).  The `corpus_replay_full` ctest entry sets
+// SZSEC_CORPUS_BUDGET=full and rides the sanitize label: every entry is
+// additionally amplified with seeded bit-flip and truncation mutants,
+// which is where ASan/UBSan earn their keep.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "testing/fault_injection.h"
+#include "testing/replay.h"
+#include "testing/rng.h"
+
+namespace szsec::testing {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool full_budget() {
+  const char* env = std::getenv("SZSEC_CORPUS_BUDGET");
+  return env != nullptr && std::string(env) == "full";
+}
+
+Bytes read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return Bytes(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+struct Entry {
+  std::string family;
+  fs::path path;
+};
+
+std::vector<Entry> corpus_entries() {
+  std::vector<Entry> out;
+  const fs::path root(SZSEC_CORPUS_DIR);
+  if (!fs::is_directory(root)) return out;
+  for (const auto& fam : fs::directory_iterator(root)) {
+    if (!fam.is_directory()) continue;
+    for (const auto& e : fs::directory_iterator(fam.path())) {
+      if (e.is_regular_file()) {
+        out.push_back({fam.path().filename().string(), e.path()});
+      }
+    }
+  }
+  // Directory iteration order is filesystem-dependent; sort so the
+  // replay sequence (and any failure ordering) is deterministic.
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.path < b.path; });
+  return out;
+}
+
+TEST(CorpusReplay, CorpusIsPresent) {
+  // An empty corpus would silently turn the whole suite into a no-op;
+  // fail loudly instead (e.g. after an overzealous clean).
+  const auto entries = corpus_entries();
+  ASSERT_GE(entries.size(), 12u)
+      << "seed corpus missing or gutted under " << SZSEC_CORPUS_DIR
+      << " — regenerate with make_seed_corpus (see tests/corpus/README.md)";
+}
+
+TEST(CorpusReplay, EveryEntryThroughItsStrictDecoder) {
+  for (const Entry& e : corpus_entries()) {
+    const Bytes bytes = read_file(e.path);
+    ASSERT_FALSE(bytes.empty()) << e.path;
+    // Must not crash/hang/overread; throwing is handled inside.
+    replay_family(e.family, BytesView(bytes));
+  }
+}
+
+// Full-budget amplification: seeded structural mutants of every corpus
+// entry through the same surfaces.  The mutant stream is deterministic
+// in the entry's name, so a failure names its exact reproduction.
+TEST(CorpusReplay, AmplifiedMutantsUnderFullBudget) {
+  if (!full_budget()) {
+    GTEST_SKIP() << "set SZSEC_CORPUS_BUDGET=full for the amplified pass";
+  }
+  for (const Entry& e : corpus_entries()) {
+    const Bytes bytes = read_file(e.path);
+    uint64_t seed = 0x5EED;
+    for (const char ch : e.path.filename().string()) {
+      seed = seed * 131 + static_cast<unsigned char>(ch);
+    }
+    PropRng rng(seed);
+    for (int round = 0; round < 64; ++round) {
+      Bytes mutant;
+      switch (rng.below(3)) {
+        case 0:
+          mutant = flip_bit(BytesView(bytes), rng.below(bytes.size() * 8));
+          break;
+        case 1:
+          mutant = truncate_to(BytesView(bytes), rng.below(bytes.size() + 1));
+          break;
+        default:
+          mutant = flip_bit(BytesView(bytes), rng.below(bytes.size() * 8));
+          if (mutant.size() > 1) {
+            mutant =
+                truncate_to(BytesView(mutant), 1 + rng.below(mutant.size() - 1));
+          }
+          break;
+      }
+      replay_family(e.family, BytesView(mutant));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace szsec::testing

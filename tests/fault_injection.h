@@ -1,105 +1,7 @@
-// Reusable fault-injection harness for the robustness suites.
-//
-// Pure byte-level faults (bit flips, truncation, insertion, deletion)
-// work on any buffer; the chunk-aware faults use the v3 archive index to
-// hit exact chunk boundaries — drop, duplicate, reorder, truncate-at —
-// without fixing the index up afterwards, which is the point: the faults
-// model real storage damage, and the salvage decoder must cope with the
-// stale index on its own.
+// Moved to src/testing/fault_injection.h so the property-based
+// verification library (szsec_proptest) can reuse the same fault
+// primitives as the hand-written robustness suites.  This shim keeps
+// existing includes working.
 #pragma once
 
-#include <algorithm>
-#include <random>
-#include <utility>
-
-#include "archive/chunked.h"
-
-namespace szsec::testing {
-
-/// Flips one bit (bit_index counts from bit 0 of byte 0).
-inline Bytes flip_bit(BytesView in, size_t bit_index) {
-  Bytes out(in.begin(), in.end());
-  out[bit_index / 8] ^= static_cast<uint8_t>(1u << (bit_index % 8));
-  return out;
-}
-
-inline Bytes flip_random_bit(BytesView in, std::mt19937_64& rng) {
-  return flip_bit(in, rng() % (in.size() * 8));
-}
-
-/// Keeps the first `len` bytes.
-inline Bytes truncate_to(BytesView in, size_t len) {
-  return Bytes(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(
-                               std::min(len, in.size())));
-}
-
-/// Inserts `junk` before offset `pos`.
-inline Bytes insert_bytes(BytesView in, size_t pos, BytesView junk) {
-  Bytes out(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(pos));
-  out.insert(out.end(), junk.begin(), junk.end());
-  out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(pos),
-             in.end());
-  return out;
-}
-
-/// Deletes `len` bytes starting at `pos`.
-inline Bytes remove_range(BytesView in, size_t pos, size_t len) {
-  Bytes out(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(pos));
-  const size_t end = std::min(in.size(), pos + len);
-  out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(end),
-             in.end());
-  return out;
-}
-
-/// Byte range [begin, end) of chunk `id`'s frame in a v3 archive.
-inline std::pair<size_t, size_t> chunk_span(BytesView archive, size_t id) {
-  const archive::ChunkIndex ix = archive::read_chunk_index(archive);
-  const archive::ChunkEntry& e = ix.entries.at(id);
-  return {static_cast<size_t>(e.offset),
-          static_cast<size_t>(e.offset + e.frame_len)};
-}
-
-/// Removes chunk `id`'s frame entirely (index left stale).
-inline Bytes drop_chunk(BytesView archive, size_t id) {
-  const auto [begin, end] = chunk_span(archive, id);
-  return remove_range(archive, begin, end - begin);
-}
-
-/// Inserts a second copy of chunk `id`'s frame right after the original.
-inline Bytes duplicate_chunk(BytesView archive, size_t id) {
-  const auto [begin, end] = chunk_span(archive, id);
-  return insert_bytes(archive, end, archive.subspan(begin, end - begin));
-}
-
-/// Swaps the frames of chunks `a` and `b` in place (index left stale).
-inline Bytes swap_chunks(BytesView archive, size_t a, size_t b) {
-  if (a > b) std::swap(a, b);
-  const auto [a0, a1] = chunk_span(archive, a);
-  const auto [b0, b1] = chunk_span(archive, b);
-  Bytes out(archive.begin(), archive.begin() + static_cast<std::ptrdiff_t>(a0));
-  out.insert(out.end(), archive.begin() + static_cast<std::ptrdiff_t>(b0),
-             archive.begin() + static_cast<std::ptrdiff_t>(b1));
-  out.insert(out.end(), archive.begin() + static_cast<std::ptrdiff_t>(a1),
-             archive.begin() + static_cast<std::ptrdiff_t>(b0));
-  out.insert(out.end(), archive.begin() + static_cast<std::ptrdiff_t>(a0),
-             archive.begin() + static_cast<std::ptrdiff_t>(a1));
-  out.insert(out.end(), archive.begin() + static_cast<std::ptrdiff_t>(b1),
-             archive.end());
-  return out;
-}
-
-/// Cuts the archive at the start of chunk `id`'s frame (so chunks
-/// id..end are gone).
-inline Bytes truncate_at_chunk(BytesView archive, size_t id) {
-  return truncate_to(archive, chunk_span(archive, id).first);
-}
-
-/// Flips one random bit inside chunk `id`'s frame.
-inline Bytes corrupt_chunk(BytesView archive, size_t id,
-                           std::mt19937_64& rng) {
-  const auto [begin, end] = chunk_span(archive, id);
-  const size_t bit = begin * 8 + rng() % ((end - begin) * 8);
-  return flip_bit(archive, bit);
-}
-
-}  // namespace szsec::testing
+#include "testing/fault_injection.h"
