@@ -1,0 +1,237 @@
+// Streaming-memory proof: compressing a field several times larger than
+// the in-flight chunk budget through compress_chunked_stream must keep
+// peak RSS growth bounded by that budget — O(chunk_size x max_in_flight)
+// — not by the field.  The in-memory API on the same field is measured
+// alongside for contrast (it must hold the whole field plus the whole
+// archive).
+//
+// The input field never exists in this process's memory: it is
+// synthesized row by row into an unlinked temp file, and the archive
+// lands in another temp file (the frame spool also backs to disk), so
+// the only RSS the streaming phase can accumulate is the codec's working
+// set.  Each phase resets the kernel's peak-RSS watermark
+// (/proc/self/clear_refs) and reads VmHWM afterwards.
+//
+// Environment knobs:
+//   SZSEC_STREAM_INPUT_MB = N  field size in MiB        (default 128)
+//   SZSEC_STREAM_CHUNKS   = N  chunk count              (default 64)
+//   SZSEC_STREAM_THREADS  = N  codec workers            (default 4)
+//
+// Output: human-readable summary plus BENCH_streaming_memory.json.
+// Exit status 1 when a streaming phase exceeds its memory bound (so CI
+// can gate on it); 0 otherwise.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "archive/chunked.h"
+#include "bench_util.h"
+#include "common/io.h"
+#include "common/timer.h"
+
+namespace szsec {
+namespace {
+
+size_t env_size(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<size_t>(std::strtoull(v, nullptr, 10));
+}
+
+// One row of the synthetic field: a smooth wave (compressible, so the
+// codec's predictor/Huffman stages do real work) with a deterministic
+// per-row phase.
+void fill_row(std::vector<float>& row, size_t row_index) {
+  const float phase = static_cast<float>(row_index) * 0.37f;
+  for (size_t i = 0; i < row.size(); ++i) {
+    row[i] = std::sin(phase + static_cast<float>(i) * 0.013f) * 42.0f;
+  }
+}
+
+struct PhaseResult {
+  double seconds = 0;
+  uint64_t hwm_delta_kb = 0;
+};
+
+}  // namespace
+}  // namespace szsec
+
+int main() {
+  using namespace szsec;
+
+  // Geometry: 256x256-float planes (256 KiB rows) stacked to the
+  // requested size; the chunk budget is chunk_bytes x window.
+  const size_t input_mb = env_size("SZSEC_STREAM_INPUT_MB", 128);
+  const size_t chunks = env_size("SZSEC_STREAM_CHUNKS", 64);
+  const unsigned threads =
+      static_cast<unsigned>(env_size("SZSEC_STREAM_THREADS", 4));
+  const size_t plane = 256 * 256;
+  const size_t rows =
+      std::max<size_t>(chunks, input_mb * (1 << 20) / (plane * 4));
+  const Dims dims{rows, 256, 256};
+  const uint64_t input_bytes = dims.count() * sizeof(float);
+  const size_t window = 2 * threads;  // scheduler default max_in_flight
+  const uint64_t chunk_bytes = (rows / chunks + 1) * plane * 4;
+  const uint64_t budget = chunk_bytes * window;
+  // The codec holds more than the raw chunk per in-flight slot (u32
+  // quantization codes, Huffman buffers, the coded frame), so the bound
+  // is a small multiple of the budget plus fixed process slack
+  // (allocator arenas, thread stacks, spool block buffers).
+  const uint64_t bound = 4 * budget + (64ull << 20);
+
+  std::printf("streaming-memory bench\n");
+  std::printf("  input:      %zu MiB (%s)\n", input_mb,
+              dims.to_string().c_str());
+  std::printf("  chunks:     %zu x ~%llu KiB, window %zu, %u threads\n",
+              chunks, static_cast<unsigned long long>(chunk_bytes >> 10),
+              window, threads);
+  std::printf("  budget:     %llu KiB (chunk x window)\n",
+              static_cast<unsigned long long>(budget >> 10));
+  std::printf("  bound:      %llu KiB (4 x budget + 64 MiB slack)\n",
+              static_cast<unsigned long long>(bound >> 10));
+
+  // Synthesize the field straight to disk — it must never be resident.
+  std::FILE* field_file = std::tmpfile();
+  SZSEC_REQUIRE(field_file != nullptr, "cannot create temp field file");
+  {
+    std::vector<float> row(plane);
+    for (size_t r = 0; r < rows; ++r) {
+      fill_row(row, r);
+      SZSEC_REQUIRE(
+          std::fwrite(row.data(), 4, row.size(), field_file) == row.size(),
+          "short write while synthesizing the field");
+    }
+    std::fflush(field_file);
+  }
+
+  sz::Params params;
+  params.abs_error_bound = 1e-3;
+  archive::ChunkedConfig config;
+  config.chunks = chunks;
+  config.threads = threads;
+
+  const bool hwm_resets = bench::reset_vm_hwm();
+  if (!hwm_resets) {
+    std::printf(
+        "  note: /proc/self/clear_refs refused; deltas are process-"
+        "lifetime and the bound check is advisory\n");
+  }
+
+  // Phase 1: streamed compress, field file -> archive file.
+  std::FILE* archive_file = std::tmpfile();
+  SZSEC_REQUIRE(archive_file != nullptr, "cannot create temp archive file");
+  PhaseResult stream_c;
+  uint64_t archive_bytes = 0;
+  {
+    std::rewind(field_file);
+    bench::reset_vm_hwm();
+    const uint64_t before = bench::vm_hwm_kb();
+    FileSource in(field_file);
+    FileSink out(archive_file);
+    WallTimer t;
+    const archive::ChunkedStreamResult r = archive::compress_chunked_stream(
+        in, out, sz::DType::kFloat32, dims, params,
+        core::Scheme::kEncrHuffman, bench::bench_key(), {}, config);
+    stream_c.seconds = t.elapsed_s();
+    stream_c.hwm_delta_kb = bench::vm_hwm_kb() - before;
+    archive_bytes = r.archive_bytes;
+  }
+
+  // Phase 2: streamed decompress, archive file -> discarded elements.
+  PhaseResult stream_d;
+  {
+    std::rewind(archive_file);
+    bench::reset_vm_hwm();
+    const uint64_t before = bench::vm_hwm_kb();
+    FileSource in(archive_file);
+    CountingSink out;  // null sink: elements are produced, then dropped
+    WallTimer t;
+    (void)archive::decompress_chunked_stream(in, out, bench::bench_key(),
+                                             config);
+    stream_d.seconds = t.elapsed_s();
+    stream_d.hwm_delta_kb = bench::vm_hwm_kb() - before;
+  }
+
+  // Phase 3 (contrast): the in-memory API on the same field must hold
+  // field + archive + working set at once.
+  PhaseResult inmem_c;
+  {
+    std::rewind(field_file);
+    std::vector<float> field(dims.count());
+    SZSEC_REQUIRE(std::fread(field.data(), 4, field.size(), field_file) ==
+                      field.size(),
+                  "short read of the synthesized field");
+    bench::reset_vm_hwm();
+    const uint64_t before = bench::vm_hwm_kb();
+    WallTimer t;
+    const archive::ChunkedCompressResult r = archive::compress_chunked(
+        std::span<const float>(field), dims, params,
+        core::Scheme::kEncrHuffman, bench::bench_key(), {}, config);
+    inmem_c.seconds = t.elapsed_s();
+    // The field vector predates the reset, so this delta covers only
+    // the archive + working set — an undercount that still dwarfs the
+    // streaming deltas.
+    inmem_c.hwm_delta_kb = bench::vm_hwm_kb() - before;
+    (void)r;
+  }
+  std::fclose(field_file);
+  std::fclose(archive_file);
+
+  const bool c_ok = stream_c.hwm_delta_kb * 1024 <= bound;
+  const bool d_ok = stream_d.hwm_delta_kb * 1024 <= bound;
+  std::printf("  archive:    %llu bytes (%.2fx)\n",
+              static_cast<unsigned long long>(archive_bytes),
+              static_cast<double>(input_bytes) /
+                  static_cast<double>(archive_bytes));
+  std::printf("  stream compress:   %8.2f s, peak-RSS delta %8llu KiB  %s\n",
+              stream_c.seconds,
+              static_cast<unsigned long long>(stream_c.hwm_delta_kb),
+              c_ok ? "OK" : "EXCEEDS BOUND");
+  std::printf("  stream decompress: %8.2f s, peak-RSS delta %8llu KiB  %s\n",
+              stream_d.seconds,
+              static_cast<unsigned long long>(stream_d.hwm_delta_kb),
+              d_ok ? "OK" : "EXCEEDS BOUND");
+  std::printf("  in-memory compress:%8.2f s, peak-RSS delta %8llu KiB\n",
+              inmem_c.seconds,
+              static_cast<unsigned long long>(inmem_c.hwm_delta_kb));
+
+  std::FILE* json = std::fopen("BENCH_streaming_memory.json", "w");
+  SZSEC_REQUIRE(json != nullptr, "cannot open BENCH_streaming_memory.json");
+  std::fprintf(
+      json,
+      "{\n"
+      "  \"input_bytes\": %llu,\n"
+      "  \"chunks\": %zu,\n"
+      "  \"chunk_bytes\": %llu,\n"
+      "  \"threads\": %u,\n"
+      "  \"window\": %zu,\n"
+      "  \"budget_bytes\": %llu,\n"
+      "  \"bound_bytes\": %llu,\n"
+      "  \"hwm_reset_supported\": %s,\n"
+      "  \"archive_bytes\": %llu,\n"
+      "  \"stream_compress\": {\"seconds\": %.4f, \"hwm_delta_kb\": %llu,"
+      " \"within_bound\": %s},\n"
+      "  \"stream_decompress\": {\"seconds\": %.4f, \"hwm_delta_kb\": %llu,"
+      " \"within_bound\": %s},\n"
+      "  \"inmemory_compress\": {\"seconds\": %.4f, \"hwm_delta_kb\": %llu}\n"
+      "}\n",
+      static_cast<unsigned long long>(input_bytes), chunks,
+      static_cast<unsigned long long>(chunk_bytes), threads, window,
+      static_cast<unsigned long long>(budget),
+      static_cast<unsigned long long>(bound),
+      hwm_resets ? "true" : "false",
+      static_cast<unsigned long long>(archive_bytes), stream_c.seconds,
+      static_cast<unsigned long long>(stream_c.hwm_delta_kb),
+      c_ok ? "true" : "false", stream_d.seconds,
+      static_cast<unsigned long long>(stream_d.hwm_delta_kb),
+      d_ok ? "true" : "false", inmem_c.seconds,
+      static_cast<unsigned long long>(inmem_c.hwm_delta_kb));
+  std::fclose(json);
+  std::printf("  wrote BENCH_streaming_memory.json\n");
+
+  // Without watermark resets the deltas conflate phases; report only.
+  if (hwm_resets && (!c_ok || !d_ok)) return 1;
+  return 0;
+}

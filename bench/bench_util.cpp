@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 
@@ -214,6 +215,39 @@ void print_row(const std::string& label, const std::vector<double>& values,
     std::printf(" %s", fmt(v, col_width, precision).c_str());
   }
   std::printf("\n");
+}
+
+namespace {
+
+// Pulls one "VmXYZ:   1234 kB" field out of /proc/self/status.
+uint64_t proc_status_kb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  uint64_t kb = 0;
+  char line[256];
+  const size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 &&
+        line[field_len] == ':') {
+      kb = std::strtoull(line + field_len + 1, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+uint64_t vm_hwm_kb() { return proc_status_kb("VmHWM"); }
+
+uint64_t vm_rss_kb() { return proc_status_kb("VmRSS"); }
+
+bool reset_vm_hwm() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5\n", f) >= 0;
+  return std::fclose(f) == 0 && ok;
 }
 
 }  // namespace szsec::bench

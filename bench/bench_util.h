@@ -95,6 +95,20 @@ struct StageMetricsRecord {
 void write_stage_metrics_json(const std::string& path,
                               const std::vector<StageMetricsRecord>& records);
 
+/// Peak resident set size (VmHWM from /proc/self/status) in KiB, or 0
+/// where the probe is unavailable (non-Linux).  The streaming-memory
+/// bench uses it to prove bounded-memory claims.
+uint64_t vm_hwm_kb();
+
+/// Current resident set size (VmRSS) in KiB, or 0 when unavailable.
+uint64_t vm_rss_kb();
+
+/// Resets the kernel's peak-RSS watermark (`echo 5 >
+/// /proc/self/clear_refs`) so vm_hwm_kb() measures the phase that
+/// follows instead of the process lifetime.  Returns false when the
+/// kernel refuses (then callers must fall back to lifetime deltas).
+bool reset_vm_hwm();
+
 /// Fixed-width table cell helpers.
 std::string fmt(double v, int width = 10, int precision = 3);
 void print_table_header(const std::string& title,

@@ -9,26 +9,45 @@
 //             [--threads N]
 //   szsec_cli info       <in.szs>
 //
+// `-` in place of a path means stdin (inputs) or stdout (outputs), so
+// the CLI composes in pipelines:
+//
+//   cat field.bin | szsec_cli compress - - --dims 512,512 --eb 1e-4
+//       --chunks 64 --key ... | ssh host 'cat > field.szs'
+//
+// When stdout carries data, every human-readable report moves to
+// stderr.  Chunked (--chunks) compression and chunked decompression
+// stream: chunks are pulled from the input, coded across --threads
+// workers, and committed to the output in index order, so peak memory
+// is bounded by the in-flight window, not the field size.
+//
 // --chunks N writes a fault-tolerant v3 chunked archive (N independent
 // chunks) instead of a single v2 container; --threads N fans the
 // per-chunk codec work across N workers (chunked archives only — output
 // bytes are identical for every thread count).  decompress and info
-// detect the container kind from the magic.
+// detect the container kind from the magic (on pipes, by sniffing the
+// first four bytes and replaying them).
 //
 // --password derives an AES-128 key via PBKDF2-HMAC-SHA256 (100k
 // iterations, fixed application salt) — convenient for interactive use;
 // supply a random --key for production.
 //
 // Input .bin files are raw little-endian float32 (SDRBench layout).
+//
+// Exit codes: 0 success, 1 szsec::Error (I/O failures — a broken pipe
+// included — corrupt containers, wrong keys), 2 usage error.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "archive/chunked.h"
 #include "common/bytestream.h"
 #include "common/hex.h"
+#include "common/io.h"
 #include "core/secure_compressor.h"
 #include "crypto/sha256.h"
 #include "data/io.h"
@@ -61,6 +80,7 @@ struct Options {
       "  szsec_cli decompress <in.szs> <out.bin> [--key <hex>]\n"
       "            [--threads N]\n"
       "  szsec_cli info <in.szs>\n"
+      "  ('-' as a path reads stdin / writes stdout)\n"
       "(see docs/CLI.md for the full reference)\n");
   std::exit(2);
 }
@@ -156,37 +176,63 @@ Options parse(int argc, char** argv) {
 
 // Per-stage breakdown from the codec's PipelineMetrics: wall time plus
 // the byte volume through each stage (and the resulting stage ratio).
-void print_stage_metrics(const char* title, const StageTimes& times) {
-  std::printf("%s\n", title);
-  std::printf("  %-18s %10s %12s %12s %8s\n", "stage", "ms", "bytes in",
-              "bytes out", "ratio");
+// Reports go to `to`: stdout normally, stderr when stdout carries data.
+void print_stage_metrics(std::FILE* to, const char* title,
+                         const StageTimes& times) {
+  std::fprintf(to, "%s\n", title);
+  std::fprintf(to, "  %-18s %10s %12s %12s %8s\n", "stage", "ms",
+               "bytes in", "bytes out", "ratio");
   for (const auto& [stage, m] : times.all()) {
-    std::printf("  %-18s %10.3f", stage.c_str(), m.seconds * 1e3);
+    std::fprintf(to, "  %-18s %10.3f", stage.c_str(), m.seconds * 1e3);
     if (m.bytes_in > 0 || m.bytes_out > 0) {
-      std::printf(" %12llu %12llu %8.3f",
-                  static_cast<unsigned long long>(m.bytes_in),
-                  static_cast<unsigned long long>(m.bytes_out), m.ratio());
+      std::fprintf(to, " %12llu %12llu %8.3f",
+                   static_cast<unsigned long long>(m.bytes_in),
+                   static_cast<unsigned long long>(m.bytes_out), m.ratio());
     }
-    std::printf("\n");
+    std::fprintf(to, "\n");
   }
-  std::printf("  %-18s %10.3f\n", "total", times.total() * 1e3);
+  std::fprintf(to, "  %-18s %10.3f\n", "total", times.total() * 1e3);
 }
 
-bool is_chunked_archive(BytesView bytes) {
+bool is_chunked_magic(BytesView bytes) {
   if (bytes.size() < sizeof(uint32_t)) return false;
   uint32_t magic = 0;
   std::memcpy(&magic, bytes.data(), sizeof(magic));
   return magic == archive::kChunkedMagic;
 }
 
-Bytes read_all(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in.good()) usage(("cannot open " + path).c_str());
-  Bytes data(static_cast<size_t>(in.tellg()));
-  in.seekg(0);
-  in.read(reinterpret_cast<char*>(data.data()),
-          static_cast<std::streamsize>(data.size()));
-  return data;
+/// Input bytes for decompress/info: a pipe for "-", else the file (a
+/// missing file is a usage error, matching the historical contract).
+std::unique_ptr<ByteSource> open_input(const std::string& path) {
+  if (path == "-") return std::make_unique<FdSource>(0);
+  try {
+    return std::make_unique<FileSource>(path);
+  } catch (const IoError&) {
+    usage(("cannot open " + path).c_str());
+  }
+}
+
+std::unique_ptr<ByteSink> open_output(const std::string& path) {
+  if (path == "-") return std::make_unique<FdSink>(1);
+  return std::make_unique<FileSink>(path);
+}
+
+/// Drains a source to memory (the v2 codec and `info` need the whole
+/// container; fields and v3 archives stream instead).
+Bytes slurp(ByteSource& src) {
+  Bytes out;
+  uint8_t buf[1 << 16];
+  for (size_t n;
+       (n = src.read(std::span<uint8_t>(buf, sizeof(buf)))) > 0;) {
+    out.insert(out.end(), buf, buf + n);
+  }
+  return out;
+}
+
+/// Deletes a partially-written output file after a failed streaming run
+/// so errors never leave garbage behind (pipes have no file to remove).
+void discard_partial_output(const std::string& path) {
+  if (path != "-") std::remove(path.c_str());
 }
 
 int cmd_compress(const Options& o) {
@@ -194,69 +240,144 @@ int cmd_compress(const Options& o) {
   if (o.scheme != core::Scheme::kNone && o.key.empty()) {
     usage("encrypting schemes require --key");
   }
-  const std::vector<float> values = data::load_f32(o.input);
+  const bool to_stdout = o.output == "-";
+  std::FILE* report = to_stdout ? stderr : stdout;
+  sz::Params params;
+  params.abs_error_bound = o.eb;
+
+  if (o.chunks > 0) {
+    // Streaming path: chunks are pulled from the input and frames are
+    // committed to the output in index order — the field is never whole
+    // in memory.  A regular file's size is still checked up front so a
+    // wrong --dims fails before any work.
+    if (o.input != "-") {
+      std::ifstream f(o.input, std::ios::binary | std::ios::ate);
+      if (f.good()) {
+        const auto bytes = static_cast<uint64_t>(f.tellg());
+        if (bytes != o.dims.count() * sizeof(float)) {
+          std::fprintf(stderr,
+                       "error: file has %llu floats but dims %s = %zu\n",
+                       static_cast<unsigned long long>(bytes / 4),
+                       o.dims.to_string().c_str(), o.dims.count());
+          return 1;
+        }
+      }
+    }
+    archive::ChunkedConfig config;
+    config.chunks = o.chunks;
+    config.threads = o.threads;
+    archive::ChunkedStreamResult r;
+    try {
+      std::unique_ptr<ByteSource> in;
+      if (o.input == "-") {
+        in = std::make_unique<FdSource>(0);
+      } else {
+        in = std::make_unique<FileSource>(o.input);
+      }
+      const std::unique_ptr<ByteSink> out = open_output(o.output);
+      r = archive::compress_chunked_stream(
+          *in, *out, sz::DType::kFloat32, o.dims, params, o.scheme,
+          BytesView(o.key),
+          core::CipherSpec{crypto::CipherKind::kAes128, o.mode}, config);
+    } catch (...) {
+      discard_partial_output(o.output);
+      throw;
+    }
+    std::fprintf(report,
+                 "%s: %llu -> %llu bytes (%.2fx), scheme %s, eb %g, "
+                 "%zu chunks, %u threads\n",
+                 o.output.c_str(),
+                 static_cast<unsigned long long>(r.stats.raw_bytes),
+                 static_cast<unsigned long long>(r.archive_bytes),
+                 r.stats.compression_ratio(), core::scheme_name(o.scheme),
+                 o.eb, r.chunk_count, o.threads);
+    print_stage_metrics(report, "stages (summed over chunks):", r.times);
+    return 0;
+  }
+
+  // v2 single container: the stage chain needs the whole field, so load
+  // it; the finished container still goes out through a ByteSink.
+  std::vector<float> values;
+  if (o.input == "-") {
+    FdSource src(0);
+    const Bytes raw = slurp(src);
+    if (raw.size() % sizeof(float) != 0) {
+      std::fprintf(stderr,
+                   "error: stdin carried %zu bytes, not a multiple of 4\n",
+                   raw.size());
+      return 1;
+    }
+    values.resize(raw.size() / sizeof(float));
+    std::memcpy(values.data(), raw.data(), raw.size());
+  } else {
+    values = data::load_f32(o.input);
+  }
   if (values.size() != o.dims.count()) {
     std::fprintf(stderr, "error: file has %zu floats but dims %s = %zu\n",
                  values.size(), o.dims.to_string().c_str(),
                  o.dims.count());
     return 1;
   }
-  sz::Params params;
-  params.abs_error_bound = o.eb;
-  if (o.chunks > 0) {
-    archive::ChunkedConfig config;
-    config.chunks = o.chunks;
-    config.threads = o.threads;
-    const archive::ChunkedCompressResult r = archive::compress_chunked(
-        std::span<const float>(values), o.dims, params, o.scheme,
-        BytesView(o.key), core::CipherSpec{crypto::CipherKind::kAes128,
-                                           o.mode},
-        config);
-    std::ofstream out(o.output, std::ios::binary);
-    out.write(reinterpret_cast<const char*>(r.archive.data()),
-              static_cast<std::streamsize>(r.archive.size()));
-    std::printf(
-        "%s: %zu -> %zu bytes (%.2fx), scheme %s, eb %g, "
-        "%zu chunks, %u threads\n",
-        o.output.c_str(), values.size() * 4, r.archive.size(),
-        r.stats.compression_ratio(), core::scheme_name(o.scheme), o.eb,
-        r.chunk_count, o.threads);
-    print_stage_metrics("stages (summed over chunks):", r.times);
-    return 0;
-  }
   const core::SecureCompressor c(params, o.scheme, BytesView(o.key),
                                  o.mode);
   const core::CompressResult r =
       c.compress(std::span<const float>(values), o.dims);
-  std::ofstream out(o.output, std::ios::binary);
-  out.write(reinterpret_cast<const char*>(r.container.data()),
-            static_cast<std::streamsize>(r.container.size()));
-  std::printf("%s: %zu -> %zu bytes (%.2fx), scheme %s, eb %g\n",
-              o.output.c_str(), values.size() * 4, r.container.size(),
-              r.stats.compression_ratio(), core::scheme_name(o.scheme),
-              o.eb);
-  print_stage_metrics("stages:", r.times);
+  {
+    const std::unique_ptr<ByteSink> out = open_output(o.output);
+    out->write(BytesView(r.container));
+    out->flush();
+  }
+  std::fprintf(report, "%s: %zu -> %zu bytes (%.2fx), scheme %s, eb %g\n",
+               o.output.c_str(), values.size() * 4, r.container.size(),
+               r.stats.compression_ratio(), core::scheme_name(o.scheme),
+               o.eb);
+  print_stage_metrics(report, "stages:", r.times);
   return 0;
 }
 
 int cmd_decompress(const Options& o) {
-  const Bytes container = read_all(o.input);
-  if (is_chunked_archive(BytesView(container))) {
+  const bool to_stdout = o.output == "-";
+  std::FILE* report = to_stdout ? stderr : stdout;
+  const std::unique_ptr<ByteSource> in = open_input(o.input);
+
+  // Sniff the magic, then replay it in front of the remaining stream —
+  // pipes cannot seek back.
+  uint8_t head[sizeof(uint32_t)] = {};
+  const size_t head_len = read_full(*in, std::span<uint8_t>(head));
+  SZSEC_CHECK_FORMAT(head_len == sizeof(head),
+                     "input too short for any container");
+
+  if (is_chunked_magic(BytesView(head, sizeof(head)))) {
+    // v3 chunked archives stream: frames in, elements out, in index
+    // order, with memory bounded by the in-flight window.
+    ConcatSource full(BytesView(head, sizeof(head)), *in);
     archive::ChunkedConfig config;
     config.threads = o.threads;
     PipelineMetrics metrics;
     config.metrics = &metrics;
-    const std::vector<float> values = archive::decompress_chunked_f32(
-        BytesView(container), BytesView(o.key), config);
-    data::save_f32(o.output, values);
-    std::printf("%s: restored %zu floats (dims %s, %u threads)\n",
-                o.output.c_str(), values.size(),
-                archive::chunked_dims(BytesView(container))
-                    .to_string()
-                    .c_str(),
-                o.threads);
-    print_stage_metrics("stages (summed over chunks):", metrics);
+    archive::ChunkedStreamDecodeResult r;
+    try {
+      const std::unique_ptr<ByteSink> out = open_output(o.output);
+      r = archive::decompress_chunked_stream(full, *out, BytesView(o.key),
+                                             config);
+    } catch (...) {
+      discard_partial_output(o.output);
+      throw;
+    }
+    std::fprintf(report, "%s: restored %llu float%d elements "
+                         "(dims %s, %u threads)\n",
+                 o.output.c_str(),
+                 static_cast<unsigned long long>(r.elements),
+                 r.dtype == sz::DType::kFloat32 ? 32 : 64,
+                 r.dims.to_string().c_str(), o.threads);
+    print_stage_metrics(report, "stages (summed over chunks):", metrics);
     return 0;
+  }
+
+  Bytes container(head, head + sizeof(head));
+  {
+    const Bytes rest = slurp(*in);
+    container.insert(container.end(), rest.begin(), rest.end());
   }
   const core::Header h = core::peek_header(BytesView(container));
   if (h.scheme != core::Scheme::kNone && o.key.empty()) {
@@ -266,17 +387,23 @@ int cmd_decompress(const Options& o) {
                                  h.cipher_mode);
   core::DecompressResult r = c.decompress(BytesView(container));
   SZSEC_REQUIRE(r.dtype == sz::DType::kFloat32, "container holds float64");
-  data::save_f32(o.output, r.f32);
-  std::printf("%s: restored %zu floats (dims %s, eb %g)\n",
-              o.output.c_str(), r.f32.size(), h.dims.to_string().c_str(),
-              h.params.abs_error_bound);
-  print_stage_metrics("stages:", r.times);
+  {
+    const std::unique_ptr<ByteSink> out = open_output(o.output);
+    out->write(BytesView(reinterpret_cast<const uint8_t*>(r.f32.data()),
+                         r.f32.size() * sizeof(float)));
+    out->flush();
+  }
+  std::fprintf(report, "%s: restored %zu floats (dims %s, eb %g)\n",
+               o.output.c_str(), r.f32.size(), h.dims.to_string().c_str(),
+               h.params.abs_error_bound);
+  print_stage_metrics(report, "stages:", r.times);
   return 0;
 }
 
 int cmd_info(const Options& o) {
-  const Bytes container = read_all(o.input);
-  if (is_chunked_archive(BytesView(container))) {
+  const std::unique_ptr<ByteSource> in = open_input(o.input);
+  const Bytes container = slurp(*in);
+  if (is_chunked_magic(BytesView(container))) {
     const archive::ChunkIndex index =
         archive::read_chunk_index(BytesView(container));
     std::printf("container:     v3 chunked archive\n");
@@ -335,6 +462,12 @@ int cmd_info(const Options& o) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A reader hanging up mid-pipe must surface as EPIPE from write() (an
+  // IoError, exit 1), not a silent SIGPIPE death — the exit-code
+  // contract is part of the CLI's interface.
+#ifndef _WIN32
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   try {
     const Options o = parse(argc, argv);
     if (o.command == "compress") return cmd_compress(o);

@@ -204,16 +204,22 @@ const char* to_string(ChunkStatus s) {
 
 namespace {
 
+/// The one v3 compressor: pulls raw element bytes from `in` chunk by
+/// chunk (on the calling thread, in index order), encodes chunks on the
+/// pool, stages committed frames in a FrameSpool, then emits prelude +
+/// frames to `out`.  Peak memory is the scheduler window times one
+/// chunk's input + frame — never the whole field or archive.  The
+/// in-memory compress_chunked wrappers call this with a MemorySource/
+/// MemorySink, so "streamed bytes == in-memory bytes" holds by
+/// construction (and is additionally pinned by the proptest oracle).
 template <typename T>
-ChunkedCompressResult compress_chunked_impl(std::span<const T> data,
-                                            const Dims& dims,
-                                            const sz::Params& params,
-                                            core::Scheme scheme,
-                                            BytesView key,
-                                            const core::CipherSpec& spec,
-                                            const ChunkedConfig& config,
-                                            crypto::CtrDrbg* seed_drbg) {
-  SZSEC_REQUIRE(data.size() == dims.count(), "data size mismatch");
+ChunkedStreamResult compress_stream_impl(ByteSource& in, ByteSink& out,
+                                         const Dims& dims,
+                                         const sz::Params& params,
+                                         core::Scheme scheme, BytesView key,
+                                         const core::CipherSpec& spec,
+                                         const ChunkedConfig& config,
+                                         crypto::CtrDrbg* seed_drbg) {
   ParallelChunkScheduler sched(
       ChunkSchedulerConfig{config.threads, config.max_in_flight});
   SlabConfig scfg;
@@ -238,53 +244,72 @@ ChunkedCompressResult compress_chunked_impl(std::span<const T> data,
   const CodecRuntime runtime(params, scheme, key, spec);
   const core::codec::CodecConfig cfg = runtime.config();
 
-  // Workers encode + frame their chunk; the ordered commit appends the
-  // frame to the body and folds stats/metrics — deterministic because
-  // commits arrive in chunk-index order whatever the completion order.
+  // Raw chunk buffers are recycled through a pool: the feed (calling
+  // thread) acquires, the worker releases after encoding, so steady
+  // state allocates nothing per chunk however many chunks stream by.
+  FrameSpool spool(config.spool);
+  BufferPool input_pool;
+
+  struct ChunkInput {
+    Bytes raw;
+  };
   struct ChunkProduct {
     Bytes frame;
     core::CompressStats stats;
     PipelineMetrics times;
   };
 
-  ChunkedCompressResult out;
-  out.chunk_count = plan.count;
-  Bytes body;
+  ChunkedStreamResult out_r;
+  out_r.chunk_count = plan.count;
   std::vector<uint64_t> frame_len(plan.count, 0);
   double weighted_predictable = 0;
 
-  sched.run_ordered<ChunkProduct>(
+  sched.run_ordered_fed<ChunkInput, ChunkProduct>(
       plan.count,
-      [&](size_t, size_t i) {
-        const std::span<const T> slab = data.subspan(
-            plan.start[i] * plan.plane, plan.extent[i] * plan.plane);
+      [&](size_t i) {
+        const size_t bytes = plan.extent[i] * plan.plane * sizeof(T);
+        ChunkInput ci{input_pool.acquire(bytes)};
+        ci.raw.resize(bytes);
+        const size_t got = read_full(in, std::span<uint8_t>(ci.raw));
+        if (got != bytes) {
+          throw IoError("input stream ended mid-field (chunk " +
+                        std::to_string(i) + ")");
+        }
+        return ci;
+      },
+      [&](size_t, size_t i, ChunkInput&& ci) {
+        const std::span<const T> slab(
+            reinterpret_cast<const T*>(ci.raw.data()),
+            ci.raw.size() / sizeof(T));
         core::CompressResult r = core::codec::encode_payload(
             cfg, slab, parallel::slab_dims(dims, plan.extent[i]),
             &drbgs[i]);
-        return ChunkProduct{
+        ChunkProduct p{
             make_frame(i, plan.start[i], plan.extent[i], r.container),
             r.stats, std::move(r.times)};
+        input_pool.release(std::move(ci.raw));
+        return p;
       },
       [&](size_t i, ChunkProduct&& p) {
         frame_len[i] = p.frame.size();
-        body.insert(body.end(), p.frame.begin(), p.frame.end());
-        out.stats.raw_bytes += p.stats.raw_bytes;
-        out.stats.payload_bytes += p.stats.payload_bytes;
-        out.stats.tree_bytes += p.stats.tree_bytes;
-        out.stats.codeword_bytes += p.stats.codeword_bytes;
-        out.stats.unpredictable_bytes += p.stats.unpredictable_bytes;
-        out.stats.unpredictable_count += p.stats.unpredictable_count;
-        out.stats.element_count += p.stats.element_count;
-        out.stats.encrypted_bytes += p.stats.encrypted_bytes;
+        spool.write(BytesView(p.frame));
+        out_r.stats.raw_bytes += p.stats.raw_bytes;
+        out_r.stats.payload_bytes += p.stats.payload_bytes;
+        out_r.stats.tree_bytes += p.stats.tree_bytes;
+        out_r.stats.codeword_bytes += p.stats.codeword_bytes;
+        out_r.stats.unpredictable_bytes += p.stats.unpredictable_bytes;
+        out_r.stats.unpredictable_count += p.stats.unpredictable_count;
+        out_r.stats.element_count += p.stats.element_count;
+        out_r.stats.encrypted_bytes += p.stats.encrypted_bytes;
         weighted_predictable +=
             p.stats.predictable_fraction * p.stats.element_count;
-        out.times.merge(p.times);
+        out_r.times.merge(p.times);
       });
 
-  out.stats.predictable_fraction =
-      out.stats.element_count == 0
+  out_r.stats.predictable_fraction =
+      out_r.stats.element_count == 0
           ? 0
-          : weighted_predictable / out.stats.element_count;
+          : weighted_predictable / out_r.stats.element_count;
 
   ByteWriter w;
   w.put_u32(kChunkedMagic);
@@ -302,14 +327,56 @@ ChunkedCompressResult compress_chunked_impl(std::span<const T> data,
   }
   w.put_u32(crc32(BytesView(w.bytes())));
 
-  Bytes archive = w.take();
-  archive.insert(archive.end(), body.begin(), body.end());
-  out.archive = std::move(archive);
-  out.stats.container_bytes = out.archive.size();
+  CountingSink counted(&out);
+  {
+    const Bytes prelude = w.take();
+    counted.write(BytesView(prelude));
+  }
+  spool.replay(counted);
+  out.flush();
+  out_r.archive_bytes = counted.count();
+  out_r.stats.container_bytes = counted.count();
+  return out_r;
+}
+
+template <typename T>
+ChunkedCompressResult compress_chunked_impl(std::span<const T> data,
+                                            const Dims& dims,
+                                            const sz::Params& params,
+                                            core::Scheme scheme,
+                                            BytesView key,
+                                            const core::CipherSpec& spec,
+                                            const ChunkedConfig& config,
+                                            crypto::CtrDrbg* seed_drbg) {
+  SZSEC_REQUIRE(data.size() == dims.count(), "data size mismatch");
+  MemorySource src(BytesView(reinterpret_cast<const uint8_t*>(data.data()),
+                             data.size() * sizeof(T)));
+  MemorySink sink;
+  ChunkedConfig mem_config = config;
+  mem_config.spool = FrameSpool::Backing::kMemory;
+  ChunkedStreamResult r = compress_stream_impl<T>(
+      src, sink, dims, params, scheme, key, spec, mem_config, seed_drbg);
+  ChunkedCompressResult out;
+  out.archive = sink.take();
+  out.chunk_count = r.chunk_count;
+  out.stats = r.stats;
+  out.times = std::move(r.times);
   return out;
 }
 
 }  // namespace
+
+ChunkedStreamResult compress_chunked_stream(
+    ByteSource& in, ByteSink& out, sz::DType dtype, const Dims& dims,
+    const sz::Params& params, core::Scheme scheme, BytesView key,
+    const core::CipherSpec& spec, const ChunkedConfig& config,
+    crypto::CtrDrbg* seed_drbg) {
+  return dtype == sz::DType::kFloat32
+             ? compress_stream_impl<float>(in, out, dims, params, scheme,
+                                           key, spec, config, seed_drbg)
+             : compress_stream_impl<double>(in, out, dims, params, scheme,
+                                            key, spec, config, seed_drbg);
+}
 
 ChunkedCompressResult compress_chunked(std::span<const float> data,
                                        const Dims& dims,
@@ -333,8 +400,73 @@ ChunkedCompressResult compress_chunked(std::span<const double> data,
                                config, seed_drbg);
 }
 
-ChunkIndex read_chunk_index(BytesView archive) {
-  ByteReader r(archive);
+namespace {
+
+/// Adapters giving the prelude parse one shape over two byte origins.
+/// Both expose the ByteReader getters the parse needs, plus
+/// crc_to_here() — the CRC-32 of every byte consumed so far, evaluated
+/// immediately before the declared index CRC is read.
+struct IndexMemReader {
+  explicit IndexMemReader(BytesView a) : r(a), archive(a) {}
+  ByteReader r;
+  BytesView archive;
+  uint8_t get_u8() { return r.get_u8(); }
+  uint32_t get_u32() { return r.get_u32(); }
+  uint64_t get_varint() { return r.get_varint(); }
+  size_t pos() const { return r.pos(); }
+  uint32_t crc_to_here() const { return crc32(archive.subspan(0, r.pos())); }
+};
+
+/// Pulls prelude bytes from a ByteSource one at a time (the prelude is
+/// tiny next to the frames), retaining them so crc_to_here() can verify
+/// the index CRC exactly as the in-memory parser does.  Truncation is
+/// CorruptError, matching ByteReader.
+class IndexStreamReader {
+ public:
+  explicit IndexStreamReader(ByteSource& src) : src_(src) {}
+
+  uint8_t get_u8() { return next(); }
+  uint32_t get_u32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t{next()} << (8 * i);
+    return v;
+  }
+  uint64_t get_varint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      SZSEC_CHECK_FORMAT(shift < 64, "varint too long");
+      const uint8_t b = next();
+      SZSEC_CHECK_FORMAT(shift < 63 || (b & 0xFE) == 0,
+                         "varint overflows 64 bits");
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+    }
+    return v;
+  }
+  size_t pos() const { return buf_.size(); }
+  uint32_t crc_to_here() const { return crc32(BytesView(buf_)); }
+
+ private:
+  uint8_t next() {
+    uint8_t b;
+    SZSEC_CHECK_FORMAT(read_full(src_, std::span<uint8_t>(&b, 1)) == 1,
+                       "truncated archive prelude");
+    buf_.push_back(b);
+    return b;
+  }
+
+  ByteSource& src_;
+  Bytes buf_;
+};
+
+/// The one v3 prelude parser, shared by the in-memory and streaming
+/// decoders (Reader = IndexMemReader | IndexStreamReader).  Entry
+/// offsets stay RELATIVE to body_start here; read_chunk_index
+/// absolutizes them for its callers.
+template <typename Reader>
+ChunkIndex parse_chunk_index(Reader& r) {
   SZSEC_CHECK_FORMAT(r.get_u32() == kChunkedMagic, "bad archive magic");
   SZSEC_CHECK_FORMAT(r.get_u8() == kChunkedVersion,
                      "unsupported archive version");
@@ -375,11 +507,18 @@ ChunkIndex read_chunk_index(BytesView archive) {
   }
   SZSEC_CHECK_FORMAT(expect_row == out.dims[0],
                      "chunks do not cover the field");
-  const size_t crc_end = r.pos();
+  const uint32_t computed = r.crc_to_here();
   const uint32_t declared = r.get_u32();
-  SZSEC_CHECK_FORMAT(crc32(archive.subspan(0, crc_end)) == declared,
-                     "index CRC mismatch");
+  SZSEC_CHECK_FORMAT(computed == declared, "index CRC mismatch");
   out.body_start = r.pos();
+  return out;
+}
+
+}  // namespace
+
+ChunkIndex read_chunk_index(BytesView archive) {
+  IndexMemReader r(archive);
+  ChunkIndex out = parse_chunk_index(r);
   for (ChunkEntry& e : out.entries) e.offset += out.body_start;
   return out;
 }
@@ -458,6 +597,110 @@ std::vector<float> decompress_chunked_f32(BytesView archive, BytesView key,
 std::vector<double> decompress_chunked_f64(BytesView archive, BytesView key,
                                            const ChunkedConfig& config) {
   return decompress_chunked_impl<double>(archive, key, config);
+}
+
+ChunkedStreamDecodeResult decompress_chunked_stream(
+    ByteSource& in, ByteSink& out, BytesView key,
+    const ChunkedConfig& config) {
+  // Prelude first (byte-at-a-time, tolerant of any short-read schedule);
+  // frames then arrive densely in index order, so the feed can cut the
+  // stream into frames from the index's lengths alone.
+  IndexStreamReader reader(in);
+  const ChunkIndex index = parse_chunk_index(reader);
+
+  ParallelChunkScheduler sched(
+      ChunkSchedulerConfig{config.threads, config.max_in_flight});
+  const auto workers = make_worker_states(sched.thread_count(), key);
+  BufferPool frame_pool;
+
+  ChunkedStreamDecodeResult res;
+  res.dims = index.dims;
+  bool dtype_set = false;
+
+  struct FrameInput {
+    Bytes frame;
+  };
+  struct ChunkDecode {
+    std::string error;  ///< decode failure; framing errors throw instead
+    core::DecompressResult r;
+  };
+
+  sched.run_ordered_fed<FrameInput, ChunkDecode>(
+      index.entries.size(),
+      [&](size_t i) {
+        const ChunkEntry& e = index.entries[i];
+        FrameInput fi{frame_pool.acquire(e.frame_len)};
+        fi.frame.resize(static_cast<size_t>(e.frame_len));
+        SZSEC_CHECK_FORMAT(
+            read_full(in, std::span<uint8_t>(fi.frame)) == e.frame_len,
+            "frame extends past archive end");
+        return fi;
+      },
+      [&](size_t worker, size_t i, FrameInput&& fi) {
+        const ChunkEntry& e = index.entries[i];
+        const std::optional<Frame> f =
+            parse_frame_at(BytesView(fi.frame), 0);
+        SZSEC_CHECK_FORMAT(f.has_value(), "unparseable chunk frame");
+        SZSEC_CHECK_FORMAT(f->chunk_id == i && f->row_start == e.row_start &&
+                               f->row_extent == e.row_extent &&
+                               f->frame_len == e.frame_len,
+                           "frame disagrees with index");
+        SZSEC_CHECK_FORMAT(f->crc_ok, "chunk CRC mismatch");
+        // Decode failures are error *values* (the commit turns them into
+        // "chunk i: reason"), matching the in-memory strict decoder.
+        ChunkDecode d;
+        try {
+          const core::Header h = core::peek_header(f->container);
+          if (h.dims[0] != f->row_extent) {
+            d.error = "container rows != frame rows";
+          } else if (h.dims.rank() != index.dims.rank()) {
+            d.error = "rank mismatch";
+          } else {
+            for (size_t k = 1; k < h.dims.rank(); ++k) {
+              if (h.dims[k] != index.dims[k]) d.error = "plane dims mismatch";
+            }
+          }
+          if (d.error.empty()) {
+            core::CipherSpec spec{h.cipher_kind, h.cipher_mode};
+            spec.authenticate = (h.flags & core::kFlagAuthenticated) != 0;
+            const CodecRuntime& runtime =
+                workers[worker]->runtimes.get(h.params, h.scheme, spec);
+            core::codec::DecodeOptions opts;
+            opts.pool = &workers[worker]->scratch;
+            d.r = core::codec::decode_payload(runtime.config(),
+                                              f->container, opts);
+          }
+        } catch (const Error& ex) {
+          d.error = ex.what();
+        }
+        frame_pool.release(std::move(fi.frame));
+        return d;
+      },
+      [&](size_t i, ChunkDecode&& d) {
+        if (!d.error.empty()) {
+          throw CorruptError("chunk " + std::to_string(i) + ": " + d.error);
+        }
+        if (!dtype_set) {
+          res.dtype = d.r.dtype;
+          dtype_set = true;
+        } else if (d.r.dtype != res.dtype) {
+          throw CorruptError("chunk " + std::to_string(i) +
+                             ": container dtype mismatch");
+        }
+        const BytesView bytes =
+            d.r.dtype == sz::DType::kFloat32
+                ? BytesView(reinterpret_cast<const uint8_t*>(d.r.f32.data()),
+                            d.r.f32.size() * sizeof(float))
+                : BytesView(reinterpret_cast<const uint8_t*>(d.r.f64.data()),
+                            d.r.f64.size() * sizeof(double));
+        out.write(bytes);
+        res.elements += d.r.dtype == sz::DType::kFloat32 ? d.r.f32.size()
+                                                         : d.r.f64.size();
+        res.element_bytes += bytes.size();
+        if (config.metrics != nullptr) config.metrics->merge(d.r.times);
+      });
+  out.flush();
+  return res;
 }
 
 namespace {
@@ -775,6 +1018,385 @@ SalvageResult decompress_salvage(BytesView archive, BytesView key,
 SalvageResult decompress_salvage_f64(BytesView archive, BytesView key,
                                      const SalvageOptions& opts) {
   return salvage_impl<double>(archive, key, opts);
+}
+
+namespace {
+
+/// Sliding window over a ByteSource for the single-pass salvage scan:
+/// bytes are retained from `start()` (absolute stream offset) to
+/// `end()`; the scanner drops everything behind its position, so the
+/// window holds at most one frame plus scan slack at any moment.
+class ScanWindow {
+ public:
+  explicit ScanWindow(ByteSource& src) : src_(src) {}
+
+  /// Extends the window to cover absolute offsets [start(), abs_end);
+  /// returns false when the stream ends first.
+  bool ensure(uint64_t abs_end) {
+    if (abs_end <= end()) return true;
+    if (eof_) return false;
+    const size_t need = static_cast<size_t>(abs_end - end());
+    const size_t old = buf_.size();
+    buf_.resize(old + need);
+    const size_t got =
+        read_full(src_, std::span<uint8_t>(buf_).subspan(old));
+    buf_.resize(old + got);
+    if (got < need) eof_ = true;
+    return abs_end <= end();
+  }
+
+  /// Pulls up to `n` more bytes into the window (marker scanning reads
+  /// ahead in blocks); returns the bytes actually added.
+  size_t fill_more(size_t n) {
+    if (eof_) return 0;
+    const size_t old = buf_.size();
+    buf_.resize(old + n);
+    const size_t got =
+        read_full(src_, std::span<uint8_t>(buf_).subspan(old));
+    buf_.resize(old + got);
+    if (got < n) eof_ = true;
+    return got;
+  }
+
+  BytesView view() const { return BytesView(buf_); }
+  uint64_t start() const { return start_; }
+  uint64_t end() const { return start_ + buf_.size(); }
+  bool eof() const { return eof_; }
+
+  /// Forgets window bytes before absolute offset `abs`.
+  void drop_before(uint64_t abs) {
+    if (abs <= start_) return;
+    const size_t n =
+        std::min(static_cast<size_t>(abs - start_), buf_.size());
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(n));
+    start_ += n;
+  }
+
+ private:
+  ByteSource& src_;
+  Bytes buf_;
+  uint64_t start_ = 0;
+  bool eof_ = false;
+};
+
+/// Marker + varint fields + CRC: the longest possible frame header.
+constexpr size_t kFrameHeadMax = kMarkerSize + 4 * 10 + sizeof(uint32_t);
+/// A scanned frame claiming a container longer than this is treated as
+/// a marker false-positive — the window (and therefore RSS) never grows
+/// past one such cap during salvage.
+constexpr uint64_t kMaxStreamContainer = uint64_t{1} << 31;
+/// The prelude retry loop stops growing the window here; a (legitimate)
+/// index larger than this degrades to scan-only recovery.
+constexpr size_t kMaxStreamPrelude = size_t{16} << 20;
+/// Read-ahead block while hunting for the next resync marker.
+constexpr size_t kScanBlock = size_t{256} << 10;
+
+struct FrameHead {
+  uint64_t chunk_id = 0;
+  uint64_t row_start = 0;
+  uint64_t row_extent = 0;
+  uint64_t container_len = 0;
+  uint32_t crc = 0;
+  size_t head_len = 0;  ///< marker byte 0 .. container byte 0
+};
+
+/// Parses the frame header whose marker starts `v`; nullopt when the
+/// bytes are malformed or implausible (same caps as parse_frame_at,
+/// plus the streaming container-length cap).
+std::optional<FrameHead> parse_frame_head(BytesView v) {
+  try {
+    ByteReader r(v);
+    if (r.get_u64() != kResyncMarker) return std::nullopt;
+    FrameHead h;
+    h.chunk_id = r.get_varint();
+    h.row_start = r.get_varint();
+    h.row_extent = r.get_varint();
+    h.container_len = r.get_varint();
+    h.crc = r.get_u32();
+    h.head_len = r.pos();
+    if (h.chunk_id > kMaxExtent || h.row_start > kMaxExtent ||
+        h.row_extent == 0 || h.row_extent > kMaxExtent ||
+        h.container_len > kMaxStreamContainer) {
+      return std::nullopt;
+    }
+    return h;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+ChunkedStreamSalvageResult salvage_chunked_stream(ByteSource& in,
+                                                  ByteSink& out,
+                                                  BytesView key,
+                                                  const SalvageOptions& opts) {
+  SZSEC_REQUIRE(opts.fill != FallbackFill::kMean,
+                "streaming salvage cannot compute a mean fill in one "
+                "pass; use kZeros or kNaN");
+  ChunkedStreamSalvageResult res;
+  SalvageReport& rep = res.report;
+  ScanWindow win(in);
+
+  // Attempt a strict prelude parse over a growing window: truncation
+  // failures retry with more bytes, genuine corruption keeps failing and
+  // falls through to scan-only recovery (the buffered bytes stay in the
+  // window, so no frame hiding in a damaged prelude is lost).
+  std::optional<ChunkIndex> index;
+  for (size_t want = 4096;; want *= 2) {
+    win.ensure(want);
+    try {
+      IndexMemReader r(win.view());
+      ChunkIndex idx = parse_chunk_index(r);
+      for (ChunkEntry& e : idx.entries) e.offset += idx.body_start;
+      index = std::move(idx);
+      break;
+    } catch (const Error&) {
+      if (win.eof() || want >= kMaxStreamPrelude) break;
+    }
+  }
+  rep.index_intact = index.has_value();
+
+  // Serial decode state: one runtime cache + scratch pool (the pass is
+  // single-threaded by design — ordered emission is the whole point).
+  RuntimeCache runtimes(key);
+  BufferPool scratch;
+
+  struct Placed {
+    ChunkStatus status;
+    uint64_t row_start;
+    uint64_t row_extent;
+    uint64_t frame_len;
+  };
+  std::map<uint64_t, Placed> placed;
+  std::map<uint64_t, std::string> failure;
+  uint64_t rows_done = 0;
+  uint64_t frame_bytes_recovered = 0;
+  bool have_dtype = false;
+  size_t elem_size = 0;
+  std::optional<Dims> field_dims;
+  size_t plane = 0;
+  if (index) {
+    field_dims = index->dims;
+    plane = index->dims.count() / index->dims[0];
+  }
+  Bytes fill_row;  // one row of fill values, built when dtype is known
+
+  const auto build_fill_row = [&] {
+    fill_row.assign(plane * elem_size, 0);
+    if (opts.fill == FallbackFill::kNaN) {
+      if (res.dtype == sz::DType::kFloat32) {
+        const float v = std::numeric_limits<float>::quiet_NaN();
+        for (size_t i = 0; i < plane; ++i) {
+          std::memcpy(fill_row.data() + i * sizeof(v), &v, sizeof(v));
+        }
+      } else {
+        const double v = std::numeric_limits<double>::quiet_NaN();
+        for (size_t i = 0; i < plane; ++i) {
+          std::memcpy(fill_row.data() + i * sizeof(v), &v, sizeof(v));
+        }
+      }
+    }
+  };
+  const auto emit_fill_rows = [&](uint64_t rows) {
+    for (uint64_t i = 0; i < rows; ++i) out.write(BytesView(fill_row));
+  };
+
+  uint64_t pos = index ? index->body_start : 0;
+  win.drop_before(pos);
+
+  while (true) {
+    // Hunt for the next marker, reading ahead block by block and keeping
+    // only a marker-sized tail of unmatched bytes.
+    size_t rel = find_marker(win.view(),
+                             static_cast<size_t>(pos - win.start()));
+    while (win.start() + rel >= win.end() && !win.eof()) {
+      if (win.end() >= kMarkerSize) {
+        win.drop_before(win.end() - (kMarkerSize - 1));
+      }
+      win.fill_more(kScanBlock);
+      rel = find_marker(win.view(), 0);
+    }
+    if (win.start() + rel >= win.end()) break;  // stream exhausted
+    pos = win.start() + rel;
+
+    win.ensure(pos + kFrameHeadMax);
+    const std::optional<FrameHead> fh =
+        parse_frame_head(win.view().subspan(
+            static_cast<size_t>(pos - win.start())));
+    if (!fh) {
+      ++pos;
+      continue;
+    }
+    if (index) {
+      // The CRC-protected index is authoritative: a scanned frame may
+      // only stand in for the chunk id it claims, at that id's rows.
+      if (fh->chunk_id >= index->entries.size() ||
+          index->entries[fh->chunk_id].row_start != fh->row_start ||
+          index->entries[fh->chunk_id].row_extent != fh->row_extent) {
+        pos += kMarkerSize;
+        continue;
+      }
+    }
+    const uint64_t frame_len = fh->head_len + fh->container_len;
+    if (!win.ensure(pos + frame_len)) {
+      ++pos;  // stream ends inside this frame: scan what remains
+      continue;
+    }
+    const BytesView container = win.view().subspan(
+        static_cast<size_t>(pos - win.start()) + fh->head_len,
+        static_cast<size_t>(fh->container_len));
+    if (crc32(container) != fh->crc) {
+      ++pos;  // damaged frame: keep scanning inside it
+      continue;
+    }
+    if (placed.count(fh->chunk_id) != 0) {
+      pos += frame_len;  // duplicate of an already-recovered chunk
+      win.drop_before(pos);
+      continue;
+    }
+
+    // CRC-valid frame for a new chunk: decode, then emit in order.
+    std::string err;
+    core::DecompressResult dr;
+    Dims chunk_dims;
+    try {
+      const core::Header h = core::peek_header(container);
+      if (h.dims[0] != fh->row_extent) {
+        err = "container rows != frame rows";
+      } else if (field_dims && h.dims.rank() != field_dims->rank()) {
+        err = "rank mismatch";
+      } else if (field_dims) {
+        for (size_t k = 1; k < h.dims.rank(); ++k) {
+          if (h.dims[k] != (*field_dims)[k]) err = "plane dims mismatch";
+        }
+      }
+      if (err.empty() && have_dtype && h.dtype != res.dtype) {
+        err = "container dtype mismatch";
+      }
+      if (err.empty()) {
+        core::CipherSpec spec{h.cipher_kind, h.cipher_mode};
+        spec.authenticate = (h.flags & core::kFlagAuthenticated) != 0;
+        const CodecRuntime& runtime =
+            runtimes.get(h.params, h.scheme, spec);
+        core::codec::DecodeOptions dopts;
+        dopts.pool = &scratch;
+        dr = core::codec::decode_payload(runtime.config(), container,
+                                         dopts);
+        chunk_dims = h.dims;
+      }
+    } catch (const Error& ex) {
+      err = ex.what();
+    }
+    if (err.empty() && fh->row_start < rows_done) {
+      err = "rows precede already-emitted rows (single-pass order)";
+    }
+    if (!err.empty()) {
+      failure[fh->chunk_id] = err;
+      pos += frame_len;
+      win.drop_before(pos);
+      continue;
+    }
+
+    if (!have_dtype) {
+      res.dtype = dr.dtype;
+      elem_size = dr.dtype == sz::DType::kFloat32 ? sizeof(float)
+                                                  : sizeof(double);
+      have_dtype = true;
+      if (!field_dims) {
+        // Scan-only recovery: plane dims come from the chunk itself; the
+        // slowest extent is completed from row coverage at the end.
+        field_dims = chunk_dims;
+        plane = field_dims->count() / (*field_dims)[0];
+      }
+      build_fill_row();
+    }
+    emit_fill_rows(fh->row_start - rows_done);
+    const BytesView bytes =
+        dr.dtype == sz::DType::kFloat32
+            ? BytesView(reinterpret_cast<const uint8_t*>(dr.f32.data()),
+                        dr.f32.size() * sizeof(float))
+            : BytesView(reinterpret_cast<const uint8_t*>(dr.f64.data()),
+                        dr.f64.size() * sizeof(double));
+    out.write(bytes);
+    rep.elements_recovered += bytes.size() / elem_size;
+    rows_done = fh->row_start + fh->row_extent;
+    frame_bytes_recovered += frame_len;
+    ChunkStatus status = ChunkStatus::kRelocated;
+    if (index &&
+        pos == index->entries[fh->chunk_id].offset) {
+      status = ChunkStatus::kOk;
+    }
+    placed.emplace(fh->chunk_id, Placed{status, fh->row_start,
+                                        fh->row_extent, frame_len});
+    pos += frame_len;
+    win.drop_before(pos);
+  }
+
+  // Tail fill + report.
+  if (index) {
+    if (have_dtype && rows_done < index->dims[0]) {
+      emit_fill_rows(index->dims[0] - rows_done);
+      rows_done = index->dims[0];
+    }
+    res.dims = index->dims;
+    rep.elements_total = index->dims.count();
+    rep.chunks_expected = index->entries.size();
+    for (size_t i = 0; i < index->entries.size(); ++i) {
+      const ChunkEntry& e = index->entries[i];
+      ChunkReport cr;
+      cr.chunk_id = i;
+      cr.row_start = e.row_start;
+      cr.row_extent = e.row_extent;
+      if (auto it = placed.find(i); it != placed.end()) {
+        cr.status = it->second.status;
+        cr.frame_bytes = it->second.frame_len;
+      } else if (failure.count(i) != 0) {
+        cr.status = ChunkStatus::kCorrupt;
+        cr.detail = failure[i];
+      } else {
+        cr.status = ChunkStatus::kMissing;
+        cr.detail = "no frame found";
+      }
+      rep.chunks.push_back(std::move(cr));
+    }
+    const uint64_t accounted =
+        frame_bytes_recovered + index->body_start;
+    rep.bytes_skipped =
+        win.end() > accounted ? win.end() - accounted : 0;
+  } else {
+    if (field_dims) {
+      res.dims = parallel::slab_dims(*field_dims,
+                                     static_cast<size_t>(rows_done));
+      rep.elements_total = res.dims.count();
+    }
+    uint64_t next_gap_id = 0;
+    uint64_t row = 0;
+    for (const auto& [id, p] : placed) {
+      if (p.row_start > row) {
+        rep.chunks.push_back(ChunkReport{
+            next_gap_id, ChunkStatus::kMissing, row, p.row_start - row, 0,
+            "no frame found for these rows"});
+      }
+      ChunkReport cr;
+      cr.chunk_id = id;
+      cr.status = ChunkStatus::kRelocated;
+      cr.row_start = p.row_start;
+      cr.row_extent = p.row_extent;
+      cr.frame_bytes = p.frame_len;
+      rep.chunks.push_back(std::move(cr));
+      next_gap_id = id + 1;
+      row = p.row_start + p.row_extent;
+    }
+    rep.chunks_expected = rep.chunks.size();
+    rep.bytes_skipped = win.end() > frame_bytes_recovered
+                            ? win.end() - frame_bytes_recovered
+                            : 0;
+  }
+  rep.chunks_recovered = placed.size();
+  out.flush();
+  return res;
 }
 
 }  // namespace szsec::archive

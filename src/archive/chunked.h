@@ -39,6 +39,7 @@
 
 #include <string>
 
+#include "common/io.h"
 #include "common/timer.h"
 #include "parallel/slab.h"
 
@@ -65,6 +66,14 @@ struct ChunkedConfig {
   /// across all chunks and workers of a decode (compression reports its
   /// metrics in ChunkedCompressResult::times instead).  Not owned.
   PipelineMetrics* metrics = nullptr;
+  /// Frame staging for the streaming compressor.  The v3 index (which
+  /// carries every frame length) precedes the frames, so frames must be
+  /// buffered until the last chunk commits; kTempFile spools them
+  /// through an unlinked temporary file so RSS stays bounded by the
+  /// in-flight window, kMemory keeps them in RAM (what the in-memory
+  /// compress_chunked wrappers use).  The choice never changes the
+  /// emitted bytes.
+  FrameSpool::Backing spool = FrameSpool::Backing::kTempFile;
 };
 
 struct ChunkedCompressResult {
@@ -95,12 +104,56 @@ ChunkedCompressResult compress_chunked(std::span<const double> data,
                                        const ChunkedConfig& config = {},
                                        crypto::CtrDrbg* seed_drbg = nullptr);
 
+/// Outcome of one streaming compression.  The archive bytes live in the
+/// caller's sink; everything else mirrors ChunkedCompressResult.
+struct ChunkedStreamResult {
+  size_t chunk_count = 0;
+  uint64_t archive_bytes = 0;  ///< total bytes written to the sink
+  core::CompressStats stats;
+  PipelineMetrics times;
+};
+
+/// Streaming compress: pulls raw little-endian element bytes (row-major,
+/// dims.count() elements of `dtype`) from `in` one chunk at a time and
+/// writes the finished v3 archive to `out`, holding at most the
+/// scheduler's in-flight window of chunks in memory — peak RSS is
+/// O(chunk_size x max_in_flight) however large the field is (frames are
+/// staged in a FrameSpool until the index can be written; see
+/// ChunkedConfig::spool).  The emitted bytes are identical to
+/// compress_chunked on the same elements, for every thread count.
+/// Throws IoError when `in` ends before dims.count() elements arrived.
+ChunkedStreamResult compress_chunked_stream(
+    ByteSource& in, ByteSink& out, sz::DType dtype, const Dims& dims,
+    const sz::Params& params, core::Scheme scheme, BytesView key,
+    const core::CipherSpec& spec = {}, const ChunkedConfig& config = {},
+    crypto::CtrDrbg* seed_drbg = nullptr);
+
 /// Strict decode: requires every chunk intact; throws CorruptError on any
 /// damage (the fail-fast path for callers who cannot accept data loss).
 std::vector<float> decompress_chunked_f32(BytesView archive, BytesView key,
                                           const ChunkedConfig& config = {});
 std::vector<double> decompress_chunked_f64(BytesView archive, BytesView key,
                                            const ChunkedConfig& config = {});
+
+/// Outcome of one streaming decode.
+struct ChunkedStreamDecodeResult {
+  Dims dims;
+  sz::DType dtype = sz::DType::kFloat32;
+  uint64_t elements = 0;       ///< elements written to the sink
+  uint64_t element_bytes = 0;  ///< bytes written (elements x dtype size)
+};
+
+/// Streaming strict decode: reads a v3 archive from `in` (tolerating
+/// arbitrarily short reads — a 1-byte dribble works) and writes the
+/// reconstructed field to `out` as raw little-endian element bytes in
+/// chunk-index order.  dtype-agnostic: the element type comes from the
+/// chunks themselves and is reported in the result; mixed dtypes are
+/// CorruptError.  Memory is bounded by the in-flight window, never by
+/// field or archive size.  Throws exactly where decompress_chunked_f32/
+/// f64 would (CorruptError on any damage).
+ChunkedStreamDecodeResult decompress_chunked_stream(
+    ByteSource& in, ByteSink& out, BytesView key,
+    const ChunkedConfig& config = {});
 
 /// Reads the archive's field dims without decompressing (strict parse).
 Dims chunked_dims(BytesView archive);
@@ -204,5 +257,28 @@ SalvageResult decompress_salvage(BytesView archive, BytesView key,
 /// of float64 chunks.
 SalvageResult decompress_salvage_f64(BytesView archive, BytesView key,
                                      const SalvageOptions& opts = {});
+
+/// Outcome of one streaming salvage.  The recovered field bytes live in
+/// the caller's sink; `report` mirrors SalvageResult::report.
+struct ChunkedStreamSalvageResult {
+  Dims dims;  ///< rank 0 when nothing was recoverable
+  sz::DType dtype = sz::DType::kFloat32;
+  SalvageReport report;
+};
+
+/// Single-pass, bounded-memory salvage of a damaged v3 archive arriving
+/// as a stream: scans forward for CRC-valid frames (a sliding window
+/// holds at most one frame plus scan slack), decodes each intact chunk
+/// serially, and emits recovered rows to `out` in stream order, filling
+/// row gaps with `opts.fill`.  Single-pass limits versus
+/// decompress_salvage: only the in-order subsequence of frames is
+/// recovered (a frame whose rows precede already-emitted rows is
+/// reported corrupt, never re-ordered), and FallbackFill::kMean is
+/// rejected with Error (the mean of recovered elements is unknowable
+/// until the pass ends — use kZeros or kNaN).  opts.threads is ignored;
+/// the pass is serial by construction.  Never throws on corrupt input.
+ChunkedStreamSalvageResult salvage_chunked_stream(
+    ByteSource& in, ByteSink& out, BytesView key,
+    const SalvageOptions& opts = {});
 
 }  // namespace szsec::archive

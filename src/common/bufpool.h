@@ -7,8 +7,17 @@
 // chunk, so steady-state decoding performs no heap allocation for
 // scratch space.  Thread-safe: one pool is shared by every worker of a
 // parallel decode.
+//
+// Long-running streaming sessions add a twist: one huge chunk early in a
+// session would otherwise pin peak-size buffers in the pool forever.
+// The pool therefore tracks a decaying high-water mark of *demand* (the
+// sizes callers actually used or hinted, over the current and previous
+// release epochs) and declines to pool a returned buffer whose capacity
+// exceeds kShrinkFactor x that mark — the oversized storage is freed and
+// the next acquire allocates at the current working-set size.
 #pragma once
 
+#include <algorithm>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -24,11 +33,12 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Returns an empty buffer whose capacity is at least `reserve_hint`
-  /// when a pooled buffer satisfies it (the largest pooled buffer is
-  /// preferred); otherwise reserves fresh capacity.
+  /// when a pooled buffer satisfies it (the most recently returned
+  /// buffer is preferred); otherwise reserves fresh capacity.
   Bytes acquire(size_t reserve_hint = 0) {
     {
       std::lock_guard<std::mutex> lock(mu_);
+      note_demand(reserve_hint);
       if (!free_.empty()) {
         Bytes b = std::move(free_.back());
         free_.pop_back();
@@ -43,11 +53,20 @@ class BufferPool {
   }
 
   /// Returns a buffer's storage to the pool.  The pool keeps at most
-  /// `kMaxPooled` buffers; excess storage is freed.
+  /// `kMaxPooled` buffers, and never keeps one whose capacity exceeds
+  /// kShrinkFactor x the recent demand high-water mark — excess storage
+  /// is freed so the pool's footprint tracks the working set, not the
+  /// largest buffer ever seen.
   void release(Bytes&& b) {
     if (b.capacity() == 0) return;
     std::lock_guard<std::mutex> lock(mu_);
-    if (free_.size() < kMaxPooled) free_.push_back(std::move(b));
+    note_demand(b.size());
+    if (free_.size() >= kMaxPooled) return;
+    if (b.capacity() > kShrinkFactor * std::max(demand_high_water_locked(),
+                                                kMinRetainBytes)) {
+      return;  // storage freed by ~Bytes
+    }
+    free_.push_back(std::move(b));
   }
 
   /// Buffers currently idle in the pool (test/diagnostic hook).
@@ -56,11 +75,51 @@ class BufferPool {
     return free_.size();
   }
 
+  /// Total capacity held by idle buffers (test/diagnostic hook).
+  size_t idle_capacity() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t total = 0;
+    for (const Bytes& b : free_) total += b.capacity();
+    return total;
+  }
+
+  /// Demand high-water mark currently governing the shrink policy
+  /// (test/diagnostic hook).
+  size_t demand_high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return demand_high_water_locked();
+  }
+
  private:
   static constexpr size_t kMaxPooled = 64;
+  /// Capacity above kShrinkFactor x demand is released, not pooled.
+  static constexpr size_t kShrinkFactor = 4;
+  /// Buffers below this size are always poolable (shrinking tiny
+  /// buffers saves nothing and causes churn on ragged small workloads).
+  static constexpr size_t kMinRetainBytes = 64 * 1024;
+  /// Demand observations per epoch; the high-water mark is the max over
+  /// the current and previous epochs, so a shrinking workload forgets
+  /// its past peak after at most two epochs.
+  static constexpr size_t kEpochObservations = 256;
+
+  void note_demand(size_t bytes) {
+    epoch_max_ = std::max(epoch_max_, bytes);
+    if (++epoch_count_ >= kEpochObservations) {
+      prev_epoch_max_ = epoch_max_;
+      epoch_max_ = 0;
+      epoch_count_ = 0;
+    }
+  }
+
+  size_t demand_high_water_locked() const {
+    return std::max(epoch_max_, prev_epoch_max_);
+  }
 
   mutable std::mutex mu_;
   std::vector<Bytes> free_;
+  size_t epoch_max_ = 0;
+  size_t prev_epoch_max_ = 0;
+  size_t epoch_count_ = 0;
 };
 
 /// RAII lease: acquires on construction, releases on destruction.

@@ -1,0 +1,209 @@
+#include "common/io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace szsec {
+
+namespace {
+
+std::string errno_message(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+size_t read_full(ByteSource& src, std::span<uint8_t> out) {
+  size_t got = 0;
+  while (got < out.size()) {
+    const size_t n = src.read(out.subspan(got));
+    if (n == 0) break;
+    got += n;
+  }
+  return got;
+}
+
+// ---------------------------------------------------------------------
+// FileSource / FileSink
+
+FileSource::FileSource(const std::string& path)
+    : file_(std::fopen(path.c_str(), "rb")), owned_(true) {
+  if (file_ == nullptr) throw IoError(errno_message("cannot open " + path));
+}
+
+FileSource::~FileSource() {
+  if (owned_ && file_ != nullptr) std::fclose(file_);
+}
+
+size_t FileSource::read(std::span<uint8_t> out) {
+  if (out.empty()) return 0;
+  const size_t n = std::fread(out.data(), 1, out.size(), file_);
+  if (n == 0 && std::ferror(file_) != 0) {
+    throw IoError(errno_message("file read failed"));
+  }
+  return n;
+}
+
+FileSink::FileSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "wb")), owned_(true) {
+  if (file_ == nullptr) throw IoError(errno_message("cannot create " + path));
+}
+
+FileSink::~FileSink() {
+  if (owned_ && file_ != nullptr) std::fclose(file_);
+}
+
+void FileSink::write(BytesView data) {
+  if (data.empty()) return;
+  if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+    throw IoError(errno_message("file write failed"));
+  }
+}
+
+void FileSink::flush() {
+  if (std::fflush(file_) != 0) {
+    throw IoError(errno_message("file flush failed"));
+  }
+}
+
+// ---------------------------------------------------------------------
+// FdSource / FdSink
+
+size_t FdSource::read(std::span<uint8_t> out) {
+  if (out.empty()) return 0;
+#ifdef _WIN32
+  const auto n = ::_read(fd_, out.data(), static_cast<unsigned>(out.size()));
+#else
+  ssize_t n;
+  do {
+    n = ::read(fd_, out.data(), out.size());
+  } while (n < 0 && errno == EINTR);
+#endif
+  if (n < 0) throw IoError(errno_message("fd read failed"));
+  return static_cast<size_t>(n);
+}
+
+void FdSink::write(BytesView data) {
+  size_t done = 0;
+  while (done < data.size()) {
+#ifdef _WIN32
+    const auto n = ::_write(fd_, data.data() + done,
+                            static_cast<unsigned>(data.size() - done));
+#else
+    ssize_t n;
+    do {
+      n = ::write(fd_, data.data() + done, data.size() - done);
+    } while (n < 0 && errno == EINTR);
+#endif
+    if (n <= 0) throw IoError(errno_message("fd write failed"));
+    done += static_cast<size_t>(n);
+  }
+}
+
+// ---------------------------------------------------------------------
+// MmapSource
+
+MmapSource::MmapSource(const std::string& path) {
+#ifdef _WIN32
+  throw IoError("mmap sources are not supported on this platform");
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw IoError(errno_message("cannot open " + path));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw IoError(errno_message("cannot stat " + path));
+  }
+  size_ = static_cast<size_t>(st.st_size);
+  if (size_ > 0) {
+    void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd);
+      throw IoError(errno_message("cannot mmap " + path));
+    }
+    data_ = static_cast<const uint8_t*>(p);
+  }
+  ::close(fd);
+#endif
+}
+
+MmapSource::~MmapSource() {
+#ifndef _WIN32
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+#endif
+}
+
+size_t MmapSource::read(std::span<uint8_t> out) {
+  const size_t n = std::min(out.size(), size_ - pos_);
+  if (n > 0) std::memcpy(out.data(), data_ + pos_, n);
+  pos_ += n;
+  return n;
+}
+
+// ---------------------------------------------------------------------
+// FrameSpool
+
+FrameSpool::FrameSpool(Backing backing) : backing_(backing) {
+  if (backing_ == Backing::kTempFile) {
+    file_ = std::tmpfile();  // unlinked on creation, freed on close
+    if (file_ == nullptr) {
+      throw IoError(errno_message("cannot create spool temp file"));
+    }
+  }
+}
+
+FrameSpool::~FrameSpool() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FrameSpool::write(BytesView data) {
+  if (data.empty()) return;
+  if (backing_ == Backing::kMemory) {
+    mem_.insert(mem_.end(), data.begin(), data.end());
+  } else if (std::fwrite(data.data(), 1, data.size(), file_) !=
+             data.size()) {
+    throw IoError(errno_message("spool write failed"));
+  }
+  size_ += data.size();
+}
+
+void FrameSpool::replay(ByteSink& out) {
+  if (backing_ == Backing::kMemory) {
+    out.write(BytesView(mem_));
+    mem_.clear();
+    mem_.shrink_to_fit();
+    size_ = 0;
+    return;
+  }
+  if (std::fflush(file_) != 0 || std::fseek(file_, 0, SEEK_SET) != 0) {
+    throw IoError(errno_message("spool rewind failed"));
+  }
+  Bytes block(256 * 1024);
+  uint64_t left = size_;
+  while (left > 0) {
+    const size_t want =
+        static_cast<size_t>(std::min<uint64_t>(left, block.size()));
+    if (std::fread(block.data(), 1, want, file_) != want) {
+      throw IoError(errno_message("spool read-back failed"));
+    }
+    out.write(BytesView(block.data(), want));
+    left -= want;
+  }
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    throw IoError(errno_message("spool reset failed"));
+  }
+  size_ = 0;
+}
+
+}  // namespace szsec

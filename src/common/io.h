@@ -1,0 +1,339 @@
+// Streaming byte I/O: the Source/Sink layer every container writer and
+// reader emits through.
+//
+// A ByteSource yields bytes in order (short reads allowed at any time);
+// a ByteSink accepts bytes in order.  The codec layers above are written
+// against these two interfaces only, so the same encode/decode path
+// serves an in-memory buffer, a file, a pipe, or an mmapped region —
+// and the streaming chunked codec (src/archive) keeps peak memory at
+// O(chunk_size x max_in_flight) regardless of input size, because no
+// layer below it ever asks for "the whole thing" (see
+// docs/ARCHITECTURE.md, "Streaming & memory model").
+//
+// Adapters compose: CountingSink/Crc32Sink wrap another sink to observe
+// the stream, ChokedSource throttles reads (the proptest oracle uses a
+// 1-byte dribble to prove decoders tolerate arbitrary short reads),
+// ConcatSource replays already-consumed prefix bytes (magic sniffing on
+// unseekable pipes).  FrameSpool buffers a byte stream whose total
+// length must be known before it may be emitted (the v3 index precedes
+// the frames): in-memory for small outputs, via an unlinked temp file
+// when the caller wants RSS bounded.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+
+#include "common/bytestream.h"
+#include "common/crc32.h"
+#include "common/error.h"
+
+namespace szsec {
+
+/// Thrown by file/fd sources and sinks on operating-system I/O failure
+/// (including EPIPE on a closed pipe).  Distinct from CorruptError: the
+/// bytes were fine, moving them failed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// An ordered stream of bytes to read.  Implementations may return fewer
+/// bytes than requested at any time (a pipe, a throttled adapter); only
+/// a return of 0 for a non-empty `out` means end of stream.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  /// Reads up to out.size() bytes into the front of `out`; returns the
+  /// count actually read.  0 <=> end of stream (when out is non-empty).
+  virtual size_t read(std::span<uint8_t> out) = 0;
+};
+
+/// Reads exactly out.size() bytes, looping over short reads.  Returns
+/// the bytes read; less than out.size() only at end of stream.
+size_t read_full(ByteSource& src, std::span<uint8_t> out);
+
+/// An ordered stream of bytes to write.  write() either accepts the
+/// whole view or throws (IoError for OS failures) — there are no short
+/// writes at this interface.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+
+  virtual void write(BytesView data) = 0;
+  /// Pushes buffered bytes toward the final destination (no-op for
+  /// unbuffered sinks).
+  virtual void flush() {}
+};
+
+// ---------------------------------------------------------------------
+// Memory
+
+/// Reads from a borrowed byte range (the range must outlive the source).
+class MemorySource final : public ByteSource {
+ public:
+  explicit MemorySource(BytesView data) : data_(data) {}
+
+  size_t read(std::span<uint8_t> out) override {
+    const size_t n = std::min(out.size(), data_.size() - pos_);
+    std::memcpy(out.data(), data_.data() + pos_, n);
+    pos_ += n;
+    return n;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  BytesView data_;
+  size_t pos_ = 0;
+};
+
+/// Appends into an owned Bytes buffer.
+class MemorySink final : public ByteSink {
+ public:
+  void write(BytesView data) override {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+// ---------------------------------------------------------------------
+// Files and file descriptors
+
+/// Reads from a C stream.  Owns the FILE* only when constructed from a
+/// path.
+class FileSource final : public ByteSource {
+ public:
+  /// Borrows an open stream (not closed on destruction).
+  explicit FileSource(std::FILE* f) : file_(f) {}
+  /// Opens `path` for binary reading; throws IoError on failure.
+  explicit FileSource(const std::string& path);
+  ~FileSource() override;
+
+  FileSource(const FileSource&) = delete;
+  FileSource& operator=(const FileSource&) = delete;
+
+  size_t read(std::span<uint8_t> out) override;
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool owned_ = false;
+};
+
+/// Writes to a C stream; write failures (ferror) throw IoError.  Owns
+/// the FILE* only when constructed from a path.
+class FileSink final : public ByteSink {
+ public:
+  explicit FileSink(std::FILE* f) : file_(f) {}
+  /// Opens (truncates) `path` for binary writing; throws IoError.
+  explicit FileSink(const std::string& path);
+  ~FileSink() override;
+
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  void write(BytesView data) override;
+  void flush() override;
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool owned_ = false;
+};
+
+/// Reads from a POSIX file descriptor (not closed on destruction) —
+/// stdin piping uses FdSource(0).
+class FdSource final : public ByteSource {
+ public:
+  explicit FdSource(int fd) : fd_(fd) {}
+
+  size_t read(std::span<uint8_t> out) override;
+
+ private:
+  int fd_;
+};
+
+/// Writes to a POSIX file descriptor (not closed on destruction); a
+/// failed ::write — EPIPE included — throws IoError.  stdout piping uses
+/// FdSink(1).
+class FdSink final : public ByteSink {
+ public:
+  explicit FdSink(int fd) : fd_(fd) {}
+
+  void write(BytesView data) override;
+
+ private:
+  int fd_;
+};
+
+/// Memory-maps a whole file read-only.  Doubles as a ByteSource and as a
+/// zero-copy BytesView provider for the in-memory decode APIs, so
+/// archives larger than the page cache can be decoded without a
+/// read-everything copy.
+class MmapSource final : public ByteSource {
+ public:
+  /// Maps `path`; throws IoError when the file cannot be opened or
+  /// mapped (empty files map to an empty view).
+  explicit MmapSource(const std::string& path);
+  ~MmapSource() override;
+
+  MmapSource(const MmapSource&) = delete;
+  MmapSource& operator=(const MmapSource&) = delete;
+
+  size_t read(std::span<uint8_t> out) override;
+
+  /// The whole mapping (valid while this object lives).
+  BytesView view() const { return BytesView(data_, size_); }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Adapters
+
+/// Forwards to an inner sink (or swallows bytes when inner == nullptr)
+/// while counting them.
+class CountingSink final : public ByteSink {
+ public:
+  explicit CountingSink(ByteSink* inner = nullptr) : inner_(inner) {}
+
+  void write(BytesView data) override {
+    count_ += data.size();
+    if (inner_ != nullptr) inner_->write(data);
+  }
+  void flush() override {
+    if (inner_ != nullptr) inner_->flush();
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  ByteSink* inner_;
+  uint64_t count_ = 0;
+};
+
+/// Forwards to an inner sink (optional) while maintaining a running
+/// CRC-32 of everything written.
+class Crc32Sink final : public ByteSink {
+ public:
+  explicit Crc32Sink(ByteSink* inner = nullptr) : inner_(inner) {}
+
+  void write(BytesView data) override {
+    crc_ = crc32(data, crc_);
+    if (inner_ != nullptr) inner_->write(data);
+  }
+  void flush() override {
+    if (inner_ != nullptr) inner_->flush();
+  }
+
+  uint32_t crc() const { return crc_; }
+
+ private:
+  ByteSink* inner_;
+  uint32_t crc_ = 0;
+};
+
+/// Counts bytes read through an inner source.
+class CountingSource final : public ByteSource {
+ public:
+  explicit CountingSource(ByteSource& inner) : inner_(inner) {}
+
+  size_t read(std::span<uint8_t> out) override {
+    const size_t n = inner_.read(out);
+    count_ += n;
+    return n;
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  ByteSource& inner_;
+  uint64_t count_ = 0;
+};
+
+/// Caps every read at `max_read` bytes.  A 1-byte choke is the
+/// worst-case short-read schedule; the proptest oracle drives every
+/// streaming decoder through it.
+class ChokedSource final : public ByteSource {
+ public:
+  ChokedSource(ByteSource& inner, size_t max_read)
+      : inner_(inner), max_read_(max_read == 0 ? 1 : max_read) {}
+
+  size_t read(std::span<uint8_t> out) override {
+    return inner_.read(out.subspan(0, std::min(out.size(), max_read_)));
+  }
+
+ private:
+  ByteSource& inner_;
+  size_t max_read_;
+};
+
+/// Replays `head` first, then continues with `tail`.  Lets a caller
+/// sniff the magic of an unseekable stream and hand the whole logical
+/// stream to a decoder.
+class ConcatSource final : public ByteSource {
+ public:
+  ConcatSource(BytesView head, ByteSource& tail)
+      : head_(head), tail_(tail) {}
+
+  size_t read(std::span<uint8_t> out) override {
+    if (pos_ < head_.size()) {
+      const size_t n = std::min(out.size(), head_.size() - pos_);
+      std::memcpy(out.data(), head_.data() + pos_, n);
+      pos_ += n;
+      return n;
+    }
+    return tail_.read(out);
+  }
+
+ private:
+  BytesView head_;
+  ByteSource& tail_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Spooling
+
+/// Buffers a byte stream whose length must be known before it may be
+/// emitted downstream (the v3 chunked index carries every frame length
+/// and precedes the frames).  kMemory keeps the bytes in RAM — right for
+/// the in-memory archive APIs; kTempFile spools them through an
+/// unlinked temporary file so compressing a terabyte stream costs disk,
+/// not RSS.
+class FrameSpool final : public ByteSink {
+ public:
+  enum class Backing : uint8_t { kMemory, kTempFile };
+
+  explicit FrameSpool(Backing backing);
+  ~FrameSpool() override;
+
+  FrameSpool(const FrameSpool&) = delete;
+  FrameSpool& operator=(const FrameSpool&) = delete;
+
+  void write(BytesView data) override;
+
+  /// Total bytes spooled so far.
+  uint64_t size() const { return size_; }
+
+  /// Copies every spooled byte into `out` (fixed-size blocks for the
+  /// temp-file backing) and resets the spool to empty.  Call at most
+  /// once per filling.
+  void replay(ByteSink& out);
+
+ private:
+  Backing backing_;
+  Bytes mem_;
+  std::FILE* file_ = nullptr;
+  uint64_t size_ = 0;
+};
+
+}  // namespace szsec

@@ -404,9 +404,27 @@ const CodecRuntime& RuntimeCache::get(const sz::Params& params,
 
 namespace {
 
+/// The one container-emit path: header | body | optional tag into a
+/// sink.  The HMAC covers header + body without re-concatenating them.
+void write_container(const CodecConfig& cfg, const Header& h, BytesView body,
+                     ByteSink& out) {
+  const Bytes head = write_header(h);
+  out.write(BytesView(head));
+  out.write(body);
+  if (cfg.spec.authenticate) {
+    // Encrypt-then-MAC over everything (header included): any bit of the
+    // container an attacker touches invalidates the tag.
+    const std::array<BytesView, 2> parts{BytesView(head), body};
+    const crypto::Sha256::Digest tag =
+        crypto::hmac_sha256_parts(cfg.auth_key, parts);
+    out.write(BytesView(tag.data(), tag.size()));
+  }
+}
+
 template <typename T>
 CompressResult encode_impl(const CodecConfig& cfg, std::span<const T> data,
-                           const Dims& dims, crypto::CtrDrbg* drbg) {
+                           const Dims& dims, crypto::CtrDrbg* drbg,
+                           ByteSink* sink) {
   CompressResult result;
   EncodeContext ctx;
   ctx.cfg = &cfg;
@@ -433,17 +451,16 @@ CompressResult encode_impl(const CodecConfig& cfg, std::span<const T> data,
   }
 
   h.payload_size = ctx.body.size();
-  Bytes container = write_header(h);
-  container.insert(container.end(), ctx.body.begin(), ctx.body.end());
-  if (cfg.spec.authenticate) {
-    // Encrypt-then-MAC over everything (header included): any bit of the
-    // container an attacker touches invalidates the tag.
-    const crypto::Sha256::Digest tag =
-        crypto::hmac_sha256(cfg.auth_key, BytesView(container));
-    container.insert(container.end(), tag.begin(), tag.end());
+  if (sink != nullptr) {
+    CountingSink counted(sink);
+    write_container(cfg, h, BytesView(ctx.body), counted);
+    result.stats.container_bytes = counted.count();
+  } else {
+    MemorySink mem;
+    write_container(cfg, h, BytesView(ctx.body), mem);
+    result.container = mem.take();
+    result.stats.container_bytes = result.container.size();
   }
-  result.stats.container_bytes = container.size();
-  result.container = std::move(container);
   return result;
 }
 
@@ -452,13 +469,25 @@ CompressResult encode_impl(const CodecConfig& cfg, std::span<const T> data,
 CompressResult encode_payload(const CodecConfig& cfg,
                               std::span<const float> data, const Dims& dims,
                               crypto::CtrDrbg* drbg) {
-  return encode_impl(cfg, data, dims, drbg);
+  return encode_impl(cfg, data, dims, drbg, nullptr);
 }
 
 CompressResult encode_payload(const CodecConfig& cfg,
                               std::span<const double> data, const Dims& dims,
                               crypto::CtrDrbg* drbg) {
-  return encode_impl(cfg, data, dims, drbg);
+  return encode_impl(cfg, data, dims, drbg, nullptr);
+}
+
+CompressResult encode_payload_to(const CodecConfig& cfg, ByteSink& out,
+                                 std::span<const float> data,
+                                 const Dims& dims, crypto::CtrDrbg* drbg) {
+  return encode_impl(cfg, data, dims, drbg, &out);
+}
+
+CompressResult encode_payload_to(const CodecConfig& cfg, ByteSink& out,
+                                 std::span<const double> data,
+                                 const Dims& dims, crypto::CtrDrbg* drbg) {
+  return encode_impl(cfg, data, dims, drbg, &out);
 }
 
 DecompressResult decode_payload(const CodecConfig& cfg, BytesView container,

@@ -25,6 +25,7 @@
 #include <optional>
 #include <tuple>
 
+#include "common/io.h"
 #include "core/stage.h"
 #include "crypto/drbg.h"
 
@@ -192,6 +193,21 @@ CompressResult encode_payload(const CodecConfig& cfg,
                               std::span<const double> data,
                               const Dims& dims,
                               crypto::CtrDrbg* drbg = nullptr);
+
+/// encode_payload, but the framed container (header | body | optional
+/// HMAC tag) is written to `out` instead of materialized — every
+/// container writer (v2 single, v1 slab archive, v3 chunked frame)
+/// funnels through this one emit path.  The returned
+/// CompressResult::container stays empty; stats/times are identical to
+/// the in-memory overloads, and so are the emitted bytes.
+CompressResult encode_payload_to(const CodecConfig& cfg, ByteSink& out,
+                                 std::span<const float> data,
+                                 const Dims& dims,
+                                 crypto::CtrDrbg* drbg = nullptr);
+CompressResult encode_payload_to(const CodecConfig& cfg, ByteSink& out,
+                                 std::span<const double> data,
+                                 const Dims& dims,
+                                 crypto::CtrDrbg* drbg = nullptr);
 
 struct DecodeOptions {
   /// Scratch-buffer pool shared across calls (archives pass one pool

@@ -129,7 +129,8 @@ Sha256::Digest Sha256::hash(BytesView data) {
   return h.finish();
 }
 
-Sha256::Digest hmac_sha256(BytesView key, BytesView data) {
+Sha256::Digest hmac_sha256_parts(BytesView key,
+                                 std::span<const BytesView> parts) {
   std::array<uint8_t, 64> k{};
   if (key.size() > 64) {
     const Sha256::Digest d = Sha256::hash(key);
@@ -144,12 +145,16 @@ Sha256::Digest hmac_sha256(BytesView key, BytesView data) {
   }
   Sha256 inner;
   inner.update(BytesView(ipad));
-  inner.update(data);
+  for (BytesView part : parts) inner.update(part);
   const Sha256::Digest inner_digest = inner.finish();
   Sha256 outer;
   outer.update(BytesView(opad));
   outer.update(BytesView(inner_digest));
   return outer.finish();
+}
+
+Sha256::Digest hmac_sha256(BytesView key, BytesView data) {
+  return hmac_sha256_parts(key, std::span<const BytesView>(&data, 1));
 }
 
 Bytes hkdf_sha256(BytesView ikm, BytesView salt, BytesView info,

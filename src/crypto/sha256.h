@@ -43,6 +43,12 @@ class Sha256 {
 /// HMAC-SHA256 over `data` with `key` (any length).
 Sha256::Digest hmac_sha256(BytesView key, BytesView data);
 
+/// HMAC-SHA256 over the concatenation of `parts`, without materializing
+/// it.  Streaming container writers MAC header + body in place; the
+/// digest is identical to hmac_sha256 over the joined bytes.
+Sha256::Digest hmac_sha256_parts(BytesView key,
+                                 std::span<const BytesView> parts);
+
 /// HKDF-SHA256: extract-and-expand `ikm` with `salt` and `info` into
 /// `length` output bytes (length <= 255*32).
 Bytes hkdf_sha256(BytesView ikm, BytesView salt, BytesView info,

@@ -35,6 +35,7 @@
 #include <exception>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 
@@ -81,6 +82,30 @@ class ParallelChunkScheduler {
   void run_ordered(size_t n,
                    const std::function<Result(size_t, size_t)>& produce,
                    const std::function<void(size_t, Result&&)>& commit) {
+    struct Nothing {};
+    run_ordered_fed<Nothing, Result>(
+        n, [](size_t) { return Nothing{}; },
+        [&produce](size_t worker, size_t index, Nothing&&) {
+          return produce(worker, index);
+        },
+        commit);
+  }
+
+  /// run_ordered with a chunk *producer*: feed(index) runs on the
+  /// CALLING thread, in strictly increasing index order, immediately
+  /// before index is submitted to the pool — so a sequential input
+  /// stream (a pipe, a file) can be cut into chunks without pre-reading
+  /// the whole input.  Its return value is handed to produce on the
+  /// worker.  At most window() fed inputs + uncommitted results exist at
+  /// any moment, which is the streaming codec's memory bound:
+  ///   peak ~= window x (fed chunk + produced result).
+  /// Exception contract matches run_ordered; feed exceptions abort the
+  /// run the same way.
+  template <typename Input, typename Result>
+  void run_ordered_fed(
+      size_t n, const std::function<Input(size_t)>& feed,
+      const std::function<Result(size_t, size_t, Input&&)>& produce,
+      const std::function<void(size_t, Result&&)>& commit) {
     if (n == 0) return;
     std::mutex mu;
     std::condition_variable cv;
@@ -90,10 +115,11 @@ class ParallelChunkScheduler {
     size_t next_submit = 0;
     size_t next_commit = 0;
 
-    auto run_one = [&](size_t index) {
+    auto run_one = [&](size_t index, Input& input) {
       std::optional<Result> r;
       try {
-        r.emplace(produce(ThreadPool::current_worker_index(), index));
+        r.emplace(produce(ThreadPool::current_worker_index(), index,
+                          std::move(input)));
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu);
         if (!error) error = std::current_exception();
@@ -108,16 +134,29 @@ class ParallelChunkScheduler {
 
     std::unique_lock<std::mutex> lock(mu);
     while (next_commit < n && !error) {
-      // Keep the window full.  Submission happens unlocked (the pool has
-      // its own mutex and submit can block on allocation).
+      // Keep the window full.  Feeding + submission happen unlocked
+      // (feed may block on input I/O; the pool has its own mutex).
       while (next_submit < n && next_submit - next_commit < window_ &&
              !error) {
         const size_t index = next_submit++;
         ++in_flight;
         lock.unlock();
-        pool_.submit([&run_one, index] { run_one(index); });
+        // The input rides to the worker in a shared_ptr: std::function
+        // requires copyable callables, and chunk inputs (large buffers)
+        // must move, not copy.
+        std::shared_ptr<Input> input;
+        try {
+          input = std::make_shared<Input>(feed(index));
+        } catch (...) {
+          lock.lock();
+          if (!error) error = std::current_exception();
+          --in_flight;
+          break;
+        }
+        pool_.submit([&run_one, index, input] { run_one(index, *input); });
         lock.lock();
       }
+      if (error) break;
       cv.wait(lock, [&] { return ready.count(next_commit) > 0 || error; });
       // Commit every contiguous ready result, unlocked (commit may do
       // real work: appending frames, merging metrics).

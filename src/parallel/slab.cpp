@@ -42,7 +42,8 @@ SlabPlan plan_slabs(const Dims& dims, const SlabConfig& config,
 namespace {
 
 template <typename T>
-SlabCompressResult compress_slabs_impl(std::span<const T> data,
+SlabCompressResult compress_slabs_impl(ByteSink& sink,
+                                       std::span<const T> data,
                                        const Dims& dims,
                                        const sz::Params& params,
                                        core::Scheme scheme, BytesView key,
@@ -76,17 +77,29 @@ SlabCompressResult compress_slabs_impl(std::span<const T> data,
         cfg, slab, slab_dims(dims, plan.extent[i]), &drbgs[i]);
   });
 
+  // The prelude is tiny; everything after it streams slab by slab
+  // through the sink (v1's length-before-container layout needs no
+  // backpatching, unlike the v3 index).
+  CountingSink counted(&sink);
   SlabCompressResult out;
   out.slab_count = plan.count;
-  ByteWriter w;
-  w.put_u32(kArchiveMagic);
-  w.put_u8(kArchiveVersion);
-  w.put_u8(static_cast<uint8_t>(dims.rank()));
-  for (size_t i = 0; i < dims.rank(); ++i) w.put_varint(dims[i]);
-  w.put_varint(plan.count);
+  {
+    ByteWriter w;
+    w.put_u32(kArchiveMagic);
+    w.put_u8(kArchiveVersion);
+    w.put_u8(static_cast<uint8_t>(dims.rank()));
+    for (size_t i = 0; i < dims.rank(); ++i) w.put_varint(dims[i]);
+    w.put_varint(plan.count);
+    const Bytes prelude = w.take();
+    counted.write(BytesView(prelude));
+  }
   double weighted_predictable = 0;
   for (const core::CompressResult& r : results) {
-    w.put_blob(BytesView(r.container));
+    ByteWriter len;
+    len.put_varint(r.container.size());
+    const Bytes len_bytes = len.take();
+    counted.write(BytesView(len_bytes));
+    counted.write(BytesView(r.container));
     out.stats.raw_bytes += r.stats.raw_bytes;
     out.stats.payload_bytes += r.stats.payload_bytes;
     out.stats.tree_bytes += r.stats.tree_bytes;
@@ -102,8 +115,23 @@ SlabCompressResult compress_slabs_impl(std::span<const T> data,
       out.stats.element_count == 0
           ? 0
           : weighted_predictable / out.stats.element_count;
-  out.archive = w.take();
-  out.stats.container_bytes = out.archive.size();
+  sink.flush();
+  out.stats.container_bytes = counted.count();
+  return out;
+}
+
+template <typename T>
+SlabCompressResult compress_slabs_mem(std::span<const T> data,
+                                      const Dims& dims,
+                                      const sz::Params& params,
+                                      core::Scheme scheme, BytesView key,
+                                      const core::CipherSpec& spec,
+                                      const SlabConfig& config,
+                                      crypto::CtrDrbg* seed_drbg) {
+  MemorySink mem;
+  SlabCompressResult out = compress_slabs_impl(
+      mem, data, dims, params, scheme, key, spec, config, seed_drbg);
+  out.archive = mem.take();
   return out;
 }
 
@@ -116,8 +144,8 @@ SlabCompressResult compress_slabs(std::span<const float> data,
                                   const core::CipherSpec& spec,
                                   const SlabConfig& config,
                                   crypto::CtrDrbg* seed_drbg) {
-  return compress_slabs_impl(data, dims, params, scheme, key, spec, config,
-                             seed_drbg);
+  return compress_slabs_mem(data, dims, params, scheme, key, spec, config,
+                            seed_drbg);
 }
 
 SlabCompressResult compress_slabs(std::span<const double> data,
@@ -127,8 +155,32 @@ SlabCompressResult compress_slabs(std::span<const double> data,
                                   const core::CipherSpec& spec,
                                   const SlabConfig& config,
                                   crypto::CtrDrbg* seed_drbg) {
-  return compress_slabs_impl(data, dims, params, scheme, key, spec, config,
-                             seed_drbg);
+  return compress_slabs_mem(data, dims, params, scheme, key, spec, config,
+                            seed_drbg);
+}
+
+SlabCompressResult compress_slabs_to(ByteSink& out,
+                                     std::span<const float> data,
+                                     const Dims& dims,
+                                     const sz::Params& params,
+                                     core::Scheme scheme, BytesView key,
+                                     const core::CipherSpec& spec,
+                                     const SlabConfig& config,
+                                     crypto::CtrDrbg* seed_drbg) {
+  return compress_slabs_impl(out, data, dims, params, scheme, key, spec,
+                             config, seed_drbg);
+}
+
+SlabCompressResult compress_slabs_to(ByteSink& out,
+                                     std::span<const double> data,
+                                     const Dims& dims,
+                                     const sz::Params& params,
+                                     core::Scheme scheme, BytesView key,
+                                     const core::CipherSpec& spec,
+                                     const SlabConfig& config,
+                                     crypto::CtrDrbg* seed_drbg) {
+  return compress_slabs_impl(out, data, dims, params, scheme, key, spec,
+                             config, seed_drbg);
 }
 
 namespace {

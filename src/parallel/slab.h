@@ -71,6 +71,28 @@ SlabCompressResult compress_slabs(std::span<const double> data,
                                   const SlabConfig& config = {},
                                   crypto::CtrDrbg* seed_drbg = nullptr);
 
+/// compress_slabs, but the archive bytes are written to `out` instead
+/// of materialized (SlabCompressResult::archive stays empty).  The v1
+/// layout — each container preceded by its varint length — streams
+/// naturally, so the writer emits slab by slab; bytes are identical to
+/// the in-memory overloads.
+SlabCompressResult compress_slabs_to(ByteSink& out,
+                                     std::span<const float> data,
+                                     const Dims& dims,
+                                     const sz::Params& params,
+                                     core::Scheme scheme, BytesView key,
+                                     const core::CipherSpec& spec = {},
+                                     const SlabConfig& config = {},
+                                     crypto::CtrDrbg* seed_drbg = nullptr);
+SlabCompressResult compress_slabs_to(ByteSink& out,
+                                     std::span<const double> data,
+                                     const Dims& dims,
+                                     const sz::Params& params,
+                                     core::Scheme scheme, BytesView key,
+                                     const core::CipherSpec& spec = {},
+                                     const SlabConfig& config = {},
+                                     crypto::CtrDrbg* seed_drbg = nullptr);
+
 /// Decompresses a slab archive produced by compress_slabs (also
 /// thread-parallel).  Requires the same key for encrypted schemes.
 std::vector<float> decompress_slabs_f32(BytesView archive, BytesView key,

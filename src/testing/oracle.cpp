@@ -266,6 +266,41 @@ std::vector<std::string> check_roundtrip_impl(const SampledConfig& cfg) {
              "single-chunk v3 plaintext != v2 plaintext");
   }
 
+  // --- streaming differential: the streaming compressor fed the same
+  // elements under the same DRBG seed must emit the in-memory archive
+  // byte for byte (temp-file spool and thread fan-out included), and the
+  // streaming decoder must survive a worst-case 1-byte read schedule.
+  {
+    const BytesView field_bytes(reinterpret_cast<const uint8_t*>(in.data()),
+                                in.size() * sizeof(T));
+    crypto::CtrDrbg d6(cfg.seed + 2);
+    MemorySource src(field_bytes);
+    MemorySink dst;
+    archive::ChunkedConfig stream_cfg = par_cfg;
+    stream_cfg.spool = FrameSpool::Backing::kTempFile;
+    const archive::ChunkedStreamResult sres =
+        archive::compress_chunked_stream(src, dst, cfg.dtype, cfg.dims,
+                                         cfg.params, cfg.scheme, key,
+                                         cfg.spec, stream_cfg, &d6);
+    c.expect(dst.bytes() == a1.archive,
+             "streamed v3 archive != in-memory archive bytes");
+    c.expect(sres.archive_bytes == a1.archive.size(),
+             "streamed archive_bytes != emitted size");
+
+    MemorySource raw(BytesView(a1.archive));
+    ChokedSource dribble(raw, 1);
+    MemorySink plain;
+    const archive::ChunkedStreamDecodeResult dres =
+        archive::decompress_chunked_stream(dribble, plain, key, par_cfg);
+    c.expect(dres.dims == cfg.dims, "streamed decode dims mismatch");
+    c.expect(dres.dtype == cfg.dtype, "streamed decode dtype mismatch");
+    const std::span<const T> streamed(
+        reinterpret_cast<const T*>(plain.bytes().data()),
+        plain.bytes().size() / sizeof(T));
+    c.expect(bits_equal<T>(streamed, std::span<const T>(v3_serial)),
+             "streamed v3 decode != in-memory strict decode");
+  }
+
   // --- v1 slab archive with the same split must reconstruct the exact
   // same plaintext as the v3 archive (identical slab planning).
   {
@@ -275,6 +310,16 @@ std::vector<std::string> check_roundtrip_impl(const SampledConfig& cfg) {
     crypto::CtrDrbg d5(cfg.seed + 3);
     const parallel::SlabCompressResult sa = parallel::compress_slabs(
         in, cfg.dims, cfg.params, cfg.scheme, key, cfg.spec, scfg, &d5);
+    {
+      // Sink-streamed v1 writer must match the in-memory archive too.
+      crypto::CtrDrbg d7(cfg.seed + 3);
+      MemorySink slab_sink;
+      (void)parallel::compress_slabs_to(slab_sink, in, cfg.dims, cfg.params,
+                                        cfg.scheme, key, cfg.spec, scfg,
+                                        &d7);
+      c.expect(slab_sink.bytes() == sa.archive,
+               "streamed v1 slab archive != in-memory archive bytes");
+    }
     std::vector<T> slab_plain;
     if constexpr (sizeof(T) == 4) {
       slab_plain =

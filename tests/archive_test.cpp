@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <random>
 
 #include "archive/chunked.h"
@@ -88,6 +89,76 @@ INSTANTIATE_TEST_SUITE_P(AllSchemes, ArchiveSchemes,
                                            core::Scheme::kCmprEncr,
                                            core::Scheme::kEncrQuant,
                                            core::Scheme::kEncrHuffman));
+
+// The streaming acceptance matrix: for every scheme x dtype x thread
+// count, the streaming compressor fed the same elements under the same
+// DRBG seed emits the in-memory archive byte for byte, and the
+// streaming decoder reproduces the strict decode exactly.
+template <typename T>
+void check_stream_identity(core::Scheme scheme, unsigned threads) {
+  const Dims dims{12, 9, 7};
+  constexpr sz::DType kDtype = std::is_same_v<T, float>
+                                   ? sz::DType::kFloat32
+                                   : sz::DType::kFloat64;
+  const std::vector<float> f32 = smooth_field(dims, 0xBEEF + threads);
+  std::vector<T> field(f32.begin(), f32.end());
+  sz::Params params;
+  params.abs_error_bound = 1e-3;
+  const BytesView key =
+      scheme == core::Scheme::kNone ? BytesView{} : BytesView(kKey);
+  archive::ChunkedConfig config;
+  config.chunks = 5;
+  config.threads = threads;
+
+  crypto::CtrDrbg d1(0xD1CE), d2(0xD1CE);
+  const archive::ChunkedCompressResult mem = archive::compress_chunked(
+      std::span<const T>(field), dims, params, scheme, key, {}, config,
+      &d1);
+
+  MemorySource src(BytesView(reinterpret_cast<const uint8_t*>(field.data()),
+                             field.size() * sizeof(T)));
+  MemorySink dst;
+  const archive::ChunkedStreamResult streamed =
+      archive::compress_chunked_stream(src, dst, kDtype, dims, params,
+                                       scheme, key, {}, config, &d2);
+  EXPECT_EQ(dst.bytes(), mem.archive)
+      << "scheme " << core::scheme_name(scheme) << ", " << threads
+      << " threads";
+  EXPECT_EQ(streamed.archive_bytes, mem.archive.size());
+  EXPECT_EQ(streamed.chunk_count, mem.chunk_count);
+
+  MemorySource back(BytesView(mem.archive));
+  MemorySink plain;
+  const archive::ChunkedStreamDecodeResult dec =
+      archive::decompress_chunked_stream(back, plain, key, config);
+  EXPECT_TRUE(dec.dims == dims);
+  EXPECT_EQ(dec.dtype, kDtype);
+  std::vector<T> strict;
+  if constexpr (std::is_same_v<T, float>) {
+    strict = archive::decompress_chunked_f32(BytesView(mem.archive), key,
+                                             config);
+  } else {
+    strict = archive::decompress_chunked_f64(BytesView(mem.archive), key,
+                                             config);
+  }
+  ASSERT_EQ(plain.bytes().size(), strict.size() * sizeof(T));
+  EXPECT_EQ(std::memcmp(plain.bytes().data(), strict.data(),
+                        plain.bytes().size()),
+            0)
+      << "scheme " << core::scheme_name(scheme) << ", " << threads
+      << " threads";
+}
+
+TEST(StreamingIdentity, AllSchemesBothDtypesSerialAndParallel) {
+  for (const core::Scheme scheme :
+       {core::Scheme::kNone, core::Scheme::kCmprEncr,
+        core::Scheme::kEncrQuant, core::Scheme::kEncrHuffman}) {
+    for (const unsigned threads : {1u, 4u}) {
+      check_stream_identity<float>(scheme, threads);
+      check_stream_identity<double>(scheme, threads);
+    }
+  }
+}
 
 TEST(ChunkIndex, DescribesDenseCoveringChunks) {
   const Made m = make_archive(core::Scheme::kEncrHuffman);

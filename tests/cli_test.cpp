@@ -48,7 +48,12 @@ RunResult run_cli(const std::string& args, const fs::path& log) {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::path(::testing::TempDir()) / "szsec_cli_test";
+    // Per-test directory: ctest runs each case as its own process in
+    // parallel, and shared file names (in.bin, out.szs) would race.
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("szsec_cli_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
     fs::create_directories(dir_);
   }
   fs::path p(const std::string& name) const { return dir_ / name; }
@@ -131,6 +136,85 @@ TEST_F(CliTest, ChunkedArchiveWithThreadsRoundTrip) {
   for (size_t i = 0; i < n; ++i) {
     ASSERT_LE(std::abs(back[i] - field[i]), kEb) << "element " << i;
   }
+}
+
+// `-` paths: the field enters on stdin, the archive leaves on stdout,
+// and every human-readable report moves to stderr so the data stream
+// stays clean.  The piped archive must decompress back within the
+// error bound and `info` must read it like any file-born archive.
+TEST_F(CliTest, PipeCompressDecompressRoundTrip) {
+  const size_t n = 32 * 24;
+  const std::vector<float> field = wave_field(n);
+  data::save_f32(p("pin.bin").string(), field);
+
+  // compress - -  : stdin -> stdout (report on stderr, checked apart).
+  const std::string base = std::string(SZSEC_CLI_PATH) +
+                           " compress - - --dims 32,24 --eb 1e-3"
+                           " --scheme encr-huffman --chunks 4 --threads 2"
+                           " --key " +
+                           kKeyHex;
+  const int c = std::system((base + " < " + p("pin.bin").string() + " > " +
+                             p("pipe.szs").string() + " 2> " +
+                             p("pc.log").string())
+                                .c_str());
+  ASSERT_TRUE(WIFEXITED(c) && WEXITSTATUS(c) == 0);
+  {
+    std::ifstream log(p("pc.log"));
+    std::stringstream ss;
+    ss << log.rdbuf();
+    EXPECT_NE(ss.str().find("4 chunks, 2 threads"), std::string::npos)
+        << ss.str();
+  }
+  // The archive on stdout must carry no report text: it starts with the
+  // v3 magic and `info` parses it cleanly.
+  const RunResult info =
+      run_cli("info " + p("pipe.szs").string(), p("pi.log"));
+  ASSERT_EQ(info.exit_code, 0) << info.output;
+  EXPECT_NE(info.output.find("v3 chunked archive"), std::string::npos)
+      << info.output;
+  EXPECT_NE(info.output.find("chunks:        4"), std::string::npos)
+      << info.output;
+
+  // decompress - - : archive on stdin, floats on stdout.
+  const int d =
+      std::system((std::string(SZSEC_CLI_PATH) +
+                   " decompress - - --key " + kKeyHex + " --threads 2 < " +
+                   p("pipe.szs").string() + " > " + p("pback.bin").string() +
+                   " 2> " + p("pd.log").string())
+                      .c_str());
+  ASSERT_TRUE(WIFEXITED(d) && WEXITSTATUS(d) == 0);
+  const std::vector<float> back = data::load_f32(p("pback.bin").string());
+  ASSERT_EQ(back.size(), field.size());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_LE(std::abs(back[i] - field[i]), kEb) << "element " << i;
+  }
+}
+
+// A reader hanging up mid-stream (head -c) must surface as the
+// documented exit code 1 — EPIPE becomes an IoError, not a SIGPIPE
+// death (which would report 128+13 through the shell).
+TEST_F(CliTest, BrokenPipeExitsOne) {
+  // Low-entropy bound on noisy data keeps the archive well past any
+  // pipe buffer, so the writer is guaranteed to hit the closed end.
+  const size_t n = 128 * 1024;
+  std::vector<float> field(n);
+  uint32_t state = 0x12345678u;
+  for (size_t i = 0; i < n; ++i) {
+    state = state * 1664525u + 1013904223u;
+    field[i] = static_cast<float>(state) * 1e-9f;
+  }
+  data::save_f32(p("bp.bin").string(), field);
+
+  const std::string cmd =
+      "( " + std::string(SZSEC_CLI_PATH) +
+      " compress - - --dims 131072 --eb 1e-9 --scheme none --chunks 8 < " +
+      p("bp.bin").string() + " 2>/dev/null; echo $? > " +
+      p("bp.code").string() + " ) | head -c 1024 > /dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  std::ifstream code(p("bp.code"));
+  int exit_code = -1;
+  code >> exit_code;
+  EXPECT_EQ(exit_code, 1);
 }
 
 TEST_F(CliTest, UsageErrorsExitTwo) {

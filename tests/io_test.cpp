@@ -1,0 +1,220 @@
+// The byte Source/Sink layer (common/io.h) and the BufferPool shrink
+// policy: the two pieces the streaming chunked codec leans on for its
+// bounded-memory guarantee.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <string>
+
+#include "common/bufpool.h"
+#include "common/crc32.h"
+#include "common/io.h"
+
+namespace szsec {
+namespace {
+
+namespace fs = std::filesystem;
+
+Bytes pattern(size_t n) {
+  Bytes b(n);
+  for (size_t i = 0; i < n; ++i) b[i] = static_cast<uint8_t>(i * 37 + 11);
+  return b;
+}
+
+Bytes drain(ByteSource& src, size_t block = 1024) {
+  Bytes out;
+  Bytes buf(block);
+  for (size_t n; (n = src.read(std::span<uint8_t>(buf))) > 0;) {
+    out.insert(out.end(), buf.begin(), buf.begin() + n);
+  }
+  return out;
+}
+
+TEST(IoTest, MemoryRoundTripAndEof) {
+  const Bytes data = pattern(10000);
+  MemorySource src{BytesView(data)};
+  EXPECT_EQ(src.remaining(), data.size());
+  EXPECT_EQ(drain(src, 333), data);
+  EXPECT_EQ(src.remaining(), 0u);
+  uint8_t one = 0;
+  EXPECT_EQ(src.read(std::span<uint8_t>(&one, 1)), 0u);  // EOF stays EOF
+
+  MemorySink sink;
+  sink.write(BytesView(data));
+  sink.write(BytesView(data));
+  EXPECT_EQ(sink.bytes().size(), 2 * data.size());
+  const Bytes taken = sink.take();
+  EXPECT_EQ(taken.size(), 2 * data.size());
+  EXPECT_TRUE(sink.bytes().empty());
+}
+
+TEST(IoTest, ReadFullLoopsOverShortReads) {
+  const Bytes data = pattern(1000);
+  MemorySource inner{BytesView(data)};
+  ChokedSource choked(inner, 7);  // at most 7 bytes per read call
+  Bytes got(data.size());
+  EXPECT_EQ(read_full(choked, std::span<uint8_t>(got)), data.size());
+  EXPECT_EQ(got, data);
+  // Requesting past EOF returns the short count, not an error.
+  Bytes more(16);
+  EXPECT_EQ(read_full(choked, std::span<uint8_t>(more)), 0u);
+}
+
+TEST(IoTest, FileSourceSinkRoundTrip) {
+  const fs::path path =
+      fs::path(::testing::TempDir()) / "szsec_io_test_file.bin";
+  const Bytes data = pattern(300000);  // crosses stdio buffer sizes
+  {
+    FileSink sink(path.string());
+    sink.write(BytesView(data).subspan(0, 12345));
+    sink.write(BytesView(data).subspan(12345));
+    sink.flush();
+  }
+  FileSource src(path.string());
+  EXPECT_EQ(drain(src), data);
+  fs::remove(path);
+}
+
+TEST(IoTest, FileSourceMissingFileThrowsIoError) {
+  EXPECT_THROW(FileSource("/no/such/dir/szsec_io_test.bin"), IoError);
+  EXPECT_THROW(FileSink("/no/such/dir/szsec_io_test.bin"), IoError);
+}
+
+TEST(IoTest, MmapSourceMatchesFileContents) {
+  const fs::path path =
+      fs::path(::testing::TempDir()) / "szsec_io_test_mmap.bin";
+  const Bytes data = pattern(65536);
+  {
+    FileSink sink(path.string());
+    sink.write(BytesView(data));
+  }
+  MmapSource src(path.string());
+  EXPECT_EQ(src.view().size(), data.size());
+  EXPECT_EQ(drain(src, 1000), data);
+  fs::remove(path);
+}
+
+TEST(IoTest, CountingAndCrcAdaptersObserveTheStream) {
+  const Bytes data = pattern(5000);
+  MemorySink mem;
+  Crc32Sink crc(&mem);
+  CountingSink counting(&crc);
+  counting.write(BytesView(data).subspan(0, 1));
+  counting.write(BytesView(data).subspan(1));
+  counting.flush();
+  EXPECT_EQ(counting.count(), data.size());
+  EXPECT_EQ(crc.crc(), crc32(BytesView(data)));
+  EXPECT_EQ(mem.bytes(), data);
+
+  MemorySource src{BytesView(data)};
+  CountingSource counted_src(src);
+  EXPECT_EQ(drain(counted_src, 77), data);
+  EXPECT_EQ(counted_src.count(), data.size());
+}
+
+TEST(IoTest, ConcatSourceReplaysSniffedPrefix) {
+  const Bytes data = pattern(1000);
+  MemorySource tail{BytesView(data)};
+  uint8_t head[4];
+  ASSERT_EQ(read_full(tail, std::span<uint8_t>(head)), 4u);
+  ConcatSource full(BytesView(head, 4), tail);
+  EXPECT_EQ(drain(full, 3), data);  // the 4 sniffed bytes come back first
+}
+
+TEST(IoTest, FrameSpoolReplaysBothBackings) {
+  const Bytes data = pattern(700000);  // several temp-file replay blocks
+  for (const auto backing :
+       {FrameSpool::Backing::kMemory, FrameSpool::Backing::kTempFile}) {
+    FrameSpool spool(backing);
+    spool.write(BytesView(data).subspan(0, 999));
+    spool.write(BytesView(data).subspan(999));
+    EXPECT_EQ(spool.size(), data.size());
+    MemorySink out;
+    spool.replay(out);
+    EXPECT_EQ(out.bytes(), data);
+    EXPECT_EQ(spool.size(), 0u);  // replay resets the spool
+  }
+}
+
+TEST(BufferPoolTest, RecyclesStorage) {
+  BufferPool pool;
+  Bytes a = pool.acquire(4096);
+  a.resize(4096);
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.idle_count(), 1u);
+  const Bytes b = pool.acquire(100);
+  EXPECT_GE(b.capacity(), 4096u);  // same storage came back
+  EXPECT_EQ(pool.idle_count(), 0u);
+}
+
+// The shrink policy: after demand decays, a returned buffer whose
+// capacity dwarfs the recent working set is freed instead of pooled, so
+// one early huge chunk cannot pin its storage for a whole session.
+TEST(BufferPoolTest, DeclinesOversizedBuffersOnceDemandDecays) {
+  BufferPool pool;
+  constexpr size_t kHuge = 32 << 20;   // 32 MiB outlier
+  constexpr size_t kSteady = 256 << 10;  // 256 KiB working set
+
+  // While the outlier is within the demand window it pools fine.
+  Bytes huge = pool.acquire(kHuge);
+  huge.resize(kHuge);
+  pool.release(std::move(huge));
+  EXPECT_GE(pool.idle_capacity(), kHuge);
+
+  // Age the outlier out: two epochs of steady small demand.  The huge
+  // storage cycles through acquire/release until the decayed high-water
+  // mark exposes it, at which point release frees it.
+  for (int i = 0; i < 600; ++i) {
+    Bytes b = pool.acquire(kSteady);
+    b.resize(kSteady);
+    pool.release(std::move(b));
+  }
+  EXPECT_LT(pool.demand_high_water(), kHuge);
+  EXPECT_LT(pool.idle_capacity(), kHuge);  // outlier storage was dropped
+
+  // A returning buffer with outlier capacity but working-set content is
+  // declined outright (its *size* is the demand signal, not capacity).
+  Bytes again;
+  again.reserve(kHuge);
+  again.resize(kSteady);
+  pool.release(std::move(again));
+  EXPECT_LT(pool.idle_capacity(), kHuge);
+}
+
+TEST(BufferPoolTest, SmallBuffersAlwaysPoolable) {
+  BufferPool pool;
+  // Tiny demand: high-water far below kMinRetainBytes.
+  for (int i = 0; i < 10; ++i) {
+    Bytes b = pool.acquire(64);
+    b.resize(64);
+    pool.release(std::move(b));
+  }
+  // A 64 KiB buffer is within 4 x kMinRetainBytes, so it still pools.
+  Bytes b;
+  b.resize(64 * 1024);
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.idle_count(), 2u);
+}
+
+TEST(BufferPoolTest, PooledBytesLeaseReturnsOnDestruction) {
+  BufferPool pool;
+  {
+    PooledBytes lease(&pool, 1024);
+    lease.bytes().resize(100);
+  }
+  EXPECT_EQ(pool.idle_count(), 1u);
+  {
+    PooledBytes lease(&pool, 1024);
+    const Bytes kept = lease.take();  // moved out: nothing returns
+    EXPECT_EQ(kept.size(), 0u);
+  }
+  EXPECT_EQ(pool.idle_count(), 0u);
+  // Null pool degrades to plain allocation.
+  PooledBytes loose(nullptr, 256);
+  EXPECT_GE(loose.bytes().capacity(), 256u);
+}
+
+}  // namespace
+}  // namespace szsec
