@@ -1,0 +1,209 @@
+// Durability bench: quantifies the two costs of the crash-safety layer.
+//
+// Part 1 — salvage recovery rate vs fault offset.  A v3 chunked archive
+// is truncated at a sweep of offsets (the torn write of a power cut)
+// and salvage-decoded; recovery should track the fault offset linearly:
+// every chunk whose frame committed before the cut comes back, nothing
+// else.  The deviation between "fraction of archive bytes kept" and
+// "fraction of elements recovered" is the per-chunk granularity loss.
+//
+// Part 2 — retry-layer overhead at a 0% fault rate.  The RetrySink
+// adapter plus an endpoint RetryPolicy must be free when nothing fails:
+// A/B-interleaved medians of pushing the archive through a /dev/null
+// FdSink with and without the retry plumbing, pinned at < 2% overhead
+// (exit 1 on breach — this is a regression gate, not a report).
+//
+// Results go to BENCH_fault_recovery.json:
+//   {"recovery": [{"fault_fraction": ..., "offset": ...,
+//                  "chunks_recovered": ..., "chunks_expected": ...,
+//                  "element_recovery_rate": ..., "complete_prefix": true}],
+//    "retry_overhead": {"plain_seconds": ..., "retry_seconds": ...,
+//                       "overhead_percent": ..., "limit_percent": 2.0}}
+//
+// Usage: bench_fault_recovery [output.json]   (default
+// BENCH_fault_recovery.json in the working directory)
+#include <algorithm>
+#include <cstdio>
+#include <fcntl.h>
+#include <string>
+#include <vector>
+
+#include "archive/chunked.h"
+#include "bench_util.h"
+#include "common/timer.h"
+
+using namespace szsec;
+using namespace szsec::bench;
+
+namespace {
+
+constexpr size_t kChunks = 16;
+constexpr double kEb = 1e-4;
+constexpr double kOverheadLimitPercent = 2.0;
+
+struct RecoveryRecord {
+  double fault_fraction = 0;
+  uint64_t offset = 0;
+  uint64_t chunks_recovered = 0;
+  uint64_t chunks_expected = 0;
+  double element_recovery_rate = 0;
+  bool complete_prefix = false;  ///< every fully-committed chunk came back
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// Pushes `archive` through `sink` in streaming-sized pieces, `reps`
+/// times, and returns the wall seconds.
+double time_writes(ByteSink& sink, BytesView archive, int reps) {
+  constexpr size_t kPiece = 64 * 1024;
+  WallTimer t;
+  for (int r = 0; r < reps; ++r) {
+    for (size_t at = 0; at < archive.size(); at += kPiece) {
+      sink.write(archive.subspan(at, std::min(kPiece, archive.size() - at)));
+    }
+  }
+  sink.flush();
+  return t.elapsed_s();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_fault_recovery.json";
+  const data::Dataset& d = dataset("Q2");
+
+  sz::Params params;
+  params.abs_error_bound = kEb;
+  archive::ChunkedConfig config;
+  config.chunks = kChunks;
+  config.threads = 1;
+  crypto::CtrDrbg drbg(0xFA'0001);
+  const archive::ChunkedCompressResult compressed = archive::compress_chunked(
+      std::span<const float>(d.values), d.dims, params,
+      core::Scheme::kEncrHuffman, bench_key(), {}, config, &drbg);
+  const Bytes& archive_bytes = compressed.archive;
+  const archive::ChunkIndex index =
+      archive::read_chunk_index(BytesView(archive_bytes));
+
+  std::printf("Fault recovery: dataset Q2, %zu chunks, %zu archive bytes\n\n",
+              index.entries.size(), archive_bytes.size());
+  std::printf("%12s %12s %10s %12s %10s\n", "fraction", "offset", "chunks",
+              "elements", "prefix-ok");
+
+  // --- Part 1: truncation sweep.
+  std::vector<RecoveryRecord> recovery;
+  for (int pct = 5; pct <= 95; pct += 5) {
+    RecoveryRecord rec;
+    rec.fault_fraction = pct / 100.0;
+    rec.offset = static_cast<uint64_t>(archive_bytes.size() *
+                                       rec.fault_fraction);
+    const Bytes torn(archive_bytes.begin(),
+                     archive_bytes.begin() + static_cast<size_t>(rec.offset));
+    const archive::SalvageResult r =
+        archive::decompress_salvage(BytesView(torn), bench_key());
+    rec.chunks_recovered = r.report.chunks_recovered;
+    rec.chunks_expected = r.report.chunks_expected;
+    rec.element_recovery_rate = r.report.recovered_fraction();
+    rec.complete_prefix = true;
+    uint64_t committed = 0;
+    for (size_t i = 0; i < index.entries.size(); ++i) {
+      const archive::ChunkEntry& e = index.entries[i];
+      if (e.offset + e.frame_len <= rec.offset) {
+        ++committed;
+        if (i >= r.report.chunks.size() ||
+            r.report.chunks[i].status != archive::ChunkStatus::kOk) {
+          rec.complete_prefix = false;
+        }
+      }
+    }
+    if (rec.chunks_recovered != committed) rec.complete_prefix = false;
+    std::printf("%12.2f %12llu %7llu/%-2llu %12.4f %10s\n",
+                rec.fault_fraction,
+                static_cast<unsigned long long>(rec.offset),
+                static_cast<unsigned long long>(rec.chunks_recovered),
+                static_cast<unsigned long long>(rec.chunks_expected),
+                rec.element_recovery_rate,
+                rec.complete_prefix ? "yes" : "NO");
+    recovery.push_back(rec);
+  }
+  bool all_prefixes_ok = true;
+  for (const RecoveryRecord& rec : recovery) {
+    all_prefixes_ok = all_prefixes_ok && rec.complete_prefix;
+  }
+
+  // --- Part 2: retry overhead at 0% faults, A/B interleaved.  Each
+  // measurement pushes a fixed byte volume (not a fixed rep count) so
+  // the sample stays well above timer noise even at SZSEC_SCALE=tiny.
+  const int runs = std::max(5, bench_runs());
+  constexpr uint64_t kBytesPerRun = 256ull * 1024 * 1024;
+  const int reps_per_run = static_cast<int>(
+      std::max<uint64_t>(8, kBytesPerRun / archive_bytes.size()));
+  std::vector<double> plain_s, retry_s;
+#ifndef _WIN32
+  const int fd = ::open("/dev/null", O_WRONLY);
+#else
+  const int fd = -1;
+#endif
+  SZSEC_REQUIRE(fd >= 0, "cannot open /dev/null");
+  for (int i = 0; i < runs; ++i) {
+    {
+      FdSink sink(fd, RetryPolicy::none());
+      plain_s.push_back(time_writes(sink, BytesView(archive_bytes),
+                                    reps_per_run));
+    }
+    {
+      FdSink inner(fd, RetryPolicy::standard());
+      RetrySink sink(inner, RetryPolicy::standard());
+      retry_s.push_back(time_writes(sink, BytesView(archive_bytes),
+                                    reps_per_run));
+    }
+  }
+  const double plain = median(plain_s);
+  const double retry = median(retry_s);
+  const double overhead = (retry - plain) / plain * 100.0;
+  std::printf("\nretry overhead at 0%% faults: plain %.6fs, retry %.6fs "
+              "-> %.3f%% (limit %.1f%%)\n",
+              plain, retry, overhead, kOverheadLimitPercent);
+
+  // --- JSON.
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  SZSEC_REQUIRE(json != nullptr, "cannot open output json");
+  std::fprintf(json, "{\n  \"recovery\": [\n");
+  for (size_t i = 0; i < recovery.size(); ++i) {
+    const RecoveryRecord& rec = recovery[i];
+    std::fprintf(
+        json,
+        "    {\"fault_fraction\": %.2f, \"offset\": %llu,"
+        " \"chunks_recovered\": %llu, \"chunks_expected\": %llu,"
+        " \"element_recovery_rate\": %.6f, \"complete_prefix\": %s}%s\n",
+        rec.fault_fraction, static_cast<unsigned long long>(rec.offset),
+        static_cast<unsigned long long>(rec.chunks_recovered),
+        static_cast<unsigned long long>(rec.chunks_expected),
+        rec.element_recovery_rate, rec.complete_prefix ? "true" : "false",
+        i + 1 < recovery.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n  \"retry_overhead\": {\"plain_seconds\": %.6f,"
+               " \"retry_seconds\": %.6f, \"overhead_percent\": %.3f,"
+               " \"limit_percent\": %.1f}\n}\n",
+               plain, retry, overhead, kOverheadLimitPercent);
+  std::fclose(json);
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  if (!all_prefixes_ok) {
+    std::fprintf(stderr,
+                 "FAIL: salvage missed a fully-committed chunk\n");
+    return 1;
+  }
+  if (overhead > kOverheadLimitPercent) {
+    std::fprintf(stderr,
+                 "FAIL: retry overhead %.3f%% exceeds %.1f%% limit\n",
+                 overhead, kOverheadLimitPercent);
+    return 1;
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 //   szsec_cli decompress <in.szs> <out.bin> [--key <hex> | --password <s>]
 //             [--threads N]
 //   szsec_cli info       <in.szs>
+//   szsec_cli verify     <in.szs> [--key <hex> | --password <s>]
 //
 // `-` in place of a path means stdin (inputs) or stdout (outputs), so
 // the CLI composes in pipelines:
@@ -34,8 +35,19 @@
 //
 // Input .bin files are raw little-endian float32 (SDRBench layout).
 //
-// Exit codes: 0 success, 1 szsec::Error (I/O failures — a broken pipe
-// included — corrupt containers, wrong keys), 2 usage error.
+// `verify` is a read-only integrity scan (no decode, no key required):
+// header/index parse, per-chunk CRC, and MAC when a key is supplied.
+// Exit 0 = clean, 1 = damage found, 2 = operational failure.
+//
+// Durability: file outputs are written through an AtomicFileSink —
+// bytes stage in a same-directory temp file and are fsync+renamed over
+// the target only on success, so a crash or error mid-write leaves the
+// complete old file (or no file), never a torn archive.
+//
+// Exit codes: 0 success, 1 data error (szsec::Error: corrupt
+// containers, wrong keys, verify found damage), 2 usage or operational
+// I/O error (IoError: unreadable/unwritable files, broken pipes — the
+// errno text is printed).
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -45,6 +57,7 @@
 #include <string>
 
 #include "archive/chunked.h"
+#include "archive/verify.h"
 #include "common/bytestream.h"
 #include "common/hex.h"
 #include "common/io.h"
@@ -64,6 +77,7 @@ struct Options {
   core::Scheme scheme = core::Scheme::kEncrHuffman;
   crypto::Mode mode = crypto::Mode::kCbc;
   Bytes key;
+  bool auth = false;     // append an HMAC-SHA256 tag to each container
   size_t chunks = 0;     // >0: write a v3 chunked archive
   unsigned threads = 1;  // chunked codec workers (1 = serial)
 };
@@ -75,11 +89,12 @@ struct Options {
       "usage:\n"
       "  szsec_cli compress <in.bin> <out.szs> --dims Z,Y,X --eb 1e-4\n"
       "            [--scheme none|cmpr-encr|encr-quant|encr-huffman]\n"
-      "            [--key <hex>] [--mode cbc|ctr]\n"
+      "            [--key <hex>] [--mode cbc|ctr] [--auth]\n"
       "            [--chunks N] [--threads N]\n"
       "  szsec_cli decompress <in.szs> <out.bin> [--key <hex>]\n"
       "            [--threads N]\n"
       "  szsec_cli info <in.szs>\n"
+      "  szsec_cli verify <in.szs> [--key <hex>]\n"
       "  ('-' as a path reads stdin / writes stdout)\n"
       "(see docs/CLI.md for the full reference)\n");
   std::exit(2);
@@ -112,7 +127,7 @@ Options parse(int argc, char** argv) {
   o.command = argv[1];
   o.input = argv[2];
   int i = 3;
-  if (o.command != "info") {
+  if (o.command != "info" && o.command != "verify") {
     if (argc < 4) usage("missing output path");
     o.output = argv[3];
     i = 4;
@@ -147,6 +162,8 @@ Options parse(int argc, char** argv) {
       } else {
         usage("unknown --mode");
       }
+    } else if (arg == "--auth") {
+      o.auth = true;
     } else if (arg == "--chunks") {
       o.chunks = std::stoull(next());
       if (o.chunks == 0) usage("--chunks must be >= 1");
@@ -201,20 +218,49 @@ bool is_chunked_magic(BytesView bytes) {
   return magic == archive::kChunkedMagic;
 }
 
+/// Transient OS hiccups (EINTR/EAGAIN/short writes) retry with bounded
+/// backoff on every CLI endpoint; permanent errors surface immediately.
+RetryPolicy cli_retry() { return RetryPolicy::standard(); }
+
 /// Input bytes for decompress/info: a pipe for "-", else the file (a
 /// missing file is a usage error, matching the historical contract).
 std::unique_ptr<ByteSource> open_input(const std::string& path) {
-  if (path == "-") return std::make_unique<FdSource>(0);
+  if (path == "-") return std::make_unique<FdSource>(0, cli_retry());
   try {
-    return std::make_unique<FileSource>(path);
+    return std::make_unique<FileSource>(path, cli_retry());
   } catch (const IoError&) {
     usage(("cannot open " + path).c_str());
   }
 }
 
-std::unique_ptr<ByteSink> open_output(const std::string& path) {
-  if (path == "-") return std::make_unique<FdSink>(1);
-  return std::make_unique<FileSink>(path);
+/// Output plumbing: stdout for "-", an AtomicFileSink otherwise.  File
+/// bytes stage in a temp file until commit() publishes them under the
+/// final name (fsync + rename + directory fsync) — on any failure the
+/// sink's destructor discards the temp file and a pre-existing target
+/// survives untouched, so a torn archive is never observable.
+struct Output {
+  std::unique_ptr<ByteSink> sink;
+  AtomicFileSink* atomic = nullptr;  ///< borrowed view of `sink`, or null
+
+  void commit() {
+    if (atomic != nullptr) {
+      atomic->commit();
+    } else {
+      sink->flush();
+    }
+  }
+};
+
+Output open_output(const std::string& path) {
+  Output o;
+  if (path == "-") {
+    o.sink = std::make_unique<FdSink>(1, cli_retry());
+  } else {
+    auto atomic = std::make_unique<AtomicFileSink>(path, cli_retry());
+    o.atomic = atomic.get();
+    o.sink = std::move(atomic);
+  }
+  return o;
 }
 
 /// Drains a source to memory (the v2 codec and `info` need the whole
@@ -227,12 +273,6 @@ Bytes slurp(ByteSource& src) {
     out.insert(out.end(), buf, buf + n);
   }
   return out;
-}
-
-/// Deletes a partially-written output file after a failed streaming run
-/// so errors never leave garbage behind (pipes have no file to remove).
-void discard_partial_output(const std::string& path) {
-  if (path != "-") std::remove(path.c_str());
 }
 
 int cmd_compress(const Options& o) {
@@ -267,21 +307,20 @@ int cmd_compress(const Options& o) {
     config.chunks = o.chunks;
     config.threads = o.threads;
     archive::ChunkedStreamResult r;
-    try {
+    {
       std::unique_ptr<ByteSource> in;
       if (o.input == "-") {
-        in = std::make_unique<FdSource>(0);
+        in = std::make_unique<FdSource>(0, cli_retry());
       } else {
-        in = std::make_unique<FileSource>(o.input);
+        in = std::make_unique<FileSource>(o.input, cli_retry());
       }
-      const std::unique_ptr<ByteSink> out = open_output(o.output);
+      Output out = open_output(o.output);
       r = archive::compress_chunked_stream(
-          *in, *out, sz::DType::kFloat32, o.dims, params, o.scheme,
+          *in, *out.sink, sz::DType::kFloat32, o.dims, params, o.scheme,
           BytesView(o.key),
-          core::CipherSpec{crypto::CipherKind::kAes128, o.mode}, config);
-    } catch (...) {
-      discard_partial_output(o.output);
-      throw;
+          core::CipherSpec{crypto::CipherKind::kAes128, o.mode, o.auth},
+          config);
+      out.commit();
     }
     std::fprintf(report,
                  "%s: %llu -> %llu bytes (%.2fx), scheme %s, eb %g, "
@@ -318,14 +357,15 @@ int cmd_compress(const Options& o) {
                  o.dims.count());
     return 1;
   }
-  const core::SecureCompressor c(params, o.scheme, BytesView(o.key),
-                                 o.mode);
+  const core::SecureCompressor c(
+      params, o.scheme, BytesView(o.key),
+      core::CipherSpec{crypto::CipherKind::kAes128, o.mode, o.auth});
   const core::CompressResult r =
       c.compress(std::span<const float>(values), o.dims);
   {
-    const std::unique_ptr<ByteSink> out = open_output(o.output);
-    out->write(BytesView(r.container));
-    out->flush();
+    Output out = open_output(o.output);
+    out.sink->write(BytesView(r.container));
+    out.commit();
   }
   std::fprintf(report, "%s: %zu -> %zu bytes (%.2fx), scheme %s, eb %g\n",
                o.output.c_str(), values.size() * 4, r.container.size(),
@@ -356,13 +396,11 @@ int cmd_decompress(const Options& o) {
     PipelineMetrics metrics;
     config.metrics = &metrics;
     archive::ChunkedStreamDecodeResult r;
-    try {
-      const std::unique_ptr<ByteSink> out = open_output(o.output);
-      r = archive::decompress_chunked_stream(full, *out, BytesView(o.key),
-                                             config);
-    } catch (...) {
-      discard_partial_output(o.output);
-      throw;
+    {
+      Output out = open_output(o.output);
+      r = archive::decompress_chunked_stream(full, *out.sink,
+                                             BytesView(o.key), config);
+      out.commit();
     }
     std::fprintf(report, "%s: restored %llu float%d elements "
                          "(dims %s, %u threads)\n",
@@ -383,15 +421,18 @@ int cmd_decompress(const Options& o) {
   if (h.scheme != core::Scheme::kNone && o.key.empty()) {
     usage("this container is encrypted; supply --key");
   }
-  const core::SecureCompressor c(sz::Params{}, h.scheme, BytesView(o.key),
-                                 h.cipher_mode);
+  const core::SecureCompressor c(
+      sz::Params{}, h.scheme, BytesView(o.key),
+      core::CipherSpec{crypto::CipherKind::kAes128, h.cipher_mode,
+                       (h.flags & core::kFlagAuthenticated) != 0});
   core::DecompressResult r = c.decompress(BytesView(container));
   SZSEC_REQUIRE(r.dtype == sz::DType::kFloat32, "container holds float64");
   {
-    const std::unique_ptr<ByteSink> out = open_output(o.output);
-    out->write(BytesView(reinterpret_cast<const uint8_t*>(r.f32.data()),
-                         r.f32.size() * sizeof(float)));
-    out->flush();
+    Output out = open_output(o.output);
+    out.sink->write(
+        BytesView(reinterpret_cast<const uint8_t*>(r.f32.data()),
+                  r.f32.size() * sizeof(float)));
+    out.commit();
   }
   std::fprintf(report, "%s: restored %zu floats (dims %s, eb %g)\n",
                o.output.c_str(), r.f32.size(), h.dims.to_string().c_str(),
@@ -459,11 +500,55 @@ int cmd_info(const Options& o) {
   return 0;
 }
 
+int cmd_verify(const Options& o) {
+  const std::unique_ptr<ByteSource> in = open_input(o.input);
+  const Bytes archive = slurp(*in);
+  const archive::VerifyReport rep =
+      archive::verify_archive(BytesView(archive), BytesView(o.key));
+
+  std::printf("container:     %s\n",
+              rep.chunked ? "v3 chunked archive" : "v2 single container");
+  if (!rep.prelude_ok) {
+    std::printf("prelude:       FAILED (%s)\n", rep.prelude_detail.c_str());
+    std::printf("result:        DAMAGED\n");
+    return 1;
+  }
+  std::printf("dims:          %s (%zu elements)\n",
+              rep.dims.to_string().c_str(), rep.dims.count());
+  if (rep.chunked) {
+    std::printf("chunks:        %llu of %zu intact\n",
+                static_cast<unsigned long long>(rep.chunks_ok),
+                rep.chunks.size());
+    std::printf("  %6s %12s %12s %10s  %-22s %s\n", "chunk", "offset",
+                "bytes", "rows", "mac", "status");
+    for (const archive::VerifyChunk& c : rep.chunks) {
+      std::printf("  %6llu %12llu %12llu %10llu  %-22s %s%s%s\n",
+                  static_cast<unsigned long long>(c.chunk_id),
+                  static_cast<unsigned long long>(c.offset),
+                  static_cast<unsigned long long>(c.frame_len),
+                  static_cast<unsigned long long>(c.row_extent),
+                  archive::to_string(c.mac), c.ok ? "ok" : "DAMAGED",
+                  c.detail.empty() ? "" : ": ", c.detail.c_str());
+    }
+  } else {
+    const archive::VerifyChunk& c = rep.chunks.front();
+    std::printf("mac:           %s\n", archive::to_string(c.mac));
+    if (!c.ok) std::printf("damage:        %s\n", c.detail.c_str());
+  }
+  if (rep.trailing_bytes > 0) {
+    std::printf("trailing:      %llu bytes past the last frame "
+                "(ignored by decode)\n",
+                static_cast<unsigned long long>(rep.trailing_bytes));
+  }
+  std::printf("result:        %s\n", rep.clean() ? "clean" : "DAMAGED");
+  return rep.clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // A reader hanging up mid-pipe must surface as EPIPE from write() (an
-  // IoError, exit 1), not a silent SIGPIPE death — the exit-code
+  // IoError, exit 2), not a silent SIGPIPE death — the exit-code
   // contract is part of the CLI's interface.
 #ifndef _WIN32
   std::signal(SIGPIPE, SIG_IGN);
@@ -473,7 +558,13 @@ int main(int argc, char** argv) {
     if (o.command == "compress") return cmd_compress(o);
     if (o.command == "decompress") return cmd_decompress(o);
     if (o.command == "info") return cmd_info(o);
+    if (o.command == "verify") return cmd_verify(o);
     usage("unknown command");
+  } catch (const IoError& e) {
+    // Operational failure (unwritable output, broken pipe, disk full):
+    // the message carries the errno text from the failing call.
+    std::fprintf(stderr, "i/o error: %s\n", e.what());
+    return 2;
   } catch (const szsec::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -187,6 +187,22 @@ void emit_chunked(const fs::path& root) {
                                                &d64);
     write_entry(dir, "one_chunk_auth_f64.bin", BytesView(r64.archive));
   }
+
+  // Durability-campaign shapes: a torn write landing inside a frame
+  // (crash mid-chunk — index intact, tail lost) and a cut inside the
+  // index region itself (nothing but resync scanning can help).
+  const archive::ChunkIndex index =
+      archive::read_chunk_index(BytesView(r.archive));
+  const archive::ChunkEntry& mid = index.entries[1];
+  Bytes mid_torn(r.archive.begin(),
+                 r.archive.begin() +
+                     static_cast<std::ptrdiff_t>(mid.offset +
+                                                 mid.frame_len / 2));
+  write_entry(dir, "mid_frame_torn_write.bin", BytesView(mid_torn));
+  Bytes index_cut(r.archive.begin(),
+                  r.archive.begin() +
+                      static_cast<std::ptrdiff_t>(index.body_start / 2));
+  write_entry(dir, "index_region_truncation.bin", BytesView(index_cut));
 }
 
 }  // namespace

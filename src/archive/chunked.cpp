@@ -63,48 +63,12 @@ Bytes make_frame(uint64_t chunk_id, uint64_t row_start, uint64_t row_extent,
   return w.take();
 }
 
-/// A frame located in (possibly damaged) archive bytes.  `crc_ok` is the
-/// only integrity statement; the field values are sanity-capped but
-/// otherwise untrusted until cross-checked against the index or the
-/// chunk's own container header.
-struct Frame {
-  uint64_t chunk_id = 0;
-  uint64_t row_start = 0;
-  uint64_t row_extent = 0;
-  size_t offset = 0;     ///< absolute frame start (marker byte 0)
-  size_t frame_len = 0;  ///< marker..container end
-  BytesView container;
-  bool crc_ok = false;
-};
+/// The strict/salvage/verify code below predates the public FrameInfo
+/// name; keep the short internal aliases.
+using Frame = FrameInfo;
 
-/// Parses a frame whose marker starts at `pos`; nullopt when the bytes
-/// there do not form a plausible frame (truncated, absurd fields).
 std::optional<Frame> parse_frame_at(BytesView archive, size_t pos) {
-  try {
-    ByteReader r(archive.subspan(pos));
-    if (r.get_u64() != kResyncMarker) return std::nullopt;
-    Frame f;
-    f.offset = pos;
-    f.chunk_id = r.get_varint();
-    f.row_start = r.get_varint();
-    f.row_extent = r.get_varint();
-    if (f.chunk_id > kMaxExtent || f.row_start > kMaxExtent ||
-        f.row_extent == 0 || f.row_extent > kMaxExtent) {
-      return std::nullopt;
-    }
-    const uint64_t len = r.get_varint();
-    if (r.remaining() < sizeof(uint32_t) ||
-        len > r.remaining() - sizeof(uint32_t)) {
-      return std::nullopt;
-    }
-    const uint32_t crc = r.get_u32();
-    f.container = r.get_bytes(static_cast<size_t>(len));
-    f.frame_len = r.pos();
-    f.crc_ok = crc32(f.container) == crc;
-    return f;
-  } catch (const Error&) {
-    return std::nullopt;
-  }
+  return parse_frame(archive, pos);
 }
 
 /// Finds the next resync marker at or after `pos` (byte-wise search).
@@ -188,6 +152,34 @@ std::string try_decode_chunk(const Frame& f, RuntimeCache& runtimes,
 }
 
 }  // namespace
+
+std::optional<FrameInfo> parse_frame(BytesView archive, size_t pos) {
+  try {
+    ByteReader r(archive.subspan(pos));
+    if (r.get_u64() != kResyncMarker) return std::nullopt;
+    FrameInfo f;
+    f.offset = pos;
+    f.chunk_id = r.get_varint();
+    f.row_start = r.get_varint();
+    f.row_extent = r.get_varint();
+    if (f.chunk_id > kMaxExtent || f.row_start > kMaxExtent ||
+        f.row_extent == 0 || f.row_extent > kMaxExtent) {
+      return std::nullopt;
+    }
+    const uint64_t len = r.get_varint();
+    if (r.remaining() < sizeof(uint32_t) ||
+        len > r.remaining() - sizeof(uint32_t)) {
+      return std::nullopt;
+    }
+    const uint32_t crc = r.get_u32();
+    f.container = r.get_bytes(static_cast<size_t>(len));
+    f.frame_len = r.pos();
+    f.crc_ok = crc32(f.container) == crc;
+    return f;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
 
 const char* to_string(ChunkStatus s) {
   switch (s) {

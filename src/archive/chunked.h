@@ -37,6 +37,7 @@
 // assembled in index order regardless of completion order.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "common/io.h"
@@ -176,6 +177,26 @@ struct ChunkIndex {
   std::vector<ChunkEntry> entries;
 };
 ChunkIndex read_chunk_index(BytesView archive);
+
+/// A frame located in (possibly damaged) archive bytes.  `crc_ok` is the
+/// only integrity statement; the field values are sanity-capped but
+/// otherwise untrusted until cross-checked against the index or the
+/// chunk's own container header.
+struct FrameInfo {
+  uint64_t chunk_id = 0;
+  uint64_t row_start = 0;
+  uint64_t row_extent = 0;
+  size_t offset = 0;     ///< absolute frame start (marker byte 0)
+  size_t frame_len = 0;  ///< marker..container end
+  BytesView container;   ///< borrows from the archive bytes
+  bool crc_ok = false;
+};
+
+/// Parses the frame whose resync marker starts at `pos`; nullopt when
+/// the bytes there do not form a plausible frame (truncated, absurd
+/// fields).  Shared by the strict decoder, the salvage scanner, and
+/// verify_archive, so "what counts as a frame" is defined exactly once.
+std::optional<FrameInfo> parse_frame(BytesView archive, size_t pos);
 
 /// What happened to one chunk during salvage.
 enum class ChunkStatus : uint8_t {

@@ -1,0 +1,76 @@
+// Read-only archive integrity verification (`szsec_cli verify`).
+//
+// verify_archive() answers "will a strict decode of these bytes
+// succeed?" without running one: no decryption, no decompression, no
+// field reconstruction — only the structural checks both formats carry
+// in plaintext.  For a v3 chunked archive that is the prelude parse +
+// index CRC, then per chunk: frame bounds, frame parse, index
+// agreement, the frame's container CRC-32 (computed over ciphertext, so
+// it needs no key), the chunk's own container-header parse and its
+// consistency with the index, and — when the archive is authenticated
+// and a key is supplied — the HMAC-SHA256 tag.  For a v2 single
+// container it is the header parse plus the MAC when checkable (the v2
+// payload CRC covers the *plaintext* payload and is only computable by
+// a full decode; verify reports it unchecked).
+//
+// The relationship to salvage (src/archive/chunked.h): verify reports,
+// salvage repairs.  Run `verify` to learn whether an archive is intact
+// and which chunks are damaged; run salvage to actually recover the
+// intact chunks of a damaged archive.  docs/ARCHITECTURE.md carries the
+// decision table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "archive/chunked.h"
+
+namespace szsec::archive {
+
+/// Outcome of the MAC check on one container.
+enum class MacCheck : uint8_t {
+  kAbsent,  ///< container carries no authentication tag
+  kNoKey,   ///< tag present but no key supplied; not checked
+  kPassed,
+  kFailed,
+};
+
+const char* to_string(MacCheck m);
+
+/// Verification outcome for one chunk (v3) or the whole container (v2).
+struct VerifyChunk {
+  uint64_t chunk_id = 0;
+  uint64_t offset = 0;     ///< absolute byte offset of the frame/container
+  uint64_t frame_len = 0;  ///< frame bytes (v3) / container bytes (v2)
+  uint64_t row_start = 0;
+  uint64_t row_extent = 0;
+  bool ok = false;  ///< every performed check passed
+  MacCheck mac = MacCheck::kAbsent;
+  std::string detail;  ///< first failure reason, empty when ok
+};
+
+/// Structured outcome of one verification pass.
+struct VerifyReport {
+  bool chunked = false;     ///< v3 archive (false: v2 single container)
+  bool prelude_ok = false;  ///< v3: prelude parse + index CRC; v2: header
+  std::string prelude_detail;  ///< failure reason, empty when prelude_ok
+  Dims dims;                   ///< rank 0 when the prelude is unreadable
+  /// Bytes past the last indexed frame (v3) / past the container (v2).
+  /// Reported but not counted as damage: strict decode ignores them.
+  uint64_t trailing_bytes = 0;
+  uint64_t chunks_ok = 0;
+  std::vector<VerifyChunk> chunks;  ///< v2: exactly one entry
+
+  /// True when a strict decode of the same bytes (with the same key)
+  /// would get past every check verify can see.
+  bool clean() const { return prelude_ok && chunks_ok == chunks.size(); }
+};
+
+/// Scans `archive` (v3 chunked or v2 single container, told apart by
+/// magic) and reports per-chunk integrity.  `key` is only used to check
+/// HMAC tags on authenticated containers; pass empty to verify keyless
+/// (tags are then reported MacCheck::kNoKey, not failures).  Never
+/// throws on corrupt input — damage lands in the report.
+VerifyReport verify_archive(BytesView archive, BytesView key = {});
+
+}  // namespace szsec::archive

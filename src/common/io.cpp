@@ -1,7 +1,9 @@
 #include "common/io.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #ifdef _WIN32
 #include <io.h>
@@ -20,7 +22,51 @@ std::string errno_message(const std::string& what) {
   return what + ": " + std::strerror(errno);
 }
 
+/// errno_message + the captured code in one IoError.
+IoError errno_error(const std::string& what) {
+  return IoError(errno_message(what), errno);
+}
+
+/// True when an fsync-style call failed only because the descriptor has
+/// no stable storage behind it (pipe, tty, some special files) — not a
+/// durability failure, there was never anything to make durable.
+bool sync_unsupported(int err) {
+  return err == EINVAL || err == ENOTSUP || err == EROFS
+#ifdef ENOTTY
+         || err == ENOTTY
+#endif
+      ;
+}
+
 }  // namespace
+
+bool io_error_is_transient(int error_code) {
+  if (error_code == kShortWriteError) return true;
+#ifdef _WIN32
+  return error_code == EINTR || error_code == EAGAIN;
+#else
+  return error_code == EINTR || error_code == EAGAIN ||
+         error_code == EWOULDBLOCK;
+#endif
+}
+
+uint32_t RetryPolicy::delay_us(int retry) const {
+  if (base_delay_us == 0 || retry <= 0) return 0;
+  // Saturating base << (retry - 1), capped at max_delay_us.
+  uint64_t d = base_delay_us;
+  d <<= std::min(retry - 1, 32);
+  return static_cast<uint32_t>(std::min<uint64_t>(d, max_delay_us));
+}
+
+void RetryPolicy::backoff(int retry) const {
+  const uint32_t us = delay_us(retry);
+  if (us == 0) return;
+  if (sleeper) {
+    sleeper(us);
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
 
 size_t read_full(ByteSource& src, std::span<uint8_t> out) {
   size_t got = 0;
@@ -35,9 +81,11 @@ size_t read_full(ByteSource& src, std::span<uint8_t> out) {
 // ---------------------------------------------------------------------
 // FileSource / FileSink
 
-FileSource::FileSource(const std::string& path)
-    : file_(std::fopen(path.c_str(), "rb")), owned_(true) {
-  if (file_ == nullptr) throw IoError(errno_message("cannot open " + path));
+FileSource::FileSource(const std::string& path, RetryPolicy retry)
+    : file_(std::fopen(path.c_str(), "rb")),
+      owned_(true),
+      retry_(std::move(retry)) {
+  if (file_ == nullptr) throw errno_error("cannot open " + path);
 }
 
 FileSource::~FileSource() {
@@ -46,16 +94,24 @@ FileSource::~FileSource() {
 
 size_t FileSource::read(std::span<uint8_t> out) {
   if (out.empty()) return 0;
-  const size_t n = std::fread(out.data(), 1, out.size(), file_);
-  if (n == 0 && std::ferror(file_) != 0) {
-    throw IoError(errno_message("file read failed"));
+  for (int attempt = 1;; ++attempt) {
+    const size_t n = std::fread(out.data(), 1, out.size(), file_);
+    if (n > 0 || std::ferror(file_) == 0) return n;  // data or EOF
+    const int err = errno;
+    std::clearerr(file_);
+    if (!io_error_is_transient(err) || attempt >= retry_.max_attempts) {
+      errno = err;
+      throw errno_error("file read failed");
+    }
+    retry_.backoff(attempt);
   }
-  return n;
 }
 
-FileSink::FileSink(const std::string& path)
-    : file_(std::fopen(path.c_str(), "wb")), owned_(true) {
-  if (file_ == nullptr) throw IoError(errno_message("cannot create " + path));
+FileSink::FileSink(const std::string& path, RetryPolicy retry)
+    : file_(std::fopen(path.c_str(), "wb")),
+      owned_(true),
+      retry_(std::move(retry)) {
+  if (file_ == nullptr) throw errno_error("cannot create " + path);
 }
 
 FileSink::~FileSink() {
@@ -63,16 +119,46 @@ FileSink::~FileSink() {
 }
 
 void FileSink::write(BytesView data) {
-  if (data.empty()) return;
-  if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
-    throw IoError(errno_message("file write failed"));
+  size_t done = 0;
+  int attempt = 1;
+  while (done < data.size()) {
+    const size_t n =
+        std::fwrite(data.data() + done, 1, data.size() - done, file_);
+    done += n;
+    if (done == data.size()) return;
+    // Partial count: a transient condition (EINTR, EAGAIN) or a short
+    // write with no errno — resume from the accepted bytes per policy.
+    const int err = std::ferror(file_) != 0 ? errno : kShortWriteError;
+    std::clearerr(file_);
+    if (!io_error_is_transient(err) || attempt >= retry_.max_attempts) {
+      if (err == kShortWriteError) {
+        throw IoError("file write failed: short write", kShortWriteError);
+      }
+      errno = err;
+      throw errno_error("file write failed");
+    }
+    retry_.backoff(attempt);
+    ++attempt;
   }
 }
 
 void FileSink::flush() {
   if (std::fflush(file_) != 0) {
-    throw IoError(errno_message("file flush failed"));
+    throw errno_error("file flush failed");
   }
+}
+
+void FileSink::sync() {
+  flush();
+#ifdef _WIN32
+  if (::_commit(::_fileno(file_)) != 0 && !sync_unsupported(errno)) {
+    throw errno_error("file sync failed");
+  }
+#else
+  if (::fsync(::fileno(file_)) != 0 && !sync_unsupported(errno)) {
+    throw errno_error("file sync failed");
+  }
+#endif
 }
 
 // ---------------------------------------------------------------------
@@ -80,20 +166,29 @@ void FileSink::flush() {
 
 size_t FdSource::read(std::span<uint8_t> out) {
   if (out.empty()) return 0;
+  for (int attempt = 1;; ++attempt) {
 #ifdef _WIN32
-  const auto n = ::_read(fd_, out.data(), static_cast<unsigned>(out.size()));
+    const auto n =
+        ::_read(fd_, out.data(), static_cast<unsigned>(out.size()));
 #else
-  ssize_t n;
-  do {
-    n = ::read(fd_, out.data(), out.size());
-  } while (n < 0 && errno == EINTR);
+    ssize_t n;
+    do {
+      n = ::read(fd_, out.data(), out.size());
+    } while (n < 0 && errno == EINTR);
 #endif
-  if (n < 0) throw IoError(errno_message("fd read failed"));
-  return static_cast<size_t>(n);
+    if (n >= 0) return static_cast<size_t>(n);
+    const int err = errno;
+    if (!io_error_is_transient(err) || attempt >= retry_.max_attempts) {
+      errno = err;
+      throw errno_error("fd read failed");
+    }
+    retry_.backoff(attempt);
+  }
 }
 
 void FdSink::write(BytesView data) {
   size_t done = 0;
+  int attempt = 1;
   while (done < data.size()) {
 #ifdef _WIN32
     const auto n = ::_write(fd_, data.data() + done,
@@ -104,9 +199,165 @@ void FdSink::write(BytesView data) {
       n = ::write(fd_, data.data() + done, data.size() - done);
     } while (n < 0 && errno == EINTR);
 #endif
-    if (n <= 0) throw IoError(errno_message("fd write failed"));
-    done += static_cast<size_t>(n);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    const int err = n < 0 ? errno : kShortWriteError;
+    if (!io_error_is_transient(err) || attempt >= retry_.max_attempts) {
+      if (err == kShortWriteError) {
+        throw IoError("fd write failed: short write", kShortWriteError);
+      }
+      errno = err;
+      throw errno_error("fd write failed");
+    }
+    retry_.backoff(attempt);
+    ++attempt;
   }
+}
+
+void FdSink::sync() {
+#ifdef _WIN32
+  if (::_commit(fd_) != 0 && !sync_unsupported(errno)) {
+    throw errno_error("fd sync failed");
+  }
+#else
+  int r;
+  do {
+    r = ::fdatasync(fd_);
+  } while (r != 0 && errno == EINTR);
+  if (r != 0 && !sync_unsupported(errno)) {
+    throw errno_error("fd sync failed");
+  }
+#endif
+}
+
+// ---------------------------------------------------------------------
+// AtomicFileSink
+
+AtomicFileSink::AtomicFileSink(const std::string& path, RetryPolicy retry)
+    : path_(path), retry_(std::move(retry)) {
+#ifdef _WIN32
+  throw IoError("atomic file sinks are not supported on this platform");
+#else
+  temp_path_ = path + ".tmp.XXXXXX";
+  fd_ = ::mkstemp(temp_path_.data());
+  if (fd_ < 0) {
+    temp_path_.clear();
+    throw errno_error("cannot create temp file for " + path);
+  }
+#endif
+}
+
+AtomicFileSink::~AtomicFileSink() { discard(); }
+
+void AtomicFileSink::write(BytesView data) {
+#ifndef _WIN32
+  if (fd_ < 0) {
+    throw IoError("write on a committed/discarded atomic sink: " + path_,
+                  EBADF);
+  }
+  size_t done = 0;
+  int attempt = 1;
+  while (done < data.size()) {
+    ssize_t n;
+    do {
+      n = ::write(fd_, data.data() + done, data.size() - done);
+    } while (n < 0 && errno == EINTR);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    const int err = n < 0 ? errno : kShortWriteError;
+    if (!io_error_is_transient(err) || attempt >= retry_.max_attempts) {
+      if (err == kShortWriteError) {
+        throw IoError("atomic write failed: short write", kShortWriteError);
+      }
+      errno = err;
+      throw errno_error("atomic write to " + temp_path_ + " failed");
+    }
+    retry_.backoff(attempt);
+    ++attempt;
+  }
+#endif
+}
+
+void AtomicFileSink::sync() {
+#ifndef _WIN32
+  if (fd_ < 0) return;
+  int r;
+  do {
+    r = ::fsync(fd_);
+  } while (r != 0 && errno == EINTR);
+  if (r != 0 && !sync_unsupported(errno)) {
+    throw errno_error("fsync " + temp_path_ + " failed");
+  }
+#endif
+}
+
+void AtomicFileSink::commit() {
+#ifndef _WIN32
+  if (fd_ < 0 || committed_) {
+    throw IoError("commit on a committed/discarded atomic sink: " + path_,
+                  EBADF);
+  }
+  // 1. The temp file's bytes must be durable BEFORE the rename makes
+  //    them visible — otherwise a crash could publish an empty name.
+  int r;
+  do {
+    r = ::fsync(fd_);
+  } while (r != 0 && errno == EINTR);
+  if (r != 0) {
+    IoError e = errno_error("fsync " + temp_path_ + " failed");
+    discard();
+    throw e;
+  }
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) {
+    IoError e = errno_error("close " + temp_path_ + " failed");
+    discard();
+    throw e;
+  }
+  // 2. Atomically swap the complete temp file in over the target.
+  if (::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    IoError e = errno_error("rename to " + path_ + " failed");
+    discard();
+    throw e;
+  }
+  committed_ = true;
+  // 3. Persist the rename itself: fsync the containing directory.  The
+  //    new file is already complete under the final name; a failure
+  //    here is an operational error, never a torn archive.
+  const size_t slash = path_.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path_.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd < 0) throw errno_error("cannot open directory " + dir);
+  do {
+    r = ::fsync(dfd);
+  } while (r != 0 && errno == EINTR);
+  const int err = errno;
+  ::close(dfd);
+  if (r != 0 && !sync_unsupported(err)) {
+    errno = err;
+    throw errno_error("fsync directory " + dir + " failed");
+  }
+#endif
+}
+
+void AtomicFileSink::discard() noexcept {
+#ifndef _WIN32
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!committed_ && !temp_path_.empty()) {
+    ::unlink(temp_path_.c_str());
+    temp_path_.clear();
+  }
+#endif
 }
 
 // ---------------------------------------------------------------------
@@ -117,18 +368,18 @@ MmapSource::MmapSource(const std::string& path) {
   throw IoError("mmap sources are not supported on this platform");
 #else
   const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) throw IoError(errno_message("cannot open " + path));
+  if (fd < 0) throw errno_error("cannot open " + path);
   struct stat st{};
   if (::fstat(fd, &st) != 0) {
     ::close(fd);
-    throw IoError(errno_message("cannot stat " + path));
+    throw errno_error("cannot stat " + path);
   }
   size_ = static_cast<size_t>(st.st_size);
   if (size_ > 0) {
     void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
     if (p == MAP_FAILED) {
       ::close(fd);
-      throw IoError(errno_message("cannot mmap " + path));
+      throw errno_error("cannot mmap " + path);
     }
     data_ = static_cast<const uint8_t*>(p);
   }
@@ -158,7 +409,7 @@ FrameSpool::FrameSpool(Backing backing) : backing_(backing) {
   if (backing_ == Backing::kTempFile) {
     file_ = std::tmpfile();  // unlinked on creation, freed on close
     if (file_ == nullptr) {
-      throw IoError(errno_message("cannot create spool temp file"));
+      throw errno_error("cannot create spool temp file");
     }
   }
 }
@@ -173,7 +424,7 @@ void FrameSpool::write(BytesView data) {
     mem_.insert(mem_.end(), data.begin(), data.end());
   } else if (std::fwrite(data.data(), 1, data.size(), file_) !=
              data.size()) {
-    throw IoError(errno_message("spool write failed"));
+    throw errno_error("spool write failed");
   }
   size_ += data.size();
 }
@@ -187,7 +438,7 @@ void FrameSpool::replay(ByteSink& out) {
     return;
   }
   if (std::fflush(file_) != 0 || std::fseek(file_, 0, SEEK_SET) != 0) {
-    throw IoError(errno_message("spool rewind failed"));
+    throw errno_error("spool rewind failed");
   }
   Bytes block(256 * 1024);
   uint64_t left = size_;
@@ -195,13 +446,13 @@ void FrameSpool::replay(ByteSink& out) {
     const size_t want =
         static_cast<size_t>(std::min<uint64_t>(left, block.size()));
     if (std::fread(block.data(), 1, want, file_) != want) {
-      throw IoError(errno_message("spool read-back failed"));
+      throw errno_error("spool read-back failed");
     }
     out.write(BytesView(block.data(), want));
     left -= want;
   }
   if (std::fseek(file_, 0, SEEK_SET) != 0) {
-    throw IoError(errno_message("spool reset failed"));
+    throw errno_error("spool reset failed");
   }
   size_ = 0;
 }

@@ -18,9 +18,23 @@
 // length must be known before it may be emitted (the v3 index precedes
 // the frames): in-memory for small outputs, via an unlinked temp file
 // when the caller wants RSS bounded.
+// Durability model (see docs/ARCHITECTURE.md, "Durability & failure
+// model" for the full story):
+//  * flush() pushes buffered bytes to the OS — after it returns, the
+//    data survives a process crash but NOT a power loss.
+//  * sync() additionally asks the OS to push the bytes to stable
+//    storage (fsync/fdatasync) — after it returns, the data survives a
+//    power loss.  Sinks with no meaningful durability (memory, pipes)
+//    treat sync() as flush().
+//  * AtomicFileSink is the all-or-nothing path: bytes go to a
+//    same-directory temp file and only an explicit commit() (fsync +
+//    rename + directory fsync) makes them visible under the final name.
+//    Any other outcome — exception, early destruction, discard() —
+//    unlinks the temp file and leaves a pre-existing target untouched.
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <span>
 #include <string>
 
@@ -30,12 +44,75 @@
 
 namespace szsec {
 
+/// Synthetic IoError code for a short write the OS reported without an
+/// errno (e.g. fwrite returning a partial count).  Classified transient:
+/// the remainder may well succeed on retry.
+inline constexpr int kShortWriteError = -1;
+
+/// True when `error_code` names a failure worth retrying: EINTR, EAGAIN/
+/// EWOULDBLOCK, and the synthetic short-write code.  Everything else —
+/// ENOSPC, EBADF, EPIPE, EIO, ... — is permanent: retrying cannot help,
+/// surface it to the caller immediately.
+bool io_error_is_transient(int error_code);
+
 /// Thrown by file/fd sources and sinks on operating-system I/O failure
 /// (including EPIPE on a closed pipe).  Distinct from CorruptError: the
-/// bytes were fine, moving them failed.
+/// bytes were fine, moving them failed.  Carries the errno (when one was
+/// captured) and its transient/permanent classification so retry layers
+/// and the CLI's exit-code contract can branch without string matching.
 class IoError : public Error {
  public:
-  explicit IoError(const std::string& what) : Error(what) {}
+  explicit IoError(const std::string& what, int error_code = 0)
+      : Error(what), error_code_(error_code) {}
+
+  /// The captured errno value, kShortWriteError for a short write, or 0
+  /// when the failure carried no OS error code.
+  int error_code() const { return error_code_; }
+
+  /// True when retrying the same operation may succeed (see
+  /// io_error_is_transient).  A code of 0 (unknown) is permanent.
+  bool transient() const { return io_error_is_transient(error_code_); }
+
+ private:
+  int error_code_ = 0;
+};
+
+/// Bounded, deterministic retry schedule for transient I/O failures.
+/// The backoff delay is a pure function of the attempt index — no
+/// ambient clock is ever read — and the sleep itself goes through an
+/// injectable `sleeper`, so tests can record the schedule instead of
+/// waiting it out (tools/check_test_determinism.py bans real clocks in
+/// test code).  max_attempts == 1 disables retrying entirely, which is
+/// the default: callers opt in per sink/source.
+struct RetryPolicy {
+  /// Total tries for one operation (first attempt included).
+  int max_attempts = 1;
+  /// Delay before the first retry; doubles per further retry.
+  uint32_t base_delay_us = 0;
+  /// Upper bound on any single delay.
+  uint32_t max_delay_us = 100000;
+  /// Receives each backoff delay.  nullptr uses a real sleep — fine for
+  /// production, never reached in deterministic tests (which inject a
+  /// recording sleeper).
+  std::function<void(uint32_t delay_us)> sleeper;
+
+  /// The delay before retry number `retry` (1-based), deterministic in
+  /// the index alone: min(max_delay_us, base_delay_us << (retry - 1)).
+  uint32_t delay_us(int retry) const;
+
+  /// Sleeps delay_us(retry) through the injected sleeper (or a real
+  /// sleep when none was injected).  A zero delay never sleeps.
+  void backoff(int retry) const;
+
+  /// No retrying (the default).
+  static RetryPolicy none() { return {}; }
+  /// Production default: 4 attempts, 100us initial backoff.
+  static RetryPolicy standard() {
+    RetryPolicy p;
+    p.max_attempts = 4;
+    p.base_delay_us = 100;
+    return p;
+  }
 };
 
 /// An ordered stream of bytes to read.  Implementations may return fewer
@@ -57,6 +134,13 @@ size_t read_full(ByteSource& src, std::span<uint8_t> out);
 /// An ordered stream of bytes to write.  write() either accepts the
 /// whole view or throws (IoError for OS failures) — there are no short
 /// writes at this interface.
+///
+/// Durability after flush(): NONE of the sinks below guarantee the
+/// bytes survive a power loss after flush() alone — flush() only moves
+/// buffered bytes to the OS (FileSink) or is a no-op (FdSink writes are
+/// unbuffered; MemorySink has no backing store).  Call sync() for a
+/// stable-storage guarantee; only FileSink, FdSink and AtomicFileSink
+/// back it with a real fsync/fdatasync.
 class ByteSink {
  public:
   virtual ~ByteSink() = default;
@@ -65,6 +149,11 @@ class ByteSink {
   /// Pushes buffered bytes toward the final destination (no-op for
   /// unbuffered sinks).
   virtual void flush() {}
+  /// flush(), then asks the OS to persist the bytes to stable storage
+  /// where the sink has one (fsync/fdatasync).  Defaults to flush() for
+  /// sinks with nothing durable behind them; adapters forward to their
+  /// inner sink.
+  virtual void sync() { flush(); }
 };
 
 // ---------------------------------------------------------------------
@@ -107,13 +196,14 @@ class MemorySink final : public ByteSink {
 // Files and file descriptors
 
 /// Reads from a C stream.  Owns the FILE* only when constructed from a
-/// path.
+/// path.  Transient read failures (EINTR/EAGAIN) retry per `retry`.
 class FileSource final : public ByteSource {
  public:
   /// Borrows an open stream (not closed on destruction).
-  explicit FileSource(std::FILE* f) : file_(f) {}
+  explicit FileSource(std::FILE* f, RetryPolicy retry = {})
+      : file_(f), retry_(std::move(retry)) {}
   /// Opens `path` for binary reading; throws IoError on failure.
-  explicit FileSource(const std::string& path);
+  explicit FileSource(const std::string& path, RetryPolicy retry = {});
   ~FileSource() override;
 
   FileSource(const FileSource&) = delete;
@@ -124,15 +214,20 @@ class FileSource final : public ByteSource {
  private:
   std::FILE* file_ = nullptr;
   bool owned_ = false;
+  RetryPolicy retry_;
 };
 
 /// Writes to a C stream; write failures (ferror) throw IoError.  Owns
-/// the FILE* only when constructed from a path.
+/// the FILE* only when constructed from a path.  Transient failures —
+/// EINTR, EAGAIN, short fwrite counts — resume from the bytes already
+/// accepted and retry per `retry`; flush() makes the bytes crash-safe,
+/// sync() power-loss-safe.
 class FileSink final : public ByteSink {
  public:
-  explicit FileSink(std::FILE* f) : file_(f) {}
+  explicit FileSink(std::FILE* f, RetryPolicy retry = {})
+      : file_(f), retry_(std::move(retry)) {}
   /// Opens (truncates) `path` for binary writing; throws IoError.
-  explicit FileSink(const std::string& path);
+  explicit FileSink(const std::string& path, RetryPolicy retry = {});
   ~FileSink() override;
 
   FileSink(const FileSink&) = delete;
@@ -140,35 +235,89 @@ class FileSink final : public ByteSink {
 
   void write(BytesView data) override;
   void flush() override;
+  /// fflush + fsync.  A stream with no syncable descriptor behind it
+  /// (pipe, tty) is flushed only — the OS reports that as EINVAL/
+  /// ENOTSUP, which is ignored, not an error.
+  void sync() override;
 
  private:
   std::FILE* file_ = nullptr;
   bool owned_ = false;
+  RetryPolicy retry_;
 };
 
 /// Reads from a POSIX file descriptor (not closed on destruction) —
-/// stdin piping uses FdSource(0).
+/// stdin piping uses FdSource(0).  EINTR is always retried; EAGAIN
+/// retries per `retry`.
 class FdSource final : public ByteSource {
  public:
-  explicit FdSource(int fd) : fd_(fd) {}
+  explicit FdSource(int fd, RetryPolicy retry = {})
+      : fd_(fd), retry_(std::move(retry)) {}
 
   size_t read(std::span<uint8_t> out) override;
 
  private:
   int fd_;
+  RetryPolicy retry_;
 };
 
 /// Writes to a POSIX file descriptor (not closed on destruction); a
 /// failed ::write — EPIPE included — throws IoError.  stdout piping uses
-/// FdSink(1).
+/// FdSink(1).  EINTR is always retried; EAGAIN and zero-byte writes
+/// retry per `retry`, resuming from the bytes already accepted.
 class FdSink final : public ByteSink {
  public:
-  explicit FdSink(int fd) : fd_(fd) {}
+  explicit FdSink(int fd, RetryPolicy retry = {})
+      : fd_(fd), retry_(std::move(retry)) {}
 
   void write(BytesView data) override;
+  /// fdatasync; EINVAL/ENOTSUP (pipe, tty) is ignored.
+  void sync() override;
 
  private:
   int fd_;
+  RetryPolicy retry_;
+};
+
+/// All-or-nothing file writes: bytes land in a same-directory temp file
+/// (`<path>.tmp.XXXXXX`), and only commit() — fsync, rename over
+/// `path`, fsync of the directory — makes them visible under the final
+/// name.  Until then a pre-existing file at `path` stays untouched, so
+/// a crash, an exception, or discard() can never leave a torn archive
+/// where a complete one used to be: readers see the complete old file
+/// or the complete new file, never a partial.  Destruction without
+/// commit() unlinks the temp file.  POSIX-only (like MmapSource).
+class AtomicFileSink final : public ByteSink {
+ public:
+  /// Creates the temp file next to `path`; throws IoError on failure.
+  explicit AtomicFileSink(const std::string& path, RetryPolicy retry = {});
+  ~AtomicFileSink() override;
+
+  AtomicFileSink(const AtomicFileSink&) = delete;
+  AtomicFileSink& operator=(const AtomicFileSink&) = delete;
+
+  void write(BytesView data) override;
+  void sync() override;
+
+  /// Publishes the temp file under the final name (fsync + rename +
+  /// directory fsync).  Throws IoError on failure — the temp file is
+  /// unlinked and the old target survives.  Call at most once; writes
+  /// after commit() throw.
+  void commit();
+
+  /// Abandons the temp file (idempotent; commit() disables it).
+  void discard() noexcept;
+
+  bool committed() const { return committed_; }
+  /// The temp path bytes are staged in until commit() (for tests).
+  const std::string& temp_path() const { return temp_path_; }
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  int fd_ = -1;
+  RetryPolicy retry_;
+  bool committed_ = false;
 };
 
 /// Memory-maps a whole file read-only.  Doubles as a ByteSource and as a
@@ -212,6 +361,9 @@ class CountingSink final : public ByteSink {
   void flush() override {
     if (inner_ != nullptr) inner_->flush();
   }
+  void sync() override {
+    if (inner_ != nullptr) inner_->sync();
+  }
 
   uint64_t count() const { return count_; }
 
@@ -232,6 +384,9 @@ class Crc32Sink final : public ByteSink {
   }
   void flush() override {
     if (inner_ != nullptr) inner_->flush();
+  }
+  void sync() override {
+    if (inner_ != nullptr) inner_->sync();
   }
 
   uint32_t crc() const { return crc_; }
@@ -298,6 +453,72 @@ class ConcatSource final : public ByteSource {
   BytesView head_;
   ByteSource& tail_;
   size_t pos_ = 0;
+};
+
+/// Retries transient read failures from any inner source (endpoint
+/// retry covers only OS-level errno; this adapter composes the same
+/// policy over arbitrary sources — notably the fault-injection sources
+/// in src/testing).  Sound for any source: a read that threw delivered
+/// no bytes, so repeating it never duplicates data.  Permanent errors
+/// and non-IoError exceptions pass straight through.
+class RetrySource final : public ByteSource {
+ public:
+  RetrySource(ByteSource& inner, RetryPolicy policy)
+      : inner_(inner), policy_(std::move(policy)) {}
+
+  size_t read(std::span<uint8_t> out) override {
+    for (int attempt = 1;; ++attempt) {
+      try {
+        return inner_.read(out);
+      } catch (const IoError& e) {
+        if (!e.transient() || attempt >= policy_.max_attempts) throw;
+        ++retries_;
+        policy_.backoff(attempt);
+      }
+    }
+  }
+
+  /// Transient failures absorbed so far (observability / tests).
+  uint64_t retries() const { return retries_; }
+
+ private:
+  ByteSource& inner_;
+  RetryPolicy policy_;
+  uint64_t retries_ = 0;
+};
+
+/// Retries transient write failures against an inner sink.  Only sound
+/// when the inner sink is all-or-nothing on a transient failure (it
+/// accepted none of the view before throwing) — true of every sink in
+/// this header, whose endpoint loops resume internally and only throw
+/// transient codes before consuming input.  Permanent errors pass
+/// through.
+class RetrySink final : public ByteSink {
+ public:
+  RetrySink(ByteSink& inner, RetryPolicy policy)
+      : inner_(inner), policy_(std::move(policy)) {}
+
+  void write(BytesView data) override {
+    for (int attempt = 1;; ++attempt) {
+      try {
+        inner_.write(data);
+        return;
+      } catch (const IoError& e) {
+        if (!e.transient() || attempt >= policy_.max_attempts) throw;
+        ++retries_;
+        policy_.backoff(attempt);
+      }
+    }
+  }
+  void flush() override { inner_.flush(); }
+  void sync() override { inner_.sync(); }
+
+  uint64_t retries() const { return retries_; }
+
+ private:
+  ByteSink& inner_;
+  RetryPolicy policy_;
+  uint64_t retries_ = 0;
 };
 
 // ---------------------------------------------------------------------

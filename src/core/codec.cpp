@@ -358,6 +358,14 @@ const PipelineSpec& PipelineSpec::for_scheme(Scheme scheme) {
   }
 }
 
+Bytes derive_auth_key(BytesView key) {
+  SZSEC_REQUIRE(!key.empty(), "authentication requires a key");
+  static const char kInfo[] = "szsec-auth-v1";
+  return crypto::hkdf_sha256(
+      key, /*salt=*/{},
+      BytesView(reinterpret_cast<const uint8_t*>(kInfo), sizeof(kInfo)), 32);
+}
+
 CodecRuntime::CodecRuntime(sz::Params params, Scheme scheme, BytesView key,
                            CipherSpec spec)
     : params_(params), scheme_(scheme), spec_(spec) {
@@ -367,12 +375,7 @@ CodecRuntime::CodecRuntime(sz::Params params, Scheme scheme, BytesView key,
     cipher_.emplace(spec_.kind, key);
   }
   if (spec_.authenticate) {
-    SZSEC_REQUIRE(!key.empty(), "authentication requires a key");
-    static const char kInfo[] = "szsec-auth-v1";
-    auth_key_ = crypto::hkdf_sha256(
-        key, /*salt=*/{},
-        BytesView(reinterpret_cast<const uint8_t*>(kInfo), sizeof(kInfo)),
-        32);
+    auth_key_ = derive_auth_key(key);
   }
 }
 

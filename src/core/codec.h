@@ -79,6 +79,12 @@ Header peek_header(BytesView container);
 
 namespace codec {
 
+/// The HKDF-SHA256-derived MAC key ("szsec-auth-v1" info string) behind
+/// every authenticated container.  CodecRuntime derives it once per
+/// runtime; read-only tooling (archive verification) calls it directly
+/// to check tags without building a full codec runtime.
+Bytes derive_auth_key(BytesView key);
+
 /// Owns the material a CodecConfig points at (cipher key schedule, the
 /// HKDF-derived MAC key) and validates the key/scheme/spec combination
 /// once.  Immutable after construction and safe to share across

@@ -1,0 +1,176 @@
+// Fault-injecting ByteSource/ByteSink adapters for the durability
+// campaign (tests/durability_test.cpp) and the retry-layer tests.
+//
+// Where src/testing/fault_injection.h mutates archive *bytes* (flip a
+// bit, drop a chunk), these adapters break the *transport*: a read or
+// write fails at byte N, stutters with transient errors, runs out of
+// disk, or silently loses its tail like a power cut mid-write.  They
+// compose with every other adapter in common/io.h — wrap a FaultySource
+// in a RetrySource to prove transient bursts are absorbed, or put a
+// CountingSink behind a FaultySink to see exactly how many bytes
+// "reached disk" before the fault.
+//
+// All randomness is PropRng-seeded: a failing campaign case reproduces
+// from its printed seed alone (tools/check_test_determinism.py).
+#pragma once
+
+#include <algorithm>
+#include <cerrno>
+
+#include "common/io.h"
+#include "testing/rng.h"
+
+namespace szsec::testing {
+
+/// "Never" sentinel for the byte-offset triggers below.
+inline constexpr uint64_t kNeverFault = ~uint64_t{0};
+
+/// One adapter's fault schedule.  Offsets count bytes through the
+/// adapter from construction; every trigger defaults to "never".
+struct FaultPlan {
+  /// Throw a PERMANENT IoError (`fail_errno`) once the stream position
+  /// reaches this offset.  A sink delivers the bytes that fit below the
+  /// boundary first — exactly like a real disk filling up mid-write.
+  uint64_t fail_at = kNeverFault;
+  int fail_errno = ENOSPC;
+  /// Source: report end-of-stream at this offset (truncated file).
+  /// Sink: silently DROP bytes past this offset while reporting success
+  /// — the kill-style torn write of a power cut, where the writer
+  /// believes the tail was written but it never reached the platter.
+  uint64_t truncate_at = kNeverFault;
+  /// Per-call probability of starting a transient-error burst.
+  double transient_rate = 0.0;
+  /// Consecutive transient IoErrors per burst (EINTR, retryable).
+  uint32_t burst_len = 1;
+};
+
+/// ByteSource wrapper executing a FaultPlan.  Transient throws consume
+/// nothing (the read may simply be repeated), so RetrySource composes
+/// soundly on top.
+class FaultySource final : public ByteSource {
+ public:
+  FaultySource(ByteSource& inner, const FaultPlan& plan, uint64_t seed = 1)
+      : inner_(inner), plan_(plan), rng_(seed) {}
+
+  size_t read(std::span<uint8_t> out) override {
+    if (out.empty()) return 0;
+    maybe_transient("injected transient read fault");
+    if (pos_ >= plan_.fail_at) {
+      throw IoError("injected read fault", plan_.fail_errno);
+    }
+    if (pos_ >= plan_.truncate_at) return 0;  // truncated: early EOF
+    size_t want = out.size();
+    want = static_cast<size_t>(
+        std::min<uint64_t>(want, plan_.fail_at - pos_));
+    want = static_cast<size_t>(
+        std::min<uint64_t>(want, plan_.truncate_at - pos_));
+    const size_t n = inner_.read(out.subspan(0, want));
+    pos_ += n;
+    return n;
+  }
+
+  /// Bytes successfully delivered so far.
+  uint64_t position() const { return pos_; }
+  /// Transient faults thrown so far.
+  uint64_t faults() const { return faults_; }
+
+ private:
+  void maybe_transient(const char* what) {
+    if (burst_ > 0) {
+      --burst_;
+      ++faults_;
+      throw IoError(what, EINTR);
+    }
+    if (plan_.transient_rate > 0 && rng_.chance(plan_.transient_rate)) {
+      burst_ = plan_.burst_len > 0 ? plan_.burst_len - 1 : 0;
+      ++faults_;
+      throw IoError(what, EINTR);
+    }
+  }
+
+  ByteSource& inner_;
+  FaultPlan plan_;
+  PropRng rng_;
+  uint64_t pos_ = 0;
+  uint64_t faults_ = 0;
+  uint32_t burst_ = 0;
+};
+
+/// ByteSink wrapper executing a FaultPlan.  Transient throws happen
+/// BEFORE any byte is forwarded (all-or-nothing), so RetrySink's
+/// repeat-the-whole-view retry never duplicates data.  A fail_at fault
+/// forwards the prefix that fits, then throws — the caller's view of a
+/// disk that filled up mid-write.  truncate_at silently swallows the
+/// tail while reporting success (torn write).
+class FaultySink final : public ByteSink {
+ public:
+  /// `inner` may be null (bytes are swallowed, faults still fire).
+  FaultySink(ByteSink* inner, const FaultPlan& plan, uint64_t seed = 1)
+      : inner_(inner), plan_(plan), rng_(seed) {}
+
+  void write(BytesView data) override {
+    if (data.empty()) return;
+    maybe_transient();
+    if (pos_ >= plan_.fail_at) {
+      throw IoError("injected write fault", plan_.fail_errno);
+    }
+    const uint64_t fits = plan_.fail_at - pos_;
+    if (data.size() > fits) {
+      deliver(data.subspan(0, static_cast<size_t>(fits)));
+      pos_ = plan_.fail_at;
+      throw IoError("injected write fault", plan_.fail_errno);
+    }
+    deliver(data);
+    pos_ += data.size();
+  }
+
+  void flush() override {
+    if (inner_ != nullptr) inner_->flush();
+  }
+  void sync() override {
+    if (inner_ != nullptr) inner_->sync();
+  }
+
+  /// Bytes the writer believes were written.
+  uint64_t position() const { return pos_; }
+  /// Bytes that actually reached the inner sink (== position() until
+  /// truncate_at, frozen after).
+  uint64_t committed() const { return committed_; }
+  uint64_t faults() const { return faults_; }
+
+ private:
+  void maybe_transient() {
+    if (burst_ > 0) {
+      --burst_;
+      ++faults_;
+      throw IoError("injected transient write fault", EINTR);
+    }
+    if (plan_.transient_rate > 0 && rng_.chance(plan_.transient_rate)) {
+      burst_ = plan_.burst_len > 0 ? plan_.burst_len - 1 : 0;
+      ++faults_;
+      throw IoError("injected transient write fault", EINTR);
+    }
+  }
+
+  /// Forwards the part of [pos_, pos_+data.size()) below truncate_at.
+  void deliver(BytesView data) {
+    if (inner_ == nullptr || data.empty()) return;
+    if (pos_ >= plan_.truncate_at) return;  // whole view lost
+    const uint64_t keep = plan_.truncate_at - pos_;
+    const BytesView kept =
+        data.size() > keep ? data.subspan(0, static_cast<size_t>(keep))
+                           : data;
+    inner_->write(kept);
+    committed_ += kept.size();
+  }
+
+  ByteSink* inner_;
+  FaultPlan plan_;
+  PropRng rng_;
+  uint64_t pos_ = 0;
+  uint64_t committed_ = 0;
+  uint64_t faults_ = 0;
+  uint32_t burst_ = 0;
+};
+
+}  // namespace szsec::testing

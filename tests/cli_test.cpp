@@ -1,8 +1,9 @@
 // End-to-end coverage of the szsec_cli binary: compress / decompress /
-// info round trips through real temp files, the v3 chunked path
-// (--chunks/--threads), and the documented exit-code contract
-// (0 success, 1 szsec::Error, 2 usage error).  The binary path is
-// injected by CMake as SZSEC_CLI_PATH.
+// info / verify round trips through real temp files, the v3 chunked
+// path (--chunks/--threads), atomic output publication, and the
+// documented exit-code contract (0 success, 1 data error, 2 usage or
+// operational I/O error).  The binary path is injected by CMake as
+// SZSEC_CLI_PATH.
 #include <gtest/gtest.h>
 #include <sys/wait.h>
 
@@ -191,9 +192,11 @@ TEST_F(CliTest, PipeCompressDecompressRoundTrip) {
 }
 
 // A reader hanging up mid-stream (head -c) must surface as the
-// documented exit code 1 — EPIPE becomes an IoError, not a SIGPIPE
-// death (which would report 128+13 through the shell).
-TEST_F(CliTest, BrokenPipeExitsOne) {
+// documented exit code 2 for operational I/O failures — EPIPE becomes
+// an IoError, not a SIGPIPE death (which would report 128+13 through
+// the shell) and not a data-error 1 (the archive bytes were fine; the
+// transport died).
+TEST_F(CliTest, BrokenPipeExitsTwo) {
   // Low-entropy bound on noisy data keeps the archive well past any
   // pipe buffer, so the writer is guaranteed to hit the closed end.
   const size_t n = 128 * 1024;
@@ -214,7 +217,7 @@ TEST_F(CliTest, BrokenPipeExitsOne) {
   std::ifstream code(p("bp.code"));
   int exit_code = -1;
   code >> exit_code;
-  EXPECT_EQ(exit_code, 1);
+  EXPECT_EQ(exit_code, 2);
 }
 
 TEST_F(CliTest, UsageErrorsExitTwo) {
@@ -278,6 +281,164 @@ TEST_F(CliTest, DataErrorsExitOne) {
               p("e2.log"));
   EXPECT_EQ(wrong.exit_code, 1);
   EXPECT_FALSE(fs::exists(p("wrong.bin")));
+}
+
+// No file in the output directory besides the archive itself: the
+// atomic temp file must be renamed away on success and unlinked on
+// every failure path.
+void expect_only_expected_files(const fs::path& dir) {
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.find(".tmp."), std::string::npos)
+        << "stale atomic temp file: " << name;
+  }
+}
+
+// `verify` on intact v3 and v2 archives: exit 0, per-chunk report, MAC
+// status reflecting whether a key was supplied.
+TEST_F(CliTest, VerifyCleanArchives) {
+  data::save_f32(p("in.bin").string(), wave_field(20 * 16));
+  ASSERT_EQ(run_cli("compress " + p("in.bin").string() + " " +
+                        p("v3.szs").string() +
+                        " --dims 20,16 --eb 1e-3 --scheme encr-huffman"
+                        " --auth --chunks 4 --key " +
+                        kKeyHex,
+                    p("c.log"))
+                .exit_code,
+            0);
+
+  // Keyless verify: structure + CRCs check out, MACs are reported
+  // unchecked rather than failing.
+  const RunResult nokey =
+      run_cli("verify " + p("v3.szs").string(), p("v0.log"));
+  EXPECT_EQ(nokey.exit_code, 0) << nokey.output;
+  EXPECT_NE(nokey.output.find("v3 chunked archive"), std::string::npos);
+  EXPECT_NE(nokey.output.find("4 of 4 intact"), std::string::npos)
+      << nokey.output;
+  EXPECT_NE(nokey.output.find("not checked (no key)"), std::string::npos)
+      << nokey.output;
+  EXPECT_NE(nokey.output.find("result:        clean"), std::string::npos);
+
+  // Keyed verify checks the HMAC tags too.
+  const RunResult keyed = run_cli(
+      "verify " + p("v3.szs").string() + " --key " + kKeyHex, p("v1.log"));
+  EXPECT_EQ(keyed.exit_code, 0) << keyed.output;
+  EXPECT_NE(keyed.output.find("passed"), std::string::npos) << keyed.output;
+
+  // v2 single container.
+  ASSERT_EQ(run_cli("compress " + p("in.bin").string() + " " +
+                        p("v2.szs").string() +
+                        " --dims 20,16 --eb 1e-3 --scheme cmpr-encr"
+                        " --auth --key " +
+                        kKeyHex,
+                    p("c2.log"))
+                .exit_code,
+            0);
+  const RunResult v2 = run_cli(
+      "verify " + p("v2.szs").string() + " --key " + kKeyHex, p("v2.log"));
+  EXPECT_EQ(v2.exit_code, 0) << v2.output;
+  EXPECT_NE(v2.output.find("v2 single container"), std::string::npos);
+  EXPECT_NE(v2.output.find("mac:           passed"), std::string::npos)
+      << v2.output;
+}
+
+// `verify` on damaged input: exit 1, the damaged chunk named; a wrong
+// key turns MAC checks into reported failures; a missing file stays an
+// operational error (exit 2).
+TEST_F(CliTest, VerifyDamageAndExitCodes) {
+  data::save_f32(p("in.bin").string(), wave_field(20 * 16));
+  ASSERT_EQ(run_cli("compress " + p("in.bin").string() + " " +
+                        p("v3.szs").string() +
+                        " --dims 20,16 --eb 1e-3 --scheme encr-huffman"
+                        " --auth --chunks 4 --key " +
+                        kKeyHex,
+                    p("c.log"))
+                .exit_code,
+            0);
+
+  // Flip one byte mid-archive: a chunk CRC breaks, verify reports it.
+  std::string bytes;
+  {
+    std::ifstream in(p("v3.szs"), std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    bytes = ss.str();
+  }
+  bytes[bytes.size() / 2] ^= 0x01;
+  {
+    std::ofstream out(p("torn.szs"), std::ios::binary);
+    out << bytes;
+  }
+  const RunResult torn =
+      run_cli("verify " + p("torn.szs").string(), p("t.log"));
+  EXPECT_EQ(torn.exit_code, 1) << torn.output;
+  EXPECT_NE(torn.output.find("DAMAGED"), std::string::npos) << torn.output;
+
+  // Wrong key: structure is fine but every MAC fails.
+  const RunResult wrong = run_cli(
+      "verify " + p("v3.szs").string() + " --key " + kWrongKeyHex,
+      p("w.log"));
+  EXPECT_EQ(wrong.exit_code, 1) << wrong.output;
+  EXPECT_NE(wrong.output.find("FAILED"), std::string::npos) << wrong.output;
+
+  // Truncating into the index region kills the prelude.
+  {
+    std::ofstream out(p("trunc.szs"), std::ios::binary);
+    out << bytes.substr(0, 10);
+  }
+  const RunResult trunc =
+      run_cli("verify " + p("trunc.szs").string(), p("tr.log"));
+  EXPECT_EQ(trunc.exit_code, 1) << trunc.output;
+  EXPECT_NE(trunc.output.find("prelude:       FAILED"), std::string::npos)
+      << trunc.output;
+
+  // Missing file: operational, not data.
+  EXPECT_EQ(
+      run_cli("verify " + p("gone.szs").string(), p("g.log")).exit_code, 2);
+}
+
+// Failed runs must never disturb the output path: a pre-existing file
+// survives byte-identical and no atomic temp residue is left behind.
+TEST_F(CliTest, AtomicOutputSurvivesFailures) {
+  data::save_f32(p("in.bin").string(), wave_field(64));
+  ASSERT_EQ(run_cli("compress " + p("in.bin").string() + " " +
+                        p("enc.szs").string() +
+                        " --dims 64 --eb 1e-3 --scheme encr-huffman --key " +
+                        kKeyHex,
+                    p("c.log"))
+                .exit_code,
+            0);
+
+  // Seed the output path with known bytes, then fail a decompress into
+  // it (wrong key).  The old bytes must survive untouched.
+  const std::string kOld = "precious bytes already here";
+  {
+    std::ofstream old(p("out.bin"), std::ios::binary);
+    old << kOld;
+  }
+  const RunResult wrong =
+      run_cli("decompress " + p("enc.szs").string() + " " +
+                  p("out.bin").string() + " --key " + kWrongKeyHex,
+              p("w.log"));
+  EXPECT_EQ(wrong.exit_code, 1);
+  {
+    std::ifstream in(p("out.bin"), std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), kOld) << "failed run clobbered existing output";
+  }
+
+  // A failed compress (bad dims for the input size) likewise leaves
+  // nothing behind under the target name.
+  const RunResult bad =
+      run_cli("compress " + p("in.bin").string() + " " +
+                  p("never.szs").string() + " --dims 9,9,9 --eb 1e-3"
+                  " --scheme none --chunks 2",
+              p("b.log"));
+  EXPECT_NE(bad.exit_code, 0);
+  EXPECT_FALSE(fs::exists(p("never.szs")));
+
+  expect_only_expected_files(dir_);
 }
 
 }  // namespace

@@ -1,16 +1,27 @@
 // The byte Source/Sink layer (common/io.h) and the BufferPool shrink
 // policy: the two pieces the streaming chunked codec leans on for its
-// bounded-memory guarantee.
+// bounded-memory guarantee.  Also the durability layer built on top:
+// errno-typed IoError classification, deterministic RetryPolicy,
+// Retry/Faulty adapter composition, and AtomicFileSink's
+// publish-on-commit contract.
 #include <gtest/gtest.h>
 
+#ifndef _WIN32
+#include <sys/resource.h>
+#endif
+
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <numeric>
 #include <string>
+#include <vector>
 
 #include "common/bufpool.h"
 #include "common/crc32.h"
 #include "common/io.h"
+#include "testing/fault_io.h"
 
 namespace szsec {
 namespace {
@@ -137,6 +148,253 @@ TEST(IoTest, FrameSpoolReplaysBothBackings) {
     EXPECT_EQ(spool.size(), 0u);  // replay resets the spool
   }
 }
+
+// --- durability layer -------------------------------------------------
+
+TEST(IoErrorTest, ClassifiesTransience) {
+  EXPECT_TRUE(IoError("interrupted", EINTR).transient());
+  EXPECT_TRUE(IoError("again", EAGAIN).transient());
+  EXPECT_TRUE(IoError("short", kShortWriteError).transient());
+  EXPECT_FALSE(IoError("full", ENOSPC).transient());
+  EXPECT_FALSE(IoError("bad fd", EBADF).transient());
+  EXPECT_FALSE(IoError("untyped").transient());  // default code 0
+  EXPECT_EQ(IoError("full", ENOSPC).error_code(), ENOSPC);
+  EXPECT_EQ(IoError("untyped").error_code(), 0);
+}
+
+TEST(RetryPolicyTest, DeterministicExponentialBackoff) {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  p.base_delay_us = 100;
+  p.max_delay_us = 500;
+  EXPECT_EQ(p.delay_us(1), 100u);
+  EXPECT_EQ(p.delay_us(2), 200u);
+  EXPECT_EQ(p.delay_us(3), 400u);
+  EXPECT_EQ(p.delay_us(4), 500u);  // capped
+  EXPECT_EQ(p.delay_us(60), 500u);  // shift saturates, still capped
+
+  // The injected sleeper observes exactly the deterministic schedule —
+  // no ambient clock is involved.
+  std::vector<uint32_t> slept;
+  p.sleeper = [&](uint32_t us) { slept.push_back(us); };
+  for (int retry = 1; retry <= 4; ++retry) p.backoff(retry);
+  EXPECT_EQ(slept, (std::vector<uint32_t>{100, 200, 400, 500}));
+
+  EXPECT_EQ(RetryPolicy::none().max_attempts, 1);
+  EXPECT_GE(RetryPolicy::standard().max_attempts, 3);
+}
+
+RetryPolicy instant_retries(int attempts) {
+  RetryPolicy p;
+  p.max_attempts = attempts;
+  p.base_delay_us = 1;
+  p.sleeper = [](uint32_t) {};  // tests never really sleep
+  return p;
+}
+
+TEST(FaultIoTest, RetrySourceAbsorbsTransientBursts) {
+  const Bytes data = pattern(20000);
+  MemorySource inner{BytesView(data)};
+  testing::FaultPlan plan;
+  plan.transient_rate = 0.3;
+  plan.burst_len = 2;
+  testing::FaultySource faulty(inner, plan, /*seed=*/42);
+  // Bursts can chain (a fresh 0.3 roll follows every burst), so give
+  // the retry layer plenty of slack; the seed keeps it deterministic.
+  RetrySource retry(faulty, instant_retries(32));
+  EXPECT_EQ(drain(retry, 97), data);  // every byte, despite the bursts
+  EXPECT_GT(faulty.faults(), 0u) << "plan injected no faults at all";
+  EXPECT_EQ(retry.retries(), faulty.faults());
+}
+
+TEST(FaultIoTest, RetrySinkRepeatsAllOrNothingTransients) {
+  const Bytes data = pattern(20000);
+  MemorySink mem;
+  testing::FaultPlan plan;
+  plan.transient_rate = 0.3;
+  plan.burst_len = 2;
+  testing::FaultySink faulty(&mem, plan, /*seed=*/7);
+  RetrySink retry(faulty, instant_retries(32));
+  for (size_t at = 0; at < data.size(); at += 997) {
+    retry.write(
+        BytesView(data).subspan(at, std::min<size_t>(997, data.size() - at)));
+  }
+  retry.flush();
+  EXPECT_EQ(mem.bytes(), data) << "retries duplicated or dropped bytes";
+  EXPECT_GT(faulty.faults(), 0u);
+  EXPECT_EQ(retry.retries(), faulty.faults());
+}
+
+TEST(FaultIoTest, PermanentFaultsEscapeTheRetryLayer) {
+  const Bytes data = pattern(4096);
+  MemorySink mem;
+  testing::FaultPlan plan;
+  plan.fail_at = 1000;  // disk fills after 1000 bytes
+  testing::FaultySink faulty(&mem, plan, 1);
+  RetrySink retry(faulty, instant_retries(8));
+  try {
+    retry.write(BytesView(data));
+    FAIL() << "write past the injected ENOSPC did not throw";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.error_code(), ENOSPC);
+    EXPECT_FALSE(e.transient());
+  }
+  // The prefix that fit was delivered exactly once.
+  EXPECT_EQ(faulty.committed(), 1000u);
+  EXPECT_EQ(mem.bytes().size(), 1000u);
+}
+
+TEST(FaultIoTest, SourceTruncationReportsEofNotError) {
+  const Bytes data = pattern(4096);
+  MemorySource inner{BytesView(data)};
+  testing::FaultPlan plan;
+  plan.truncate_at = 1500;
+  testing::FaultySource faulty(inner, plan, 1);
+  const Bytes got = drain(faulty, 256);
+  EXPECT_EQ(got.size(), 1500u);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), data.begin()));
+}
+
+TEST(FaultIoTest, TornWriteSilentlyLosesTheTail) {
+  const Bytes data = pattern(4096);
+  MemorySink mem;
+  testing::FaultPlan plan;
+  plan.truncate_at = 1024;  // power cut: writer believes all was written
+  testing::FaultySink faulty(&mem, plan, 1);
+  faulty.write(BytesView(data));
+  faulty.flush();
+  EXPECT_EQ(faulty.position(), data.size());  // no error surfaced
+  EXPECT_EQ(faulty.committed(), 1024u);
+  EXPECT_EQ(mem.bytes().size(), 1024u);
+}
+
+TEST(AtomicFileSinkTest, PublishesOnlyOnCommit) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "szsec_atomic_pub";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path target = dir / "out.bin";
+  const Bytes data = pattern(100000);
+
+  AtomicFileSink sink(target.string());
+  sink.write(BytesView(data).subspan(0, 777));
+  sink.write(BytesView(data).subspan(777));
+  sink.sync();
+  EXPECT_FALSE(fs::exists(target)) << "bytes visible before commit";
+  EXPECT_TRUE(fs::exists(sink.temp_path()));
+  sink.commit();
+  EXPECT_TRUE(sink.committed());
+  EXPECT_FALSE(fs::exists(sink.temp_path()));
+  {
+    FileSource back(target.string());
+    EXPECT_EQ(drain(back), data);
+  }
+  // The sink is spent: further writes and commits are typed errors.
+  try {
+    sink.write(BytesView(data).subspan(0, 1));
+    FAIL() << "write after commit did not throw";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.error_code(), EBADF);
+  }
+  EXPECT_THROW(sink.commit(), IoError);
+  fs::remove_all(dir);
+}
+
+TEST(AtomicFileSinkTest, AbandonedSinkLeavesOldFileAndNoTemp) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "szsec_atomic_old";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path target = dir / "out.bin";
+  const Bytes old_bytes = pattern(128);
+  {
+    FileSink old(target.string());
+    old.write(BytesView(old_bytes));
+    old.sync();
+  }
+  {
+    AtomicFileSink sink(target.string());
+    sink.write(BytesView(pattern(50000)));
+    // No commit: destruction simulates the process dying mid-write.
+  }
+  {
+    FileSource back(target.string());
+    EXPECT_EQ(drain(back), old_bytes) << "uncommitted sink touched target";
+  }
+  size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(e.path(), target) << "stale temp file " << e.path();
+  }
+  EXPECT_EQ(entries, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(IoTest, SyncIsSafeOnEverySink) {
+  // sync() must be callable on any sink: real durability for files,
+  // graceful no-op where the OS offers nothing to sync.
+  const fs::path path =
+      fs::path(::testing::TempDir()) / "szsec_io_test_sync.bin";
+  {
+    FileSink sink(path.string());
+    sink.write(BytesView(pattern(100)));
+    EXPECT_NO_THROW(sink.sync());
+  }
+  fs::remove(path);
+  MemorySink mem;
+  mem.write(BytesView(pattern(8)));
+  EXPECT_NO_THROW(mem.sync());  // default: flush()
+#ifndef _WIN32
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  {
+    FdSink sink(fds[1]);
+    sink.write(BytesView(pattern(8)));
+    EXPECT_NO_THROW(sink.sync());  // pipes: EINVAL/ENOTSUP swallowed
+  }
+  close(fds[0]);
+  close(fds[1]);
+#endif
+}
+
+#ifndef _WIN32
+// S3 satellite: a FrameSpool whose temp-file backing hits a write
+// failure (RLIMIT_FSIZE standing in for a full disk) must surface a
+// typed IoError and leak no file descriptor.
+TEST(IoTest, FrameSpoolWriteFailureIsTypedAndLeaksNoFd) {
+  const auto count_fds = [] {
+    size_t n = 0;
+    for (const auto& e : fs::directory_iterator("/proc/self/fd")) {
+      (void)e;
+      ++n;
+    }
+    return n;
+  };
+  struct rlimit old_limit {};
+  ASSERT_EQ(getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  // Exceeding RLIMIT_FSIZE raises SIGXFSZ before write() fails with
+  // EFBIG; ignore it so the failure arrives as an errno instead.
+  const auto prev_handler = std::signal(SIGXFSZ, SIG_IGN);
+  const size_t fds_before = count_fds();
+  {
+    FrameSpool spool(FrameSpool::Backing::kTempFile);
+    struct rlimit small {};
+    small.rlim_cur = 4096;
+    small.rlim_max = old_limit.rlim_max;
+    ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &small), 0);
+    const Bytes block = pattern(64 * 1024);
+    try {
+      spool.write(BytesView(block));
+      spool.write(BytesView(block));  // definitely past the limit
+      ADD_FAILURE() << "write past RLIMIT_FSIZE did not fail";
+    } catch (const IoError& e) {
+      EXPECT_NE(e.error_code(), 0) << e.what();
+      EXPECT_FALSE(e.transient());
+    }
+  }
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  std::signal(SIGXFSZ, prev_handler);
+  EXPECT_EQ(count_fds(), fds_before) << "spool leaked a descriptor";
+}
+#endif
 
 TEST(BufferPoolTest, RecyclesStorage) {
   BufferPool pool;
