@@ -154,6 +154,10 @@ std::string try_decode_chunk(const Frame& f, RuntimeCache& runtimes,
 }  // namespace
 
 std::optional<FrameInfo> parse_frame(BytesView archive, size_t pos) {
+  // subspan(pos) with pos past the end is UB, and callers hand us
+  // offsets derived from untrusted index varints — bound it here so
+  // every parse site is safe by construction.
+  if (pos > archive.size()) return std::nullopt;
   try {
     ByteReader r(archive.subspan(pos));
     if (r.get_u64() != kResyncMarker) return std::nullopt;
@@ -532,7 +536,10 @@ std::vector<T> decompress_chunked_impl(BytesView archive, BytesView key,
   std::vector<Frame> frames;
   for (size_t i = 0; i < index.entries.size(); ++i) {
     const ChunkEntry& e = index.entries[i];
-    SZSEC_CHECK_FORMAT(e.offset + e.frame_len <= archive.size(),
+    // Subtractive: both fields are untrusted varints, the naive sum can
+    // wrap uint64_t back under archive.size() (see verify_v3_chunk).
+    SZSEC_CHECK_FORMAT(e.offset <= archive.size() &&
+                           e.frame_len <= archive.size() - e.offset,
                        "frame extends past archive end");
     const std::optional<Frame> f = parse_frame_at(archive, e.offset);
     SZSEC_CHECK_FORMAT(f.has_value(), "unparseable chunk frame");
@@ -621,11 +628,27 @@ ChunkedStreamDecodeResult decompress_chunked_stream(
       index.entries.size(),
       [&](size_t i) {
         const ChunkEntry& e = index.entries[i];
-        FrameInput fi{frame_pool.acquire(e.frame_len)};
-        fi.frame.resize(static_cast<size_t>(e.frame_len));
-        SZSEC_CHECK_FORMAT(
-            read_full(in, std::span<uint8_t>(fi.frame)) == e.frame_len,
-            "frame extends past archive end");
+        // frame_len is an untrusted varint (only > 0 at index parse) and
+        // the stream has no known total size to bound it against: never
+        // allocate it upfront — a forged index naming ~2^64 would turn
+        // vector::resize into an untyped std::length_error/bad_alloc.
+        // Read in bounded blocks instead; a stream that ends first
+        // surfaces the same typed error having allocated no more than
+        // the bytes actually present plus one block.
+        constexpr uint64_t kFrameReadBlock = uint64_t{4} << 20;
+        FrameInput fi{frame_pool.acquire(static_cast<size_t>(
+            std::min<uint64_t>(e.frame_len, kFrameReadBlock)))};
+        uint64_t got = 0;
+        while (got < e.frame_len) {
+          const size_t step = static_cast<size_t>(
+              std::min<uint64_t>(e.frame_len - got, kFrameReadBlock));
+          fi.frame.resize(static_cast<size_t>(got) + step);
+          SZSEC_CHECK_FORMAT(
+              read_full(in, std::span<uint8_t>(fi.frame)
+                                .subspan(static_cast<size_t>(got))) == step,
+              "frame extends past archive end");
+          got += step;
+        }
         return fi;
       },
       [&](size_t worker, size_t i, FrameInput&& fi) {

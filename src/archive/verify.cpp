@@ -49,7 +49,13 @@ VerifyChunk verify_v3_chunk(BytesView archive, const ChunkIndex& index,
   c.frame_len = e.frame_len;
   c.row_start = e.row_start;
   c.row_extent = e.row_extent;
-  if (e.offset + e.frame_len > archive.size()) {
+  // Subtractive bound: offset and frame_len come from untrusted varints
+  // (frame_len is only checked > 0 at index parse, and offsets are
+  // running sums of frame_lens that may themselves have wrapped), so
+  // the naive `offset + frame_len > size` sum can wrap uint64_t back
+  // into range and admit an out-of-bounds parse_frame.
+  if (e.offset > archive.size() ||
+      e.frame_len > archive.size() - e.offset) {
     c.detail = "frame extends past archive end";
     return c;
   }
@@ -118,10 +124,13 @@ VerifyReport verify_v3(BytesView archive, BytesView auth_key) {
     if (c.ok) ++rep.chunks_ok;
     rep.chunks.push_back(std::move(c));
   }
+  // Same subtractive phrasing as the per-chunk bound: with a forged
+  // index the sum can wrap and report absurd trailing byte counts.
   const ChunkEntry& last = index.entries.back();
-  const uint64_t body_end = last.offset + last.frame_len;
-  rep.trailing_bytes =
-      archive.size() > body_end ? archive.size() - body_end : 0;
+  if (last.offset <= archive.size() &&
+      last.frame_len <= archive.size() - last.offset) {
+    rep.trailing_bytes = archive.size() - (last.offset + last.frame_len);
+  }
   return rep;
 }
 

@@ -22,9 +22,11 @@ std::string errno_message(const std::string& what) {
   return what + ": " + std::strerror(errno);
 }
 
-/// errno_message + the captured code in one IoError.
-IoError errno_error(const std::string& what) {
-  return IoError(errno_message(what), errno);
+/// errno_message + the captured code in one IoError.  `accepted` is the
+/// prefix of the failing write's view the sink had already consumed
+/// (see IoError::accepted); 0 for reads and whole-view failures.
+IoError errno_error(const std::string& what, size_t accepted = 0) {
+  return IoError(errno_message(what), errno, accepted);
 }
 
 /// True when an fsync-style call failed only because the descriptor has
@@ -132,10 +134,11 @@ void FileSink::write(BytesView data) {
     std::clearerr(file_);
     if (!io_error_is_transient(err) || attempt >= retry_.max_attempts) {
       if (err == kShortWriteError) {
-        throw IoError("file write failed: short write", kShortWriteError);
+        throw IoError("file write failed: short write", kShortWriteError,
+                      done);
       }
       errno = err;
-      throw errno_error("file write failed");
+      throw errno_error("file write failed", done);
     }
     retry_.backoff(attempt);
     ++attempt;
@@ -206,10 +209,11 @@ void FdSink::write(BytesView data) {
     const int err = n < 0 ? errno : kShortWriteError;
     if (!io_error_is_transient(err) || attempt >= retry_.max_attempts) {
       if (err == kShortWriteError) {
-        throw IoError("fd write failed: short write", kShortWriteError);
+        throw IoError("fd write failed: short write", kShortWriteError,
+                      done);
       }
       errno = err;
-      throw errno_error("fd write failed");
+      throw errno_error("fd write failed", done);
     }
     retry_.backoff(attempt);
     ++attempt;
@@ -246,6 +250,20 @@ AtomicFileSink::AtomicFileSink(const std::string& path, RetryPolicy retry)
     temp_path_.clear();
     throw errno_error("cannot create temp file for " + path);
   }
+  // mkstemp creates 0600; rename would then publish an owner-only
+  // file.  Match what the non-atomic path produced: keep a pre-existing
+  // target's mode, else 0666 & ~umask like fopen("wb").  Best-effort —
+  // a filesystem that refuses fchmod shouldn't fail the whole write.
+  struct stat st{};
+  mode_t mode;
+  if (::stat(path.c_str(), &st) == 0) {
+    mode = st.st_mode & 07777;
+  } else {
+    const mode_t mask = ::umask(0);
+    ::umask(mask);
+    mode = 0666 & ~mask;
+  }
+  (void)::fchmod(fd_, mode);
 #endif
 }
 
@@ -271,10 +289,11 @@ void AtomicFileSink::write(BytesView data) {
     const int err = n < 0 ? errno : kShortWriteError;
     if (!io_error_is_transient(err) || attempt >= retry_.max_attempts) {
       if (err == kShortWriteError) {
-        throw IoError("atomic write failed: short write", kShortWriteError);
+        throw IoError("atomic write failed: short write", kShortWriteError,
+                      done);
       }
       errno = err;
-      throw errno_error("atomic write to " + temp_path_ + " failed");
+      throw errno_error("atomic write to " + temp_path_ + " failed", done);
     }
     retry_.backoff(attempt);
     ++attempt;

@@ -62,8 +62,9 @@ bool io_error_is_transient(int error_code);
 /// and the CLI's exit-code contract can branch without string matching.
 class IoError : public Error {
  public:
-  explicit IoError(const std::string& what, int error_code = 0)
-      : Error(what), error_code_(error_code) {}
+  explicit IoError(const std::string& what, int error_code = 0,
+                   size_t accepted = 0)
+      : Error(what), error_code_(error_code), accepted_(accepted) {}
 
   /// The captured errno value, kShortWriteError for a short write, or 0
   /// when the failure carried no OS error code.
@@ -73,8 +74,17 @@ class IoError : public Error {
   /// io_error_is_transient).  A code of 0 (unknown) is permanent.
   bool transient() const { return io_error_is_transient(error_code_); }
 
+  /// Sink write failures only: how many bytes of the failing write()'s
+  /// view the sink had already consumed before throwing.  A write loop
+  /// can land a prefix (partial fwrite/::write) and then give up on a
+  /// transient condition, so retry layers MUST resume from this offset
+  /// — re-issuing the whole view would duplicate the prefix.  Always 0
+  /// for read failures and for all-or-nothing sinks.
+  size_t accepted() const { return accepted_; }
+
  private:
   int error_code_ = 0;
+  size_t accepted_ = 0;
 };
 
 /// Bounded, deterministic retry schedule for transient I/O failures.
@@ -133,7 +143,10 @@ size_t read_full(ByteSource& src, std::span<uint8_t> out);
 
 /// An ordered stream of bytes to write.  write() either accepts the
 /// whole view or throws (IoError for OS failures) — there are no short
-/// writes at this interface.
+/// writes at this interface.  A throwing write() may still have
+/// consumed a prefix of the view; sinks report that count through
+/// IoError::accepted() so retry layers can resume without duplicating
+/// bytes.
 ///
 /// Durability after flush(): NONE of the sinks below guarantee the
 /// bytes survive a power loss after flush() alone — flush() only moves
@@ -487,24 +500,34 @@ class RetrySource final : public ByteSource {
   uint64_t retries_ = 0;
 };
 
-/// Retries transient write failures against an inner sink.  Only sound
-/// when the inner sink is all-or-nothing on a transient failure (it
-/// accepted none of the view before throwing) — true of every sink in
-/// this header, whose endpoint loops resume internally and only throw
-/// transient codes before consuming input.  Permanent errors pass
-/// through.
+/// Retries transient write failures against an inner sink.  The inner
+/// sink may consume a prefix of the view before throwing (FileSink/
+/// FdSink/AtomicFileSink land partial fwrite/::write results and then
+/// give up once their own attempts run out); the retry resumes from
+/// IoError::accepted(), so already-written bytes are never re-issued.
+/// Permanent errors pass through (with accepted() rebased to this
+/// call's view, so an outer retry layer stays sound too).
+///
+/// Compose RetrySink directly over the endpoint sink, with observer
+/// adapters (Counting/Crc32) OUTSIDE the retry — an observer between
+/// the two would miss the prefix bytes a partial failure consumed.
 class RetrySink final : public ByteSink {
  public:
   RetrySink(ByteSink& inner, RetryPolicy policy)
       : inner_(inner), policy_(std::move(policy)) {}
 
   void write(BytesView data) override {
+    size_t done = 0;
     for (int attempt = 1;; ++attempt) {
       try {
-        inner_.write(data);
+        inner_.write(data.subspan(done));
         return;
       } catch (const IoError& e) {
-        if (!e.transient() || attempt >= policy_.max_attempts) throw;
+        done += std::min(e.accepted(), data.size() - done);
+        if (!e.transient() || attempt >= policy_.max_attempts) {
+          if (done == e.accepted()) throw;  // rebase already correct
+          throw IoError(e.what(), e.error_code(), done);
+        }
         ++retries_;
         policy_.backoff(attempt);
       }

@@ -107,70 +107,85 @@ class ParallelChunkScheduler {
       const std::function<Result(size_t, size_t, Input&&)>& produce,
       const std::function<void(size_t, Result&&)>& commit) {
     if (n == 0) return;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::map<size_t, Result> ready;  // completed, awaiting ordered commit
-    std::exception_ptr error;
-    size_t in_flight = 0;  // submitted, not yet completed
+    // Completion state lives on the heap, co-owned by every worker task:
+    // the drain wait below can return (and this frame unwind) the moment
+    // in_flight hits zero, while the worker that decremented it is still
+    // between releasing the mutex and its final notify — with stack
+    // state that last notify would touch a dead cv (a real
+    // stack-use-after-scope, caught by ASan under load).
+    struct Shared {
+      std::mutex mu;
+      std::condition_variable cv;
+      std::map<size_t, Result> ready;  // completed, awaiting ordered commit
+      std::exception_ptr error;
+      size_t in_flight = 0;  // submitted, not yet completed
+    };
+    const auto st = std::make_shared<Shared>();
     size_t next_submit = 0;
     size_t next_commit = 0;
 
-    auto run_one = [&](size_t index, Input& input) {
+    // Captures `st` by value: after the decrement a worker touches only
+    // shared state it co-owns.  `produce` stays a reference — it is only
+    // entered before the decrement, which the drain wait covers.
+    const auto run_one = [st, &produce](size_t index, Input& input) {
       std::optional<Result> r;
       try {
         r.emplace(produce(ThreadPool::current_worker_index(), index,
                           std::move(input)));
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (!error) error = std::current_exception();
+        std::lock_guard<std::mutex> lock(st->mu);
+        if (!st->error) st->error = std::current_exception();
       }
       {
-        std::lock_guard<std::mutex> lock(mu);
-        if (r.has_value()) ready.emplace(index, std::move(*r));
-        --in_flight;
+        std::lock_guard<std::mutex> lock(st->mu);
+        if (r.has_value()) st->ready.emplace(index, std::move(*r));
+        --st->in_flight;
       }
-      cv.notify_all();
+      st->cv.notify_all();
     };
 
-    std::unique_lock<std::mutex> lock(mu);
-    while (next_commit < n && !error) {
+    std::unique_lock<std::mutex> lock(st->mu);
+    while (next_commit < n && !st->error) {
       // Keep the window full.  Feeding + submission happen unlocked
       // (feed may block on input I/O; the pool has its own mutex).
       while (next_submit < n && next_submit - next_commit < window_ &&
-             !error) {
+             !st->error) {
         const size_t index = next_submit++;
-        ++in_flight;
+        ++st->in_flight;
         lock.unlock();
         // The input rides to the worker in a shared_ptr: std::function
         // requires copyable callables, and chunk inputs (large buffers)
-        // must move, not copy.
+        // must move, not copy.  run_one is copied into the task for the
+        // same lifetime reason as `st` above.
         std::shared_ptr<Input> input;
         try {
           input = std::make_shared<Input>(feed(index));
         } catch (...) {
           lock.lock();
-          if (!error) error = std::current_exception();
-          --in_flight;
+          if (!st->error) st->error = std::current_exception();
+          --st->in_flight;
           break;
         }
-        pool_.submit([&run_one, index, input] { run_one(index, *input); });
+        pool_.submit([run_one, index, input] { run_one(index, *input); });
         lock.lock();
       }
-      if (error) break;
-      cv.wait(lock, [&] { return ready.count(next_commit) > 0 || error; });
+      if (st->error) break;
+      st->cv.wait(lock, [&] {
+        return st->ready.count(next_commit) > 0 || st->error;
+      });
       // Commit every contiguous ready result, unlocked (commit may do
       // real work: appending frames, merging metrics).
-      while (!error) {
-        auto it = ready.find(next_commit);
-        if (it == ready.end()) break;
+      while (!st->error) {
+        auto it = st->ready.find(next_commit);
+        if (it == st->ready.end()) break;
         Result r = std::move(it->second);
-        ready.erase(it);
+        st->ready.erase(it);
         lock.unlock();
         try {
           commit(next_commit, std::move(r));
         } catch (...) {
           lock.lock();
-          if (!error) error = std::current_exception();
+          if (!st->error) st->error = std::current_exception();
           break;
         }
         lock.lock();
@@ -178,9 +193,10 @@ class ParallelChunkScheduler {
       }
     }
     // Drain before returning or rethrowing: in-flight tasks reference
-    // produce and this frame's locals.
-    cv.wait(lock, [&] { return in_flight == 0; });
-    if (error) std::rethrow_exception(error);
+    // `produce` until their decrement, and the rethrow needs the final
+    // error value.
+    st->cv.wait(lock, [&] { return st->in_flight == 0; });
+    if (st->error) std::rethrow_exception(st->error);
   }
 
  private:

@@ -97,11 +97,12 @@ class FaultySource final : public ByteSource {
 };
 
 /// ByteSink wrapper executing a FaultPlan.  Transient throws happen
-/// BEFORE any byte is forwarded (all-or-nothing), so RetrySink's
-/// repeat-the-whole-view retry never duplicates data.  A fail_at fault
-/// forwards the prefix that fits, then throws — the caller's view of a
-/// disk that filled up mid-write.  truncate_at silently swallows the
-/// tail while reporting success (torn write).
+/// BEFORE any byte is forwarded (all-or-nothing, accepted() == 0), so a
+/// RetrySink retry re-issues exactly the unwritten view.  A fail_at
+/// fault forwards the prefix that fits, then throws with accepted() set
+/// to that prefix — the caller's view of a disk that filled up
+/// mid-write.  truncate_at silently swallows the tail while reporting
+/// success (torn write).
 class FaultySink final : public ByteSink {
  public:
   /// `inner` may be null (bytes are swallowed, faults still fire).
@@ -118,7 +119,8 @@ class FaultySink final : public ByteSink {
     if (data.size() > fits) {
       deliver(data.subspan(0, static_cast<size_t>(fits)));
       pos_ = plan_.fail_at;
-      throw IoError("injected write fault", plan_.fail_errno);
+      throw IoError("injected write fault", plan_.fail_errno,
+                    static_cast<size_t>(fits));
     }
     deliver(data);
     pos_ += data.size();

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "archive/chunked.h"
+#include "archive/verify.h"
 #include "common/crc32.h"
 #include "core/secure_compressor.h"
 #include "crypto/drbg.h"
@@ -273,6 +274,64 @@ TEST(DecoderHardening, IndexRowExtentWrapRejected) {
   a.insert(a.end(), t.begin(), t.end());
   a.insert(a.end(), 10, uint8_t{0});
   EXPECT_THROW((void)archive::read_chunk_index(BytesView(a)), Error);
+}
+
+// REVIEW regression: frame_len is an unbounded varint and absolute
+// offsets are running sums of frame_lens, so a forged index can place
+// an entry's offset above 2^64 - frame_len: the naive
+// `offset + frame_len > archive.size()` bound wraps back under the
+// archive size and hands parse_frame an out-of-bounds position (UB on
+// untrusted input).  Both decode paths must reject the entry with the
+// subtractive bound — strict with a typed throw, verify (documented
+// never-throws) by reporting the chunk bad and scanning on safely.
+TEST(DecoderHardening, IndexFrameLenWrapCannotEscapeBoundsCheck) {
+  const auto build = [](uint64_t frame_len0) {
+    ByteWriter w;
+    w.put_u32(archive::kChunkedMagic);
+    w.put_u8(archive::kChunkedVersion);
+    w.put_u8(1);
+    w.put_varint(16);  // dims: 16 rows
+    w.put_varint(2);   // two chunks
+    w.put_varint(0), w.put_varint(frame_len0);    // entry 0
+    w.put_varint(0), w.put_varint(8);             // rows [0, 8)
+    w.put_varint(frame_len0), w.put_varint(200);  // entry 1 (dense)
+    w.put_varint(8), w.put_varint(8);             // rows [8, 16)
+    Bytes a = w.take();
+    const uint32_t crc = crc32(BytesView(a));
+    ByteWriter tail;
+    tail.put_u32(crc);
+    const Bytes t = tail.take();
+    a.insert(a.end(), t.begin(), t.end());
+    a.insert(a.end(), 300, uint8_t{0});  // body bytes past the wrap point
+    return a;
+  };
+  // Pass 1 measures body_start (every frame_len0 >= 2^63 encodes as the
+  // same 10-byte varint); pass 2 picks frame_len0 so entry 1 lands at
+  // absolute offset 2^64 - 100: past the archive, but offset + 200
+  // wraps to 100, inside it.
+  const uint64_t body_start = build(~uint64_t{0}).size() - 300;
+  const Bytes a = build(uint64_t{0} - body_start - 100);
+
+  EXPECT_THROW((void)archive::decompress_chunked_f32(BytesView(a), {}),
+               Error);
+
+  // The streaming strict decoder has no archive size to bound against
+  // and used to resize() the forged frame_len upfront — an untyped
+  // std::length_error escaping the Error contract.  It must read in
+  // bounded blocks and fail typed when the stream ends first.
+  MemorySource src{BytesView(a)};
+  MemorySink devnull;
+  EXPECT_THROW((void)archive::decompress_chunked_stream(src, devnull, {}),
+               Error);
+
+  const archive::VerifyReport rep = archive::verify_archive(BytesView(a));
+  EXPECT_TRUE(rep.prelude_ok);  // the index itself parses, CRC intact
+  ASSERT_EQ(rep.chunks.size(), 2u);
+  EXPECT_EQ(rep.chunks_ok, 0u);
+  for (const archive::VerifyChunk& c : rep.chunks) {
+    EXPECT_EQ(c.detail, "frame extends past archive end");
+  }
+  EXPECT_EQ(rep.trailing_bytes, 0u);  // wrapped body_end must not count
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #ifndef _WIN32
 #include <sys/resource.h>
+#include <sys/stat.h>
 #endif
 
 #include <cerrno>
@@ -225,6 +226,71 @@ TEST(FaultIoTest, RetrySinkRepeatsAllOrNothingTransients) {
   EXPECT_EQ(retry.retries(), faulty.faults());
 }
 
+/// A sink shaped like a real FileSink/FdSink whose internal attempts ran
+/// out mid-view: each write() lands a bounded prefix, then throws with
+/// IoError::accepted() set to the bytes it consumed.  `capacity` caps
+/// total intake; hitting it turns the fault permanent (ENOSPC).
+class PartialPrefixSink final : public ByteSink {
+ public:
+  PartialPrefixSink(size_t chunk, uint64_t capacity)
+      : chunk_(chunk), capacity_(capacity) {}
+
+  void write(BytesView data) override {
+    const size_t room = static_cast<size_t>(
+        std::min<uint64_t>(capacity_ - buf_.size(), data.size()));
+    const size_t n = std::min(chunk_, room);
+    buf_.insert(buf_.end(), data.begin(), data.begin() + n);
+    if (n == data.size()) return;
+    ++faults_;
+    if (buf_.size() >= capacity_) {
+      throw IoError("injected disk full", ENOSPC, n);
+    }
+    throw IoError("injected partial transient", EINTR, n);
+  }
+
+  const Bytes& bytes() const { return buf_; }
+  uint64_t faults() const { return faults_; }
+
+ private:
+  size_t chunk_;
+  uint64_t capacity_;
+  Bytes buf_;
+  uint64_t faults_ = 0;
+};
+
+// REVIEW regression: a transient failure after a partially-consumed
+// write view must not make RetrySink re-issue the already-written
+// prefix — it resumes from IoError::accepted().
+TEST(FaultIoTest, RetrySinkResumesFromAcceptedPrefix) {
+  const Bytes data = pattern(10000);
+  PartialPrefixSink inner(/*chunk=*/997, /*capacity=*/~uint64_t{0});
+  RetrySink retry(inner, instant_retries(32));
+  retry.write(BytesView(data));
+  EXPECT_EQ(inner.bytes(), data) << "prefix duplicated or bytes dropped";
+  EXPECT_EQ(retry.retries(), inner.faults());
+}
+
+// When the failure goes permanent mid-view, the escaping IoError's
+// accepted() must be rebased to the caller's view — the total this
+// write() consumed across all attempts — so an outer retry layer (or a
+// caller reconciling counters) stays sound.
+TEST(FaultIoTest, RetrySinkRebasesAcceptedOnPermanentFailure) {
+  const Bytes data = pattern(4096);
+  PartialPrefixSink inner(/*chunk=*/1000, /*capacity=*/2500);
+  RetrySink retry(inner, instant_retries(32));
+  try {
+    retry.write(BytesView(data));
+    FAIL() << "write past the injected ENOSPC did not throw";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.error_code(), ENOSPC);
+    EXPECT_FALSE(e.transient());
+    EXPECT_EQ(e.accepted(), 2500u) << "accepted() not rebased to the view";
+  }
+  EXPECT_EQ(inner.bytes(),
+            Bytes(data.begin(), data.begin() + 2500))
+      << "prefix duplicated or bytes dropped before the permanent fault";
+}
+
 TEST(FaultIoTest, PermanentFaultsEscapeTheRetryLayer) {
   const Bytes data = pattern(4096);
   MemorySink mem;
@@ -327,6 +393,55 @@ TEST(AtomicFileSinkTest, AbandonedSinkLeavesOldFileAndNoTemp) {
   EXPECT_EQ(entries, 1u);
   fs::remove_all(dir);
 }
+
+#ifndef _WIN32
+// REVIEW regression: mkstemp stages the temp file as 0600; without a
+// widening fchmod the committed archive would come out owner-only — a
+// silent permission regression against the plain FileSink path.
+TEST(AtomicFileSinkTest, CommittedFileGetsUmaskMode) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "szsec_atomic_mode";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path target = dir / "out.bin";
+  const mode_t prev_mask = ::umask(022);
+  {
+    AtomicFileSink sink(target.string());
+    sink.write(BytesView(pattern(64)));
+    sink.commit();
+  }
+  ::umask(prev_mask);
+  struct stat st {};
+  ASSERT_EQ(::stat(target.c_str(), &st), 0);
+  EXPECT_EQ(st.st_mode & 0777, 0644u)  // 0666 & ~022, like fopen("wb")
+      << "atomic commit changed output-file permissions";
+  fs::remove_all(dir);
+}
+
+// Overwriting an existing target must keep its mode, not reset it to
+// the process umask.
+TEST(AtomicFileSinkTest, OverwritePreservesExistingMode) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "szsec_atomic_keepmode";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path target = dir / "out.bin";
+  {
+    FileSink old(target.string());
+    old.write(BytesView(pattern(16)));
+  }
+  ASSERT_EQ(::chmod(target.c_str(), 0604), 0);
+  {
+    AtomicFileSink sink(target.string());
+    sink.write(BytesView(pattern(64)));
+    sink.commit();
+  }
+  struct stat st {};
+  ASSERT_EQ(::stat(target.c_str(), &st), 0);
+  EXPECT_EQ(st.st_mode & 0777, 0604u)
+      << "atomic overwrite dropped the target's previous permissions";
+  fs::remove_all(dir);
+}
+#endif
 
 TEST(IoTest, SyncIsSafeOnEverySink) {
   // sync() must be callable on any sink: real durability for files,
