@@ -1,0 +1,231 @@
+// Seekable random-access bench + regression gate.
+//
+// Builds a large (>= 64 MiB by default) v3 chunked archive from an
+// incompressible noise field, writes it to disk, and compares two ways
+// of answering a small query:
+//
+//   * full strict decode (decompress_chunked_f32) followed by slicing —
+//     what a footer-less consumer has to do, and
+//   * SeekableReader::read_range over the on-disk archive — open the
+//     seek-table footer (two positioned reads) and decode only the
+//     touched chunks.
+//
+// Two properties are pinned, exit 1 on breach (this is a gate, not a
+// report):
+//
+//   1. the random-access path fetches < 10% of the archive bytes
+//      (SeekableReader::bytes_read after a fresh open + one read), and
+//   2. its median wall time beats the median full decode by >= 5x.
+//
+// The range spans two adjacent chunks (it straddles a chunk boundary on
+// purpose) so the measurement includes the boundary-chunk scratch path,
+// not just the aligned fast path.
+//
+// Results go to BENCH_seekable.json:
+//   {"archive_bytes": ..., "raw_bytes": ..., "elements": ...,
+//    "chunks": ..., "range_elements": ..., "touched_bytes": ...,
+//    "touched_fraction": ..., "full_decode_seconds": ...,
+//    "range_read_seconds": ..., "speedup": ...,
+//    "touched_limit": 0.10, "speedup_limit": 5.0,
+//    "min_archive_bytes": ..., "pass": true}
+//
+// Usage: bench_seekable [output.json]
+// Knobs: SZSEC_SEEKABLE_MIB = N   target archive size in MiB (default 64)
+//        SZSEC_RUNS         = N   timing repetitions         (default 3)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "archive/chunked.h"
+#include "archive/seekable.h"
+#include "bench_util.h"
+#include "common/timer.h"
+
+using namespace szsec;
+using namespace szsec::bench;
+
+namespace {
+
+constexpr double kTouchedLimit = 0.10;
+constexpr double kSpeedupLimit = 5.0;
+constexpr size_t kChunks = 64;
+constexpr double kEb = 1e-6;
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+size_t target_mib() {
+  if (const char* env = std::getenv("SZSEC_SEEKABLE_MIB")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 64;
+}
+
+/// Uniform noise at an error bound far below the value spread: the
+/// quantizer sees essentially random codes, so the archive stays close
+/// to the raw size and the >= 64 MiB floor is cheap to hit.
+std::vector<float> noise_field(size_t n) {
+  std::mt19937_64 rng(0x5EEC'BEEF);
+  std::vector<float> f(n);
+  for (auto& v : f) {
+    v = static_cast<float>(rng() % 1'000'000) * 1e-6f;
+  }
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_seekable.json";
+  const uint64_t min_archive_bytes =
+      static_cast<uint64_t>(target_mib()) * 1024 * 1024;
+
+  // Noise compresses at CR ~ 1; 1.5x headroom covers the residual
+  // compression so one build clears the floor.
+  const size_t rows = std::max<size_t>(
+      kChunks, (min_archive_bytes * 3 / 2) / (4 * 256 * 256));
+  const Dims dims{rows, 256, 256};
+  const std::vector<float> field = noise_field(dims.count());
+
+  sz::Params params;
+  params.abs_error_bound = kEb;
+  archive::ChunkedConfig config;
+  config.chunks = kChunks;
+  crypto::CtrDrbg drbg(0x5EEC'0001);
+  std::printf("Seekable bench: compressing %zu x 256 x 256 noise field "
+              "(%zu MiB raw, %zu chunks)...\n",
+              rows, field.size() * 4 / (1024 * 1024), kChunks);
+  const archive::ChunkedCompressResult compressed = archive::compress_chunked(
+      std::span<const float>(field), dims, params, core::Scheme::kCmprEncr,
+      bench_key(), {}, config, &drbg);
+  const uint64_t archive_bytes = compressed.archive.size();
+  std::printf("  archive: %llu bytes (floor %llu)\n",
+              static_cast<unsigned long long>(archive_bytes),
+              static_cast<unsigned long long>(min_archive_bytes));
+
+  const std::filesystem::path archive_path =
+      std::filesystem::temp_directory_path() / "bench_seekable_archive.szs";
+  {
+    std::ofstream out(archive_path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(compressed.archive.data()),
+              static_cast<std::streamsize>(archive_bytes));
+    SZSEC_REQUIRE(out.good(), "cannot write bench archive");
+  }
+
+  // The query: a two-chunk window straddling the boundary between the
+  // middle chunks.
+  const uint64_t elements = dims.count();
+  const uint64_t plane = static_cast<uint64_t>(dims[1]) * dims[2];
+  const uint64_t rows_per_chunk = (rows + kChunks - 1) / kChunks;
+  const uint64_t boundary = (kChunks / 2) * rows_per_chunk * plane;
+  const uint64_t range_elems = rows_per_chunk * plane;
+  const uint64_t lo = boundary - range_elems / 2;
+  const uint64_t hi = lo + range_elems;
+
+  const int runs = std::max(3, bench_runs());
+  std::vector<double> full_s, range_s;
+  uint64_t touched_bytes = 0;
+  std::vector<float> full_out;
+  std::vector<float> range_out(range_elems);
+  for (int i = 0; i <= runs; ++i) {  // one untimed warmup, interleaved A/B
+    {
+      WallTimer t;
+      full_out = archive::decompress_chunked_f32(
+          BytesView(compressed.archive), bench_key());
+      if (i > 0) full_s.push_back(t.elapsed_s());
+    }
+    {
+      WallTimer t;
+      auto reader = archive::SeekableReader::open(archive_path.string(),
+                                                  bench_key());
+      reader->read_range(lo, hi, std::span<float>(range_out));
+      if (i > 0) range_s.push_back(t.elapsed_s());
+      touched_bytes = reader->bytes_read();
+      SZSEC_REQUIRE(reader->from_footer(), "archive lost its footer");
+    }
+  }
+  std::filesystem::remove(archive_path);
+
+  // Correctness guard: the gate is meaningless if the fast path lies.
+  for (uint64_t i = 0; i < range_elems; ++i) {
+    SZSEC_REQUIRE(range_out[i] == full_out[lo + i],
+                  "range read diverged from full decode");
+  }
+
+  const double full = median(full_s);
+  const double range = median(range_s);
+  const double speedup = full / range;
+  const double touched_fraction =
+      static_cast<double>(touched_bytes) / static_cast<double>(archive_bytes);
+  std::printf("  full decode:  %.4fs (median of %d)\n", full, runs);
+  std::printf("  range read:   %.4fs for %llu of %llu elements\n", range,
+              static_cast<unsigned long long>(range_elems),
+              static_cast<unsigned long long>(elements));
+  std::printf("  touched:      %llu bytes (%.2f%%, limit %.0f%%)\n",
+              static_cast<unsigned long long>(touched_bytes),
+              touched_fraction * 100.0, kTouchedLimit * 100.0);
+  std::printf("  speedup:      %.1fx (limit %.1fx)\n", speedup,
+              kSpeedupLimit);
+
+  const bool size_ok = archive_bytes >= min_archive_bytes;
+  const bool touched_ok = touched_fraction < kTouchedLimit;
+  const bool speedup_ok = speedup >= kSpeedupLimit;
+  const bool pass = size_ok && touched_ok && speedup_ok;
+
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  SZSEC_REQUIRE(json != nullptr, "cannot open output json");
+  std::fprintf(
+      json,
+      "{\n"
+      "  \"archive_bytes\": %llu,\n"
+      "  \"raw_bytes\": %llu,\n"
+      "  \"elements\": %llu,\n"
+      "  \"chunks\": %zu,\n"
+      "  \"range_elements\": %llu,\n"
+      "  \"touched_bytes\": %llu,\n"
+      "  \"touched_fraction\": %.6f,\n"
+      "  \"full_decode_seconds\": %.6f,\n"
+      "  \"range_read_seconds\": %.6f,\n"
+      "  \"speedup\": %.3f,\n"
+      "  \"touched_limit\": %.2f,\n"
+      "  \"speedup_limit\": %.1f,\n"
+      "  \"min_archive_bytes\": %llu,\n"
+      "  \"pass\": %s\n"
+      "}\n",
+      static_cast<unsigned long long>(archive_bytes),
+      static_cast<unsigned long long>(field.size() * sizeof(float)),
+      static_cast<unsigned long long>(elements), kChunks,
+      static_cast<unsigned long long>(range_elems),
+      static_cast<unsigned long long>(touched_bytes), touched_fraction, full,
+      range, speedup, kTouchedLimit, kSpeedupLimit,
+      static_cast<unsigned long long>(min_archive_bytes),
+      pass ? "true" : "false");
+  std::fclose(json);
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  if (!size_ok) {
+    std::fprintf(stderr, "FAIL: archive %llu bytes below the %llu floor\n",
+                 static_cast<unsigned long long>(archive_bytes),
+                 static_cast<unsigned long long>(min_archive_bytes));
+    return 1;
+  }
+  if (!touched_ok) {
+    std::fprintf(stderr, "FAIL: touched %.2f%% of archive (limit %.0f%%)\n",
+                 touched_fraction * 100.0, kTouchedLimit * 100.0);
+    return 1;
+  }
+  if (!speedup_ok) {
+    std::fprintf(stderr, "FAIL: speedup %.1fx below %.1fx limit\n", speedup,
+                 kSpeedupLimit);
+    return 1;
+  }
+  return 0;
+}

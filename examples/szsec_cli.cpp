@@ -7,7 +7,9 @@
 //             [--mode cbc|ctr] [--chunks N] [--threads N]
 //   szsec_cli decompress <in.szs> <out.bin> [--key <hex> | --password <s>]
 //             [--threads N]
-//   szsec_cli info       <in.szs>
+//   szsec_cli extract    <in.szs> <out.bin> --range A:B | --roi o0,o1[,o2]:n0,n1[,n2]
+//             [--key <hex> | --password <s>] [--threads N]
+//   szsec_cli info       <in.szs> [--json]
 //   szsec_cli verify     <in.szs> [--key <hex> | --password <s>]
 //
 // `-` in place of a path means stdin (inputs) or stdout (outputs), so
@@ -35,6 +37,13 @@
 //
 // Input .bin files are raw little-endian float32 (SDRBench layout).
 //
+// `extract` is random access: it opens a v3 chunked archive through
+// SeekableReader and decodes ONLY the chunks covering the requested
+// element range (--range A:B, half-open) or hyperslab ROI (--roi
+// origin:extent, one comma list per axis), writing raw little-endian
+// element bytes.  The input must be seekable — a real file, not a pipe
+// (exit 2 with the ESPIPE text otherwise); stream `decompress` instead.
+//
 // `verify` is a read-only integrity scan (no decode, no key required):
 // header/index parse, per-chunk CRC, and MAC when a key is supplied.
 // Exit 0 = clean, 1 = damage found, 2 = operational failure.
@@ -57,6 +66,7 @@
 #include <string>
 
 #include "archive/chunked.h"
+#include "archive/seekable.h"
 #include "archive/verify.h"
 #include "common/bytestream.h"
 #include "common/hex.h"
@@ -80,6 +90,10 @@ struct Options {
   bool auth = false;     // append an HMAC-SHA256 tag to each container
   size_t chunks = 0;     // >0: write a v3 chunked archive
   unsigned threads = 1;  // chunked codec workers (1 = serial)
+  bool json = false;     // info: machine-readable output
+  bool have_range = false;
+  uint64_t range_lo = 0, range_hi = 0;   // extract --range (half-open)
+  std::vector<size_t> roi_origin, roi_extent;  // extract --roi
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -93,7 +107,9 @@ struct Options {
       "            [--chunks N] [--threads N]\n"
       "  szsec_cli decompress <in.szs> <out.bin> [--key <hex>]\n"
       "            [--threads N]\n"
-      "  szsec_cli info <in.szs>\n"
+      "  szsec_cli extract <in.szs> <out.bin> --range A:B |\n"
+      "            --roi o0,o1[,o2]:n0,n1[,n2] [--key <hex>] [--threads N]\n"
+      "  szsec_cli info <in.szs> [--json]\n"
       "  szsec_cli verify <in.szs> [--key <hex>]\n"
       "  ('-' as a path reads stdin / writes stdout)\n"
       "(see docs/CLI.md for the full reference)\n");
@@ -119,6 +135,17 @@ Dims parse_dims(const std::string& s) {
     default:
       usage("--dims takes 1..4 comma-separated extents");
   }
+}
+
+/// Comma-separated non-negative integers ("12,4,0"), for --roi halves.
+std::vector<size_t> parse_size_list(const std::string& s) {
+  std::vector<size_t> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    out.push_back(static_cast<size_t>(std::stoull(tok)));
+  }
+  return out;
 }
 
 Options parse(int argc, char** argv) {
@@ -164,6 +191,37 @@ Options parse(int argc, char** argv) {
       }
     } else if (arg == "--auth") {
       o.auth = true;
+    } else if (arg == "--json") {
+      o.json = true;
+    } else if (arg == "--range") {
+      const std::string v = next();
+      const size_t colon = v.find(':');
+      if (colon == std::string::npos) usage("--range takes A:B");
+      try {
+        o.range_lo = std::stoull(v.substr(0, colon));
+        o.range_hi = std::stoull(v.substr(colon + 1));
+      } catch (const std::exception&) {
+        usage("--range takes A:B (non-negative integers)");
+      }
+      if (o.range_lo >= o.range_hi) usage("--range needs A < B");
+      o.have_range = true;
+    } else if (arg == "--roi") {
+      const std::string v = next();
+      const size_t colon = v.find(':');
+      if (colon == std::string::npos) usage("--roi takes origin:extent");
+      try {
+        o.roi_origin = parse_size_list(v.substr(0, colon));
+        o.roi_extent = parse_size_list(v.substr(colon + 1));
+      } catch (const std::exception&) {
+        usage("--roi takes comma lists (o0,o1:n0,n1)");
+      }
+      if (o.roi_origin.empty() ||
+          o.roi_origin.size() != o.roi_extent.size()) {
+        usage("--roi origin and extent need the same 1..4 axes");
+      }
+      for (size_t n : o.roi_extent) {
+        if (n == 0) usage("--roi extents must be >= 1");
+      }
     } else if (arg == "--chunks") {
       o.chunks = std::stoull(next());
       if (o.chunks == 0) usage("--chunks must be >= 1");
@@ -441,52 +499,180 @@ int cmd_decompress(const Options& o) {
   return 0;
 }
 
+int cmd_extract(const Options& o) {
+  const bool want_roi = !o.roi_origin.empty();
+  if (o.have_range == want_roi) {
+    usage("extract takes exactly one of --range or --roi");
+  }
+  const bool to_stdout = o.output == "-";
+  std::FILE* report = to_stdout ? stderr : stdout;
+
+  // A pipe input fails inside open with the typed ESPIPE IoError (exit
+  // 2): random access needs a real file.
+  archive::SeekableOptions sopt;
+  sopt.threads = o.threads;
+  const auto reader = archive::SeekableReader::open(
+      open_input(o.input), BytesView(o.key), sopt);
+
+  uint64_t count = 0;
+  if (o.have_range) {
+    count = o.range_hi - o.range_lo;
+  } else {
+    count = 1;
+    for (size_t n : o.roi_extent) count *= n;
+  }
+  const std::span<const size_t> origin(o.roi_origin);
+  const std::span<const size_t> extent(o.roi_extent);
+  Output out = open_output(o.output);
+  if (reader->dtype() == sz::DType::kFloat32) {
+    std::vector<float> vals(static_cast<size_t>(count));
+    if (o.have_range) {
+      reader->read_range(o.range_lo, o.range_hi, std::span<float>(vals));
+    } else {
+      reader->read_roi(origin, extent, std::span<float>(vals));
+    }
+    out.sink->write(BytesView(
+        reinterpret_cast<const uint8_t*>(vals.data()),
+        vals.size() * sizeof(float)));
+  } else {
+    std::vector<double> vals(static_cast<size_t>(count));
+    if (o.have_range) {
+      reader->read_range(o.range_lo, o.range_hi, std::span<double>(vals));
+    } else {
+      reader->read_roi(origin, extent, std::span<double>(vals));
+    }
+    out.sink->write(BytesView(
+        reinterpret_cast<const uint8_t*>(vals.data()),
+        vals.size() * sizeof(double)));
+  }
+  out.commit();
+  std::fprintf(
+      report,
+      "%s: %llu of %llu elements (float%d), touched %llu of %llu "
+      "archive bytes (%.1f%%), table from %s\n",
+      o.output.c_str(), static_cast<unsigned long long>(count),
+      static_cast<unsigned long long>(reader->elements()),
+      reader->dtype() == sz::DType::kFloat32 ? 32 : 64,
+      static_cast<unsigned long long>(reader->bytes_read()),
+      static_cast<unsigned long long>(reader->archive_size()),
+      100.0 * static_cast<double>(reader->bytes_read()) /
+          static_cast<double>(reader->archive_size()),
+      reader->from_footer() ? "footer" : "prelude index");
+  return 0;
+}
+
 int cmd_info(const Options& o) {
   const std::unique_ptr<ByteSource> in = open_input(o.input);
   const Bytes container = slurp(*in);
   if (is_chunked_magic(BytesView(container))) {
-    const archive::ChunkIndex index =
-        archive::read_chunk_index(BytesView(container));
+    const archive::SeekTable table =
+        archive::read_seek_table(BytesView(container));
+    // Per-chunk scheme/cipher details come from the first chunk's own
+    // container header (all chunks agree in an undamaged archive).
+    const archive::SeekEntry& first = table.entries.front();
+    ByteReader r(BytesView(container).subspan(
+        static_cast<size_t>(first.offset)));
+    r.get_u64();                     // resync marker
+    r.get_varint();                  // chunk id
+    r.get_varint();                  // row start
+    r.get_varint();                  // row extent
+    const uint64_t len = r.get_varint();
+    r.get_u32();                     // container CRC
+    const core::Header h =
+        core::peek_header(r.get_bytes(static_cast<size_t>(len)));
+    const int bits = h.dtype == sz::DType::kFloat32 ? 32 : 64;
+    if (o.json) {
+      std::printf("{\n");
+      std::printf("  \"container\": \"v3-chunked\",\n");
+      std::printf("  \"seekable\": true,\n");
+      std::printf("  \"seek_table\": \"%s\",\n",
+                  table.from_footer ? "footer" : "prelude-index");
+      std::printf("  \"dims\": [");
+      for (size_t i = 0; i < table.dims.rank(); ++i) {
+        std::printf("%s%zu", i ? ", " : "", table.dims[i]);
+      }
+      std::printf("],\n");
+      std::printf("  \"elements\": %zu,\n", table.dims.count());
+      std::printf("  \"dtype\": \"float%d\",\n", bits);
+      std::printf("  \"scheme\": \"%s\",\n", core::scheme_name(h.scheme));
+      std::printf("  \"cipher_mode\": \"%s\",\n",
+                  crypto::mode_name(h.cipher_mode));
+      std::printf("  \"error_bound\": %g,\n", h.params.abs_error_bound);
+      std::printf("  \"archive_bytes\": %zu,\n", container.size());
+      std::printf("  \"chunks\": [\n");
+      for (size_t i = 0; i < table.entries.size(); ++i) {
+        const archive::SeekEntry& e = table.entries[i];
+        std::printf(
+            "    {\"id\": %zu, \"offset\": %llu, \"bytes\": %llu, "
+            "\"row_start\": %llu, \"rows\": %llu, "
+            "\"elem_start\": %llu, \"elems\": %llu}%s\n",
+            i, static_cast<unsigned long long>(e.offset),
+            static_cast<unsigned long long>(e.frame_len),
+            static_cast<unsigned long long>(e.row_start),
+            static_cast<unsigned long long>(e.row_extent),
+            static_cast<unsigned long long>(e.elem_start),
+            static_cast<unsigned long long>(e.elem_count),
+            i + 1 < table.entries.size() ? "," : "");
+      }
+      std::printf("  ]\n}\n");
+      return 0;
+    }
     std::printf("container:     v3 chunked archive\n");
+    std::printf("seekable:      yes (%s)\n",
+                table.from_footer ? "seek-table footer"
+                                  : "prelude index fallback");
     std::printf("dims:          %s (%zu elements)\n",
-                index.dims.to_string().c_str(), index.dims.count());
-    std::printf("chunks:        %zu\n", index.entries.size());
-    std::printf("  %6s %12s %12s %10s %10s\n", "chunk", "offset", "bytes",
-                "row start", "rows");
-    for (size_t i = 0; i < index.entries.size(); ++i) {
-      const archive::ChunkEntry& e = index.entries[i];
-      std::printf("  %6zu %12llu %12llu %10llu %10llu\n", i,
+                table.dims.to_string().c_str(), table.dims.count());
+    std::printf("dtype:         float%d\n", bits);
+    std::printf("chunks:        %zu\n", table.entries.size());
+    std::printf("  %6s %12s %12s %10s %10s %12s %10s\n", "chunk", "offset",
+                "bytes", "row start", "rows", "elem start", "elems");
+    for (size_t i = 0; i < table.entries.size(); ++i) {
+      const archive::SeekEntry& e = table.entries[i];
+      std::printf("  %6zu %12llu %12llu %10llu %10llu %12llu %10llu\n", i,
                   static_cast<unsigned long long>(e.offset),
                   static_cast<unsigned long long>(e.frame_len),
                   static_cast<unsigned long long>(e.row_start),
-                  static_cast<unsigned long long>(e.row_extent));
+                  static_cast<unsigned long long>(e.row_extent),
+                  static_cast<unsigned long long>(e.elem_start),
+                  static_cast<unsigned long long>(e.elem_count));
     }
-    // Per-chunk scheme/cipher details come from the first chunk's own
-    // container header (all chunks agree in an undamaged archive).
-    if (!index.entries.empty()) {
-      const archive::ChunkEntry& first = index.entries.front();
-      ByteReader r(BytesView(container).subspan(
-          static_cast<size_t>(first.offset)));
-      r.get_u64();                     // resync marker
-      r.get_varint();                  // chunk id
-      r.get_varint();                  // row start
-      r.get_varint();                  // row extent
-      const uint64_t len = r.get_varint();
-      r.get_u32();                     // container CRC
-      const core::Header h =
-          core::peek_header(r.get_bytes(static_cast<size_t>(len)));
-      std::printf("scheme:        %s\n", core::scheme_name(h.scheme));
-      std::printf("cipher mode:   %s\n", crypto::mode_name(h.cipher_mode));
-      std::printf("error bound:   %g (absolute)\n",
-                  h.params.abs_error_bound);
-    }
+    std::printf("scheme:        %s\n", core::scheme_name(h.scheme));
+    std::printf("cipher mode:   %s\n", crypto::mode_name(h.cipher_mode));
+    std::printf("error bound:   %g (absolute)\n", h.params.abs_error_bound);
     return 0;
   }
   const core::Header h = core::peek_header(BytesView(container));
+  const int bits = h.dtype == sz::DType::kFloat32 ? 32 : 64;
+  const double cr = static_cast<double>(h.dims.count()) *
+                    dtype_size(h.dtype) / container.size();
+  if (o.json) {
+    std::printf("{\n");
+    std::printf("  \"container\": \"v2-single\",\n");
+    std::printf("  \"seekable\": false,\n");
+    std::printf("  \"dims\": [");
+    for (size_t i = 0; i < h.dims.rank(); ++i) {
+      std::printf("%s%zu", i ? ", " : "", h.dims[i]);
+    }
+    std::printf("],\n");
+    std::printf("  \"elements\": %zu,\n", h.dims.count());
+    std::printf("  \"dtype\": \"float%d\",\n", bits);
+    std::printf("  \"scheme\": \"%s\",\n", core::scheme_name(h.scheme));
+    std::printf("  \"cipher_mode\": \"%s\",\n",
+                crypto::mode_name(h.cipher_mode));
+    std::printf("  \"error_bound\": %g,\n", h.params.abs_error_bound);
+    std::printf("  \"quant_bins\": %u,\n", h.params.quant_bins);
+    std::printf("  \"payload_bytes\": %llu,\n",
+                static_cast<unsigned long long>(h.payload_size));
+    std::printf("  \"archive_bytes\": %zu,\n", container.size());
+    std::printf("  \"ratio\": %.3f\n}\n", cr);
+    return 0;
+  }
+  std::printf("container:     v2 single container\n");
+  std::printf("seekable:      no (single container; use --chunks)\n");
   std::printf("scheme:        %s\n", core::scheme_name(h.scheme));
   std::printf("cipher mode:   %s\n", crypto::mode_name(h.cipher_mode));
-  std::printf("dtype:         float%d\n",
-              h.dtype == sz::DType::kFloat32 ? 32 : 64);
+  std::printf("dtype:         float%d\n", bits);
   std::printf("dims:          %s (%zu elements)\n",
               h.dims.to_string().c_str(), h.dims.count());
   std::printf("error bound:   %g (absolute)\n", h.params.abs_error_bound);
@@ -494,8 +680,6 @@ int cmd_info(const Options& o) {
   std::printf("payload:       %llu bytes, crc32 %08x\n",
               static_cast<unsigned long long>(h.payload_size),
               h.payload_crc);
-  const double cr = static_cast<double>(h.dims.count()) *
-                    dtype_size(h.dtype) / container.size();
   std::printf("ratio:         %.3fx\n", cr);
   return 0;
 }
@@ -557,6 +741,7 @@ int main(int argc, char** argv) {
     const Options o = parse(argc, argv);
     if (o.command == "compress") return cmd_compress(o);
     if (o.command == "decompress") return cmd_decompress(o);
+    if (o.command == "extract") return cmd_extract(o);
     if (o.command == "info") return cmd_info(o);
     if (o.command == "verify") return cmd_verify(o);
     usage("unknown command");

@@ -158,6 +158,10 @@ void emit_chunked(const fs::path& root) {
   archive::ChunkedConfig cfg;
   cfg.threads = 1;
   cfg.chunks = 3;
+  // The pre-footer entries are pinned to the footer-less layout so the
+  // checked-in bytes stay stable across the seek-table introduction;
+  // footered shapes get their own entries below.
+  cfg.seek_table = false;
 
   crypto::CtrDrbg drbg(0xC3'0001);
   const auto r = archive::compress_chunked(std::span<const float>(f), dims,
@@ -203,6 +207,30 @@ void emit_chunked(const fs::path& root) {
                   r.archive.begin() +
                       static_cast<std::ptrdiff_t>(index.body_start / 2));
   write_entry(dir, "index_region_truncation.bin", BytesView(index_cut));
+
+  {  // Seek-table footer shapes: a valid footered archive, and the same
+     // archive with one byte flipped inside the footer while the trailer
+     // stays intact (the fail-closed forged-footer path; strict decode
+     // still succeeds because frames are untouched).
+    crypto::CtrDrbg d3(0xC3'0003);
+    archive::ChunkedConfig footered = cfg;
+    footered.seek_table = true;
+    const auto rf = archive::compress_chunked(
+        std::span<const float>(f), dims, params, core::Scheme::kEncrQuant,
+        BytesView(key16), {}, footered, &d3);
+    write_entry(dir, "seek_footer_three_chunks_f32.bin",
+                BytesView(rf.archive));
+
+    crypto::CtrDrbg d4(0xC3'0003);
+    archive::ChunkedConfig bare = footered;
+    bare.seek_table = false;
+    const auto rn = archive::compress_chunked(
+        std::span<const float>(f), dims, params, core::Scheme::kEncrQuant,
+        BytesView(key16), {}, bare, &d4);
+    Bytes forged = rf.archive;
+    forged[rn.archive.size() + 6] ^= 0x20;  // inside the footer region
+    write_entry(dir, "seek_footer_forged_byte.bin", BytesView(forged));
+  }
 }
 
 }  // namespace

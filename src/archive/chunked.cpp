@@ -324,11 +324,41 @@ ChunkedStreamResult compress_stream_impl(ByteSource& in, ByteSink& out,
   w.put_u32(crc32(BytesView(w.bytes())));
 
   CountingSink counted(&out);
-  {
-    const Bytes prelude = w.take();
-    counted.write(BytesView(prelude));
-  }
+  const Bytes prelude = w.take();
+  counted.write(BytesView(prelude));
   spool.replay(counted);
+  if (config.seek_table) {
+    // Footer offsets are ABSOLUTE (prelude + relative frame offset), so
+    // a seekable reader needs no prelude parse at all; elem ranges are
+    // redundant with rows x plane by construction — the parser
+    // cross-checks them, which is what makes a forged footer detectable.
+    const size_t plane = dims.count() / dims[0];
+    ByteWriter fw;
+    fw.put_u32(kSeekFooterMagic);
+    fw.put_u8(kSeekFooterVersion);
+    fw.put_u8(dtype_of<T>() == sz::DType::kFloat32 ? 0 : 1);
+    fw.put_u8(static_cast<uint8_t>(dims.rank()));
+    for (size_t i = 0; i < dims.rank(); ++i) fw.put_varint(dims[i]);
+    fw.put_varint(plan.count);
+    uint64_t abs = prelude.size();
+    for (size_t i = 0; i < plan.count; ++i) {
+      fw.put_varint(abs);
+      fw.put_varint(frame_len[i]);
+      fw.put_varint(plan.start[i]);
+      fw.put_varint(plan.extent[i]);
+      fw.put_varint(plan.start[i] * plane);
+      fw.put_varint(plan.extent[i] * plane);
+      abs += frame_len[i];
+    }
+    fw.put_u32(crc32(BytesView(fw.bytes())));
+    const size_t footer_len = fw.bytes().size();
+    SZSEC_REQUIRE(footer_len <= std::numeric_limits<uint32_t>::max(),
+                  "seek-table footer too large");
+    fw.put_u32(static_cast<uint32_t>(footer_len));
+    fw.put_u32(kSeekTrailerMagic);
+    const Bytes footer = fw.take();
+    counted.write(BytesView(footer));
+  }
   out.flush();
   out_r.archive_bytes = counted.count();
   out_r.stats.container_bytes = counted.count();
@@ -521,6 +551,179 @@ ChunkIndex read_chunk_index(BytesView archive) {
 
 Dims chunked_dims(BytesView archive) {
   return read_chunk_index(archive).dims;
+}
+
+std::optional<uint64_t> parse_seek_trailer(BytesView trailer,
+                                           uint64_t archive_size) {
+  if (trailer.size() != kSeekTrailerSize) return std::nullopt;
+  ByteReader r(trailer);
+  const uint32_t footer_len = r.get_u32();
+  if (r.get_u32() != kSeekTrailerMagic) return std::nullopt;
+  // The magic IS present: from here every inconsistency is corruption of
+  // a footer that once existed, not "no footer".
+  SZSEC_CHECK_FORMAT(archive_size >= kSeekTrailerSize &&
+                         footer_len <= archive_size - kSeekTrailerSize,
+                     "seek footer length exceeds archive");
+  return footer_len;
+}
+
+SeekTable parse_seek_footer(BytesView footer, uint64_t archive_size) {
+  SZSEC_CHECK_FORMAT(archive_size >= footer.size() + kSeekTrailerSize,
+                     "seek footer larger than archive");
+  // Frames live strictly before the footer; a footer entry pointing into
+  // the footer itself (or past the end) is forged.
+  const uint64_t frame_region_end =
+      archive_size - kSeekTrailerSize - footer.size();
+  ByteReader r(footer);
+  SZSEC_CHECK_FORMAT(r.get_u32() == kSeekFooterMagic,
+                     "bad seek footer magic");
+  SZSEC_CHECK_FORMAT(r.get_u8() == kSeekFooterVersion,
+                     "unsupported seek footer version");
+  const uint8_t dtype_byte = r.get_u8();
+  SZSEC_CHECK_FORMAT(dtype_byte <= 1, "bad seek footer dtype");
+  const uint8_t rank = r.get_u8();
+  SZSEC_CHECK_FORMAT(rank >= 1 && rank <= Dims::kMaxRank, "bad rank");
+  size_t extents[Dims::kMaxRank] = {};
+  for (size_t i = 0; i < rank; ++i) {
+    const uint64_t e = r.get_varint();
+    SZSEC_CHECK_FORMAT(e > 0 && e <= kMaxExtent, "bad extent");
+    extents[i] = static_cast<size_t>(e);
+  }
+  checked_field_elements(extents, rank);
+  SeekTable out;
+  out.dims = dims_from_extents(extents, rank);
+  out.dtype = dtype_byte == 0 ? sz::DType::kFloat32 : sz::DType::kFloat64;
+  out.from_footer = true;
+  out.plane = out.dims.count() / out.dims[0];
+  const uint64_t count = r.get_varint();
+  SZSEC_CHECK_FORMAT(count >= 1 && count <= out.dims[0],
+                     "implausible chunk count");
+  uint64_t expect_off = 0;  // 0 = first entry (any prelude size)
+  uint64_t expect_row = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    SeekEntry e;
+    e.offset = r.get_varint();
+    e.frame_len = r.get_varint();
+    e.row_start = r.get_varint();
+    e.row_extent = r.get_varint();
+    e.elem_start = r.get_varint();
+    e.elem_count = r.get_varint();
+    SZSEC_CHECK_FORMAT(e.frame_len > 0, "empty frame");
+    // Subtractive: offset and frame_len are untrusted varints whose sum
+    // can wrap uint64_t (same idiom as the prelude index parse).
+    SZSEC_CHECK_FORMAT(e.offset <= frame_region_end &&
+                           e.frame_len <= frame_region_end - e.offset,
+                       "seek entry extends past the frame region");
+    SZSEC_CHECK_FORMAT(i == 0 || e.offset == expect_off,
+                       "seek entry offsets not dense");
+    SZSEC_CHECK_FORMAT(e.row_start == expect_row && e.row_extent >= 1 &&
+                           e.row_extent <= out.dims[0] - e.row_start,
+                       "seek entry rows inconsistent");
+    // The element range is redundant with rows x plane; requiring exact
+    // agreement is what catches a forged overlap/gap/overflow here (the
+    // products cannot wrap: rows are bounded by dims[0] above, so both
+    // sides are <= dims.count() <= kMaxElements).
+    SZSEC_CHECK_FORMAT(e.elem_start == e.row_start * out.plane &&
+                           e.elem_count == e.row_extent * out.plane,
+                       "seek entry element range disagrees with rows");
+    expect_off = e.offset + e.frame_len;
+    expect_row += e.row_extent;
+    out.entries.push_back(e);
+  }
+  SZSEC_CHECK_FORMAT(expect_row == out.dims[0],
+                     "chunks do not cover the field");
+  const uint32_t computed = crc32(footer.subspan(0, r.pos()));
+  const uint32_t declared = r.get_u32();
+  SZSEC_CHECK_FORMAT(computed == declared, "seek footer CRC mismatch");
+  SZSEC_CHECK_FORMAT(r.pos() == footer.size(),
+                     "seek footer has trailing bytes");
+  return out;
+}
+
+uint64_t seek_footer_suffix_bytes(BytesView archive) noexcept {
+  // Structural probe only: trailer framing plus the footer's leading
+  // magic + version.  The salvage path calls this on damaged archives
+  // where a full parse_seek_footer would rightly fail (frames dropped
+  // or shifted out from under the footer's offsets), yet the footer
+  // bytes themselves are still not field data and must not be counted
+  // as unexplained damage.
+  if (archive.size() < kSeekTrailerSize + 6) return 0;
+  ByteReader t(archive.subspan(archive.size() - kSeekTrailerSize));
+  uint32_t footer_len = 0;
+  try {
+    footer_len = t.get_u32();
+    if (t.get_u32() != kSeekTrailerMagic) return 0;
+  } catch (const Error&) {
+    return 0;
+  }
+  if (footer_len < 6 ||
+      footer_len > archive.size() - kSeekTrailerSize) {
+    return 0;
+  }
+  ByteReader f(archive.subspan(
+      archive.size() - kSeekTrailerSize - footer_len, footer_len));
+  try {
+    if (f.get_u32() != kSeekFooterMagic ||
+        f.get_u8() != kSeekFooterVersion) {
+      return 0;
+    }
+  } catch (const Error&) {
+    return 0;
+  }
+  return footer_len + kSeekTrailerSize;
+}
+
+SeekTable seek_table_from_index(const ChunkIndex& index) {
+  SeekTable out;
+  out.dims = index.dims;
+  out.from_footer = false;
+  out.plane = index.dims.count() / index.dims[0];
+  out.entries.reserve(index.entries.size());
+  for (const ChunkEntry& e : index.entries) {
+    out.entries.push_back(SeekEntry{e.offset, e.frame_len, e.row_start,
+                                    e.row_extent, e.row_start * out.plane,
+                                    e.row_extent * out.plane});
+  }
+  return out;
+}
+
+SeekTable read_seek_table(BytesView archive) {
+  if (archive.size() >= kSeekTrailerSize) {
+    const BytesView trailer =
+        archive.subspan(archive.size() - kSeekTrailerSize);
+    if (const std::optional<uint64_t> footer_len =
+            parse_seek_trailer(trailer, archive.size())) {
+      const size_t footer_start = archive.size() - kSeekTrailerSize -
+                                  static_cast<size_t>(*footer_len);
+      return parse_seek_footer(
+          archive.subspan(footer_start,
+                          static_cast<size_t>(*footer_len)),
+          archive.size());
+    }
+  }
+  return seek_table_from_index(read_chunk_index(archive));
+}
+
+std::string decode_chunk_frame(const FrameInfo& frame,
+                               core::codec::RuntimeCache& runtimes,
+                               BufferPool* pool,
+                               const std::optional<Dims>& field_dims,
+                               std::span<float> into, Dims& chunk_dims,
+                               PipelineMetrics* times) {
+  if (into.empty()) return "empty destination span";
+  return try_decode_chunk<float>(frame, runtimes, pool, field_dims, into,
+                                 nullptr, chunk_dims, times);
+}
+
+std::string decode_chunk_frame(const FrameInfo& frame,
+                               core::codec::RuntimeCache& runtimes,
+                               BufferPool* pool,
+                               const std::optional<Dims>& field_dims,
+                               std::span<double> into, Dims& chunk_dims,
+                               PipelineMetrics* times) {
+  if (into.empty()) return "empty destination span";
+  return try_decode_chunk<double>(frame, runtimes, pool, field_dims, into,
+                                  nullptr, chunk_dims, times);
 }
 
 namespace {
@@ -744,6 +947,14 @@ SalvageResult salvage_impl(BytesView archive, BytesView key,
   }
   rep.index_intact = index.has_value();
 
+  // A trailing seek-table footer is framing, not field data: an indexed
+  // offset landing in it means the frame is gone (truncated/dropped),
+  // not corrupt, and its bytes are not unexplained damage.  The resync
+  // scan below still covers the full archive, so a forged trailer can
+  // never hide a recoverable frame.
+  const uint64_t footer_suffix = seek_footer_suffix_bytes(archive);
+  const uint64_t frame_region_end = archive.size() - footer_suffix;
+
   // Phase 1: locate a CRC-valid frame per chunk id.  With an intact
   // index, first try each chunk exactly where the index says (kOk); a
   // full resync scan then rescues chunks whose offsets no longer hold
@@ -758,8 +969,8 @@ SalvageResult salvage_impl(BytesView archive, BytesView key,
   if (index) {
     for (size_t i = 0; i < index->entries.size(); ++i) {
       const ChunkEntry& e = index->entries[i];
-      if (e.offset >= archive.size()) {
-        failure[i] = "frame offset past archive end (truncated?)";
+      if (e.offset >= frame_region_end) {
+        failure[i] = "frame offset past the frame region (truncated?)";
         continue;
       }
       const std::optional<Frame> f = parse_frame_at(archive, e.offset);
@@ -993,7 +1204,8 @@ SalvageResult salvage_impl(BytesView archive, BytesView key,
       }
       rep.chunks.push_back(std::move(cr));
     }
-    const uint64_t accounted = frame_bytes_recovered + index->body_start;
+    const uint64_t accounted =
+        frame_bytes_recovered + index->body_start + footer_suffix;
     rep.bytes_skipped =
         archive.size() > accounted ? archive.size() - accounted : 0;
   } else {
@@ -1016,9 +1228,9 @@ SalvageResult salvage_impl(BytesView archive, BytesView key,
       row = d->row_start + d->row_extent;
     }
     rep.chunks_expected = rep.chunks.size();
-    rep.bytes_skipped = archive.size() > frame_bytes_recovered
-                            ? archive.size() - frame_bytes_recovered
-                            : 0;
+    const uint64_t accounted = frame_bytes_recovered + footer_suffix;
+    rep.bytes_skipped =
+        archive.size() > accounted ? archive.size() - accounted : 0;
   }
   return out;
 }
@@ -1376,6 +1588,9 @@ ChunkedStreamSalvageResult salvage_chunked_stream(ByteSource& in,
       }
       rep.chunks.push_back(std::move(cr));
     }
+    // Single-pass accounting: a trailing seek-table footer cannot be
+    // recognized without look-ahead, so unlike the in-memory salvage its
+    // bytes count as skipped here — an over-, never under-estimate.
     const uint64_t accounted =
         frame_bytes_recovered + index->body_start;
     rep.bytes_skipped =

@@ -21,6 +21,31 @@
 //     varint row_start | varint row_extent
 //     varint container_len | u32 container_crc | container bytes
 //
+// Seek-table footer (optional, ChunkedConfig::seek_table, on by
+// default).  Appended AFTER the frames so old readers — which stop at
+// the last indexed frame — ignore it as trailing bytes, while a
+// seekable reader can locate every chunk with two positioned reads
+// (the 8-byte trailer, then the footer) and no prelude scan:
+//   footer: u32 magic "SZSK" | u8 version=1 | u8 dtype (0=f32, 1=f64)
+//           u8 rank | varint dims[rank]
+//           varint chunk_count
+//           table: chunk_count x (varint offset     -- ABSOLUTE frame
+//                                                      start
+//                                 varint frame_len
+//                                 varint row_start | varint row_extent
+//                                 varint elem_start | varint elem_count)
+//           u32 footer_crc  -- CRC-32 of every footer byte up to here
+//   trailer: u32 footer_len | u32 trailer magic "KSZS"   (last 8 bytes)
+// The element ranges are the chunk's half-open [elem_start,
+// elem_start + elem_count) slice of the row-major field; together with
+// dims they describe each chunk's hyperslab (rows [row_start,
+// row_start + row_extent) across the full plane) for rank-2/3 ROI
+// reads.  All fields are untrusted on parse: parse_seek_footer
+// cross-checks rows against dims, element ranges against rows x plane,
+// offsets against the archive size, and the CRC — a forged footer is
+// CorruptError, never an out-of-bounds read (see
+// docs/FORMATS.md for the normative byte layout).
+//
 // Frames are self-describing (id + row range + length + CRC behind a
 // fixed 8-byte marker), so the salvage decoder recovers intact chunks
 // even when the header/index is destroyed or frame offsets shifted
@@ -42,6 +67,7 @@
 
 #include "common/io.h"
 #include "common/timer.h"
+#include "core/codec.h"
 #include "parallel/slab.h"
 
 namespace szsec::archive {
@@ -51,6 +77,13 @@ inline constexpr uint8_t kChunkedVersion = 3;
 /// Resync marker preceding every chunk frame ("SZ!RSYNC" backwards in
 /// memory: chosen once, never a valid container prefix).
 inline constexpr uint64_t kResyncMarker = 0x434E595352215A53ull;
+
+/// Seek-table footer framing (see the file comment for the layout).
+inline constexpr uint32_t kSeekFooterMagic = 0x4B535A53;   // "SZSK"
+inline constexpr uint8_t kSeekFooterVersion = 1;
+inline constexpr uint32_t kSeekTrailerMagic = 0x535A534B;  // "KSZS"
+/// Fixed trailer: u32 footer_len | u32 kSeekTrailerMagic.
+inline constexpr size_t kSeekTrailerSize = 2 * sizeof(uint32_t);
 
 struct ChunkedConfig {
   /// Worker threads for compression / strict decompression
@@ -75,6 +108,12 @@ struct ChunkedConfig {
   /// compress_chunked wrappers use).  The choice never changes the
   /// emitted bytes.
   FrameSpool::Backing spool = FrameSpool::Backing::kTempFile;
+  /// Append the seek-table footer (random-access metadata for
+  /// SeekableReader).  On by default; old readers ignore the footer as
+  /// trailing bytes, so it costs a few dozen bytes per chunk and
+  /// nothing else.  Turn off to reproduce pre-footer archive bytes
+  /// exactly (the golden-container suite pins both variants).
+  bool seek_table = true;
 };
 
 struct ChunkedCompressResult {
@@ -178,6 +217,69 @@ struct ChunkIndex {
 };
 ChunkIndex read_chunk_index(BytesView archive);
 
+/// One seek-table entry: where chunk i's frame lives and which slice of
+/// the row-major field it reconstructs.  All offsets absolute.
+struct SeekEntry {
+  uint64_t offset = 0;      ///< frame start (marker byte 0)
+  uint64_t frame_len = 0;   ///< whole frame, marker included
+  uint64_t row_start = 0;   ///< slowest-dim start
+  uint64_t row_extent = 0;  ///< slowest-dim extent (chunk hyperslab)
+  uint64_t elem_start = 0;  ///< first element (row_start x plane)
+  uint64_t elem_count = 0;  ///< elements (row_extent x plane)
+};
+
+/// Random-access metadata for a chunked archive: per-chunk byte spans
+/// and element ranges, either read from the seek-table footer (two
+/// positioned reads, no prelude scan) or derived from the prelude index
+/// of a footer-less archive.
+struct SeekTable {
+  Dims dims;
+  /// Element type, known only when the footer carried it; a table
+  /// derived from the prelude index leaves it empty (the index predates
+  /// the footer and stores no dtype) — readers learn it from the first
+  /// chunk's container header instead.
+  std::optional<sz::DType> dtype;
+  bool from_footer = false;
+  size_t plane = 0;  ///< elements per slowest-dim index
+  std::vector<SeekEntry> entries;
+};
+
+/// Parses the fixed 8-byte trailer (the archive's LAST kSeekTrailerSize
+/// bytes).  nullopt when the trailer magic is absent — a footer-less
+/// archive, not an error.  When the magic IS present, an impossible
+/// footer length (longer than the bytes in front of the trailer) is
+/// CorruptError: the footer existed and was damaged or forged.
+std::optional<uint64_t> parse_seek_trailer(BytesView trailer,
+                                           uint64_t archive_size);
+
+/// Strictly parses the footer bytes (magic through footer_crc; the
+/// trailer excluded) of an archive `archive_size` bytes long.  Every
+/// field is untrusted: rows must densely cover dims[0], element ranges
+/// must equal rows x plane (a forged overlap/gap/overflow dies here),
+/// frame spans must stay inside the frame region, and the CRC must
+/// match.  Throws CorruptError on any inconsistency.
+SeekTable parse_seek_footer(BytesView footer, uint64_t archive_size);
+
+/// Derives a SeekTable from a strictly parsed prelude index (the
+/// backward-compatible path for pre-footer archives).
+SeekTable seek_table_from_index(const ChunkIndex& index);
+
+/// In-memory convenience: the archive's SeekTable — from the footer
+/// when the trailer signature is present (strict parse; a damaged or
+/// forged footer throws CorruptError rather than silently degrading),
+/// else derived from read_chunk_index.
+SeekTable read_seek_table(BytesView archive);
+
+/// Bytes occupied at the END of `archive` by a structurally plausible
+/// seek-table footer + trailer (trailer magic, in-bounds footer length,
+/// footer magic + version at the computed start), or 0 when absent.
+/// Deliberately NOT a full parse — never throws — so the salvage path
+/// can exclude the footer from damage accounting even when dropped or
+/// shifted frames have invalidated the footer's offsets.  The frame
+/// region of an archive therefore ends at
+/// `archive.size() - seek_footer_suffix_bytes(archive)`.
+uint64_t seek_footer_suffix_bytes(BytesView archive) noexcept;
+
 /// A frame located in (possibly damaged) archive bytes.  `crc_ok` is the
 /// only integrity statement; the field values are sanity-capped but
 /// otherwise untrusted until cross-checked against the index or the
@@ -197,6 +299,28 @@ struct FrameInfo {
 /// fields).  Shared by the strict decoder, the salvage scanner, and
 /// verify_archive, so "what counts as a frame" is defined exactly once.
 std::optional<FrameInfo> parse_frame(BytesView archive, size_t pos);
+
+/// Decodes one located frame's container into `into` (the chunk's
+/// row_extent x plane elements), validating everything the strict
+/// decoder validates: container rows versus frame rows, rank/plane
+/// against `field_dims` when provided, dtype against the span's element
+/// type.  Returns the empty string on success, else a human-readable
+/// reason (wrong key and MAC failures surface as exceptions from the
+/// codec, not as a reason string).  `chunk_dims` receives the chunk's
+/// own Dims.  Shared by the strict decoder, salvage, and
+/// SeekableReader so chunk-level validation is defined exactly once.
+std::string decode_chunk_frame(const FrameInfo& frame,
+                               core::codec::RuntimeCache& runtimes,
+                               BufferPool* pool,
+                               const std::optional<Dims>& field_dims,
+                               std::span<float> into, Dims& chunk_dims,
+                               PipelineMetrics* times = nullptr);
+std::string decode_chunk_frame(const FrameInfo& frame,
+                               core::codec::RuntimeCache& runtimes,
+                               BufferPool* pool,
+                               const std::optional<Dims>& field_dims,
+                               std::span<double> into, Dims& chunk_dims,
+                               PipelineMetrics* times = nullptr);
 
 /// What happened to one chunk during salvage.
 enum class ChunkStatus : uint8_t {

@@ -80,6 +80,58 @@ size_t read_full(ByteSource& src, std::span<uint8_t> out) {
   return got;
 }
 
+size_t pread_full(ByteSource& src, uint64_t offset,
+                  std::span<uint8_t> out) {
+  size_t got = 0;
+  while (got < out.size()) {
+    const size_t n = src.pread(offset + got, out.subspan(got));
+    if (n == 0) break;
+    got += n;
+  }
+  return got;
+}
+
+namespace {
+
+#ifndef _WIN32
+/// Shared by FileSource/FdSource: positioned-read support for a POSIX
+/// descriptor.  Only a regular file qualifies — pipes, ttys, and
+/// sockets would make ::pread fail or (worse) racily share a position.
+bool fd_is_regular(int fd) {
+  struct stat st{};
+  return ::fstat(fd, &st) == 0 && S_ISREG(st.st_mode);
+}
+
+uint64_t fd_size(int fd) {
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    throw IoError("source is not seekable", ESPIPE);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+size_t fd_pread(int fd, uint64_t offset, std::span<uint8_t> out,
+                const RetryPolicy& retry) {
+  if (out.empty()) return 0;
+  for (int attempt = 1;; ++attempt) {
+    ssize_t n;
+    do {
+      n = ::pread(fd, out.data(), out.size(),
+                  static_cast<off_t>(offset));
+    } while (n < 0 && errno == EINTR);
+    if (n >= 0) return static_cast<size_t>(n);
+    const int err = errno;
+    if (!io_error_is_transient(err) || attempt >= retry.max_attempts) {
+      errno = err;
+      throw errno_error("positioned read failed");
+    }
+    retry.backoff(attempt);
+  }
+}
+#endif
+
+}  // namespace
+
 // ---------------------------------------------------------------------
 // FileSource / FileSink
 
@@ -107,6 +159,35 @@ size_t FileSource::read(std::span<uint8_t> out) {
     }
     retry_.backoff(attempt);
   }
+}
+
+bool FileSource::seekable() const {
+#ifdef _WIN32
+  return false;
+#else
+  return fd_is_regular(::fileno(file_));
+#endif
+}
+
+uint64_t FileSource::size() const {
+#ifdef _WIN32
+  throw IoError("source is not seekable", ESPIPE);
+#else
+  return fd_size(::fileno(file_));
+#endif
+}
+
+size_t FileSource::pread(uint64_t offset, std::span<uint8_t> out) {
+#ifdef _WIN32
+  (void)offset;
+  (void)out;
+  throw IoError("source is not seekable", ESPIPE);
+#else
+  if (!fd_is_regular(::fileno(file_))) {
+    throw IoError("source is not seekable", ESPIPE);
+  }
+  return fd_pread(::fileno(file_), offset, out, retry_);
+#endif
 }
 
 FileSink::FileSink(const std::string& path, RetryPolicy retry)
@@ -187,6 +268,35 @@ size_t FdSource::read(std::span<uint8_t> out) {
     }
     retry_.backoff(attempt);
   }
+}
+
+bool FdSource::seekable() const {
+#ifdef _WIN32
+  return false;
+#else
+  return fd_is_regular(fd_);
+#endif
+}
+
+uint64_t FdSource::size() const {
+#ifdef _WIN32
+  throw IoError("source is not seekable", ESPIPE);
+#else
+  return fd_size(fd_);
+#endif
+}
+
+size_t FdSource::pread(uint64_t offset, std::span<uint8_t> out) {
+#ifdef _WIN32
+  (void)offset;
+  (void)out;
+  throw IoError("source is not seekable", ESPIPE);
+#else
+  if (!fd_is_regular(fd_)) {
+    throw IoError("source is not seekable", ESPIPE);
+  }
+  return fd_pread(fd_, offset, out, retry_);
+#endif
 }
 
 void FdSink::write(BytesView data) {

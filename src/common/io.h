@@ -33,6 +33,7 @@
 //    unlinks the temp file and leaves a pre-existing target untouched.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <functional>
 #include <span>
@@ -135,7 +136,40 @@ class ByteSource {
   /// Reads up to out.size() bytes into the front of `out`; returns the
   /// count actually read.  0 <=> end of stream (when out is non-empty).
   virtual size_t read(std::span<uint8_t> out) = 0;
+
+  // Positioned-read capability (the seekable-archive layer's contract).
+  // A source either supports all three of seekable()/size()/pread() —
+  // memory buffers, regular files, mappings — or none: pipes, sockets,
+  // and the stream adapters stay sequential-only and report it with a
+  // typed, permanent IoError (ESPIPE, the errno lseek itself would
+  // give), so callers can branch on capability without string-matching.
+
+  /// True when size() and pread() work on this source.
+  virtual bool seekable() const { return false; }
+
+  /// Total byte length of the underlying object.  Throws IoError
+  /// (ESPIPE, permanent) when the source is not seekable.
+  virtual uint64_t size() const {
+    throw IoError("source is not seekable", ESPIPE);
+  }
+
+  /// Reads up to out.size() bytes starting at absolute byte `offset`,
+  /// without disturbing the sequential read position; returns the count
+  /// actually read (0 when `offset` is at or past the end).  Safe to
+  /// call concurrently from multiple threads as long as no sequential
+  /// read() runs at the same time.  Throws IoError (ESPIPE, permanent)
+  /// when the source is not seekable.
+  virtual size_t pread(uint64_t offset, std::span<uint8_t> out) {
+    (void)offset;
+    (void)out;
+    throw IoError("source is not seekable", ESPIPE);
+  }
 };
+
+/// preads exactly out.size() bytes at `offset`, looping over short
+/// reads.  Returns the bytes read; less than out.size() only when the
+/// source ends first.
+size_t pread_full(ByteSource& src, uint64_t offset, std::span<uint8_t> out);
 
 /// Reads exactly out.size() bytes, looping over short reads.  Returns
 /// the bytes read; less than out.size() only at end of stream.
@@ -184,6 +218,15 @@ class MemorySource final : public ByteSource {
     return n;
   }
 
+  bool seekable() const override { return true; }
+  uint64_t size() const override { return data_.size(); }
+  size_t pread(uint64_t offset, std::span<uint8_t> out) override {
+    if (offset >= data_.size()) return 0;
+    const size_t n = std::min<uint64_t>(out.size(), data_.size() - offset);
+    std::memcpy(out.data(), data_.data() + offset, n);
+    return n;
+  }
+
   size_t remaining() const { return data_.size() - pos_; }
 
  private:
@@ -223,6 +266,14 @@ class FileSource final : public ByteSource {
   FileSource& operator=(const FileSource&) = delete;
 
   size_t read(std::span<uint8_t> out) override;
+
+  /// True when the stream's descriptor names a regular file (a FILE*
+  /// over a pipe or tty stays sequential-only).
+  bool seekable() const override;
+  uint64_t size() const override;
+  /// ::pread on the underlying descriptor — the stdio buffer and the
+  /// sequential read position are untouched.
+  size_t pread(uint64_t offset, std::span<uint8_t> out) override;
 
  private:
   std::FILE* file_ = nullptr;
@@ -268,6 +319,12 @@ class FdSource final : public ByteSource {
       : fd_(fd), retry_(std::move(retry)) {}
 
   size_t read(std::span<uint8_t> out) override;
+
+  /// True when the descriptor names a regular file; FdSource(0) over a
+  /// pipe reports not seekable (ESPIPE from size()/pread()).
+  bool seekable() const override;
+  uint64_t size() const override;
+  size_t pread(uint64_t offset, std::span<uint8_t> out) override;
 
  private:
   int fd_;
@@ -348,6 +405,15 @@ class MmapSource final : public ByteSource {
   MmapSource& operator=(const MmapSource&) = delete;
 
   size_t read(std::span<uint8_t> out) override;
+
+  bool seekable() const override { return true; }
+  uint64_t size() const override { return size_; }
+  size_t pread(uint64_t offset, std::span<uint8_t> out) override {
+    if (offset >= size_) return 0;
+    const size_t n = std::min<uint64_t>(out.size(), size_ - offset);
+    std::memcpy(out.data(), data_ + offset, n);
+    return n;
+  }
 
   /// The whole mapping (valid while this object lives).
   BytesView view() const { return BytesView(data_, size_); }

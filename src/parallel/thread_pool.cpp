@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 namespace szsec::parallel {
@@ -10,9 +11,18 @@ thread_local size_t tl_worker_index = ThreadPool::kNotAWorker;
 }  // namespace
 
 unsigned default_thread_count() {
-  if (const char* env = std::getenv("SZSEC_THREADS")) {
-    const int n = std::atoi(env);
-    if (n >= 1) return static_cast<unsigned>(n);
+  // SZSEC_THREADS must be exactly a decimal integer in [1, 1024] to take
+  // effect; "0", overflow, trailing junk ("16x"), and non-numeric values
+  // all fall back to the hardware default rather than half-parsing
+  // (atoi would accept "16x" and has undefined behavior on overflow).
+  const char* env = std::getenv("SZSEC_THREADS");
+  if (env != nullptr && env[0] >= '0' && env[0] <= '9') {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(env, &end, 10);
+    if (errno == 0 && *end == '\0' && n >= 1 && n <= 1024) {
+      return static_cast<unsigned>(n);
+    }
   }
   return std::max(1u, std::thread::hardware_concurrency());
 }

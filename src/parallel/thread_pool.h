@@ -18,10 +18,12 @@
 namespace szsec::parallel {
 
 /// Worker count used when a caller passes `threads == 0`: the
-/// SZSEC_THREADS environment variable when set to a positive integer,
-/// otherwise std::thread::hardware_concurrency() (minimum 1).  The env
-/// override lets CI and batch jobs pin every default-threaded code path
-/// (archives, benches, tests) without touching call sites.
+/// SZSEC_THREADS environment variable when it is exactly a decimal
+/// integer in [1, 1024], otherwise std::thread::hardware_concurrency()
+/// (minimum 1).  "0", trailing junk, and out-of-range values are
+/// ignored, never half-parsed.  The env override lets CI and batch jobs
+/// pin every default-threaded code path (archives, benches, tests)
+/// without touching call sites.
 unsigned default_thread_count();
 
 /// Fixed-size worker pool executing opaque queued tasks.  Destruction

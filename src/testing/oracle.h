@@ -30,4 +30,14 @@ namespace szsec::testing {
 /// exceptions from the codec are converted into violations.
 std::vector<std::string> check_roundtrip(const SampledConfig& cfg);
 
+/// Differential for the seekable-reader subsystem: compresses `cfg`'s
+/// field into a v3 archive (footer on AND footer off, so both the
+/// footer parse and the prelude-index fallback are exercised), then
+/// proves every sampled read_range and read_roi answer is bit-identical
+/// to the corresponding slice of a full strict decode.  Ranges/ROIs are
+/// drawn deterministically from cfg.seed: the full field, single
+/// elements, chunk-interior and chunk-straddling spans, and (rank >= 2)
+/// hyperslabs.  Empty result == the seekable path agrees everywhere.
+std::vector<std::string> check_seekable(const SampledConfig& cfg);
+
 }  // namespace szsec::testing

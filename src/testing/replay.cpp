@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "archive/chunked.h"
+#include "archive/seekable.h"
 #include "core/secure_compressor.h"
 #include "crypto/cipher.h"
 #include "huffman/huffman.h"
@@ -86,6 +87,32 @@ void replay_chunked(BytesView input) {
   opts.threads = 1;
   try {
     (void)archive::decompress_salvage(input, BytesView(key), opts);
+  } catch (const Error&) {
+  }
+  // Seek-table surface: footer/trailer parse, then a random-access open
+  // plus a one-element read at each end.  Anything other than a typed
+  // Error on arbitrary bytes is a finding.
+  try {
+    (void)archive::read_seek_table(input);
+  } catch (const Error&) {
+  }
+  try {
+    archive::SeekableOptions sopt;
+    sopt.threads = 1;
+    const auto reader =
+        archive::SeekableReader::open(input, BytesView(key), sopt);
+    const uint64_t n = reader->elements();
+    if (n > 0) {
+      if (reader->dtype() == sz::DType::kFloat32) {
+        std::vector<float> out(1);
+        reader->read_range(0, 1, std::span<float>(out));
+        reader->read_range(n - 1, n, std::span<float>(out));
+      } else {
+        std::vector<double> out(1);
+        reader->read_range(0, 1, std::span<double>(out));
+        reader->read_range(n - 1, n, std::span<double>(out));
+      }
+    }
   } catch (const Error&) {
   }
 }

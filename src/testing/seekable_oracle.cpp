@@ -1,0 +1,235 @@
+// Differential oracle for SeekableReader: every ranged/ROI read must be
+// bit-identical to the corresponding slice of a full strict decode, for
+// both table sources (seek-table footer and prelude-index fallback).
+#include <bit>
+#include <sstream>
+
+#include "archive/seekable.h"
+#include "testing/oracle.h"
+
+namespace szsec::testing {
+
+namespace {
+
+template <typename T>
+uint64_t to_bits(T v) {
+  if constexpr (sizeof(T) == 4) {
+    return std::bit_cast<uint32_t>(v);
+  } else {
+    return std::bit_cast<uint64_t>(v);
+  }
+}
+
+template <typename T>
+std::vector<T> synthesize(const SampledConfig& cfg) {
+  if constexpr (sizeof(T) == 4) {
+    return synthesize_f32(cfg);
+  } else {
+    return synthesize_f64(cfg);
+  }
+}
+
+/// One range differential: read [lo, hi) through the reader and compare
+/// bit-for-bit against the full-decode slice.
+template <typename T>
+void check_range(std::vector<std::string>& out,
+                 archive::SeekableReader& reader,
+                 std::span<const T> full, uint64_t lo, uint64_t hi,
+                 const char* label) {
+  std::vector<T> got(static_cast<size_t>(hi - lo));
+  try {
+    reader.read_range(lo, hi, std::span<T>(got));
+  } catch (const Error& e) {
+    std::ostringstream os;
+    os << label << ": read_range(" << lo << ", " << hi
+       << ") threw: " << e.what();
+    out.push_back(os.str());
+    return;
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (to_bits(got[i]) != to_bits(full[static_cast<size_t>(lo) + i])) {
+      std::ostringstream os;
+      os << label << ": read_range(" << lo << ", " << hi
+         << ") differs from the full-decode slice at offset " << i;
+      out.push_back(os.str());
+      return;
+    }
+  }
+}
+
+/// One ROI differential: gather the hyperslab from the full decode by
+/// hand and compare against read_roi.
+template <typename T>
+void check_roi(std::vector<std::string>& out,
+               archive::SeekableReader& reader, const Dims& dims,
+               std::span<const T> full, std::span<const size_t> origin,
+               std::span<const size_t> extent, const char* label) {
+  const size_t r = dims.rank();
+  uint64_t roi_elems = 1;
+  for (size_t i = 0; i < r; ++i) roi_elems *= extent[i];
+  std::vector<T> got(static_cast<size_t>(roi_elems));
+  try {
+    reader.read_roi(origin, extent, std::span<T>(got));
+  } catch (const Error& e) {
+    std::ostringstream os;
+    os << label << ": read_roi threw: " << e.what();
+    out.push_back(os.str());
+    return;
+  }
+  // Reference gather straight off the full decode.
+  size_t fstride[Dims::kMaxRank];
+  fstride[r - 1] = 1;
+  for (size_t i = r - 1; i-- > 0;) fstride[i] = fstride[i + 1] * dims[i + 1];
+  size_t idx[Dims::kMaxRank] = {};
+  for (size_t o = 0; o < got.size(); ++o) {
+    size_t foff = 0;
+    for (size_t a = 0; a < r; ++a) foff += (origin[a] + idx[a]) * fstride[a];
+    if (to_bits(got[o]) != to_bits(full[foff])) {
+      std::ostringstream os;
+      os << label << ": read_roi differs from the full-decode gather at "
+         << "ROI offset " << o;
+      out.push_back(os.str());
+      return;
+    }
+    for (size_t a = r; a-- > 0;) {
+      if (++idx[a] < extent[a]) break;
+      idx[a] = 0;
+    }
+  }
+}
+
+template <typename T>
+std::vector<std::string> check_seekable_impl(const SampledConfig& cfg) {
+  std::vector<std::string> out;
+  const std::vector<T> field = synthesize<T>(cfg);
+
+  archive::ChunkedConfig ccfg;
+  ccfg.threads = cfg.threads;
+  ccfg.chunks = cfg.chunks;
+
+  // Two archives of the same field: footered (the fast open path) and
+  // footer-less (the read_chunk_index fallback).  Same per-chunk DRBG
+  // seed, so the frame bytes agree and only the table source differs.
+  archive::ChunkedConfig no_footer = ccfg;
+  no_footer.seek_table = false;
+  crypto::CtrDrbg d1(cfg.seed + 7), d2(cfg.seed + 7);
+  const archive::ChunkedCompressResult with_footer =
+      archive::compress_chunked(std::span<const T>(field), cfg.dims,
+                                cfg.params, cfg.scheme, BytesView(cfg.key),
+                                cfg.spec, ccfg, &d1);
+  const archive::ChunkedCompressResult without_footer =
+      archive::compress_chunked(std::span<const T>(field), cfg.dims,
+                                cfg.params, cfg.scheme, BytesView(cfg.key),
+                                cfg.spec, no_footer, &d2);
+
+  // The footer must be a pure suffix: stripping it reproduces the
+  // footer-less bytes, so every pre-footer reader keeps working.
+  const Bytes& fa = with_footer.archive;
+  const Bytes& na = without_footer.archive;
+  if (fa.size() <= na.size() ||
+      !std::equal(na.begin(), na.end(), fa.begin())) {
+    out.push_back("footered archive is not footer-less bytes + suffix");
+    return out;
+  }
+
+  const std::vector<T> full = [&] {
+    if constexpr (sizeof(T) == 4) {
+      return archive::decompress_chunked_f32(BytesView(fa),
+                                             BytesView(cfg.key), ccfg);
+    } else {
+      return archive::decompress_chunked_f64(BytesView(fa),
+                                             BytesView(cfg.key), ccfg);
+    }
+  }();
+
+  archive::SeekableOptions sopt;
+  sopt.threads = cfg.threads;
+  const auto footer_reader = archive::SeekableReader::open(
+      BytesView(fa), BytesView(cfg.key), sopt);
+  const auto index_reader = archive::SeekableReader::open(
+      BytesView(na), BytesView(cfg.key), sopt);
+  if (!footer_reader->from_footer()) {
+    out.push_back("footered archive opened via the index fallback");
+  }
+  if (index_reader->from_footer()) {
+    out.push_back("footer-less archive claims a footer");
+  }
+
+  const uint64_t n = cfg.dims.count();
+  PropRng rng(cfg.seed ^ 0x5EEC4B1Eull);
+  const auto one_reader = [&](archive::SeekableReader& reader,
+                              const char* label) {
+    if (reader.dims() != cfg.dims) {
+      out.push_back(std::string(label) + ": table dims != field dims");
+      return;
+    }
+    // Full field, first element, last element.
+    check_range<T>(out, reader, std::span<const T>(full), 0, n, label);
+    check_range<T>(out, reader, std::span<const T>(full), 0, 1, label);
+    check_range<T>(out, reader, std::span<const T>(full), n - 1, n, label);
+    // Chunk-straddling span around every chunk boundary.
+    const auto& entries = reader.table().entries;
+    for (size_t c = 1; c < entries.size(); ++c) {
+      const uint64_t b = entries[c].elem_start;
+      const uint64_t lo = b > 3 ? b - 3 : 0;
+      const uint64_t hi = std::min<uint64_t>(n, b + 3);
+      check_range<T>(out, reader, std::span<const T>(full), lo, hi, label);
+    }
+    // Random interior spans.
+    for (int i = 0; i < 4; ++i) {
+      const uint64_t lo = rng.below(n);
+      const uint64_t hi = lo + 1 + rng.below(n - lo);
+      check_range<T>(out, reader, std::span<const T>(full), lo, hi, label);
+    }
+    // Hyperslabs (rank >= 2): full-field ROI plus random boxes.
+    const size_t r = cfg.dims.rank();
+    if (r >= 2) {
+      size_t origin[Dims::kMaxRank] = {};
+      size_t extent[Dims::kMaxRank] = {};
+      for (size_t a = 0; a < r; ++a) extent[a] = cfg.dims[a];
+      check_roi<T>(out, reader, cfg.dims, std::span<const T>(full),
+                   std::span<const size_t>(origin, r),
+                   std::span<const size_t>(extent, r), label);
+      for (int i = 0; i < 3; ++i) {
+        for (size_t a = 0; a < r; ++a) {
+          origin[a] = static_cast<size_t>(rng.below(cfg.dims[a]));
+          extent[a] = 1 + static_cast<size_t>(
+                              rng.below(cfg.dims[a] - origin[a]));
+        }
+        check_roi<T>(out, reader, cfg.dims, std::span<const T>(full),
+                     std::span<const size_t>(origin, r),
+                     std::span<const size_t>(extent, r), label);
+      }
+    }
+  };
+  one_reader(*footer_reader, "footer");
+  one_reader(*index_reader, "index-fallback");
+
+  // A small read must not touch the whole archive (the point of the
+  // subsystem).  Only meaningful with several chunks.
+  if (footer_reader->chunk_count() >= 3) {
+    const auto fresh = archive::SeekableReader::open(
+        BytesView(fa), BytesView(cfg.key), sopt);
+    std::vector<T> one(1);
+    fresh->read_range(0, 1, std::span<T>(one));
+    if (fresh->bytes_read() >= fa.size()) {
+      out.push_back(
+          "single-element read touched the entire archive");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> check_seekable(const SampledConfig& cfg) {
+  try {
+    return cfg.dtype == sz::DType::kFloat32
+               ? check_seekable_impl<float>(cfg)
+               : check_seekable_impl<double>(cfg);
+  } catch (const std::exception& e) {
+    return {std::string("unexpected exception: ") + e.what()};
+  }
+}
+
+}  // namespace szsec::testing

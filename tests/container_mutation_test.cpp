@@ -334,5 +334,155 @@ TEST(DecoderHardening, IndexFrameLenWrapCannotEscapeBoundsCheck) {
   EXPECT_EQ(rep.trailing_bytes, 0u);  // wrapped body_end must not count
 }
 
+// ---------------------------------------------------------------------
+// Forged seek-table footers.  The footer is redundant metadata, so the
+// contract is asymmetric: read_seek_table must fail closed (typed
+// CorruptError, never trusting a table that disagrees with itself)
+// while the strict v3 decode — which never looks past the last indexed
+// frame — must keep returning the exact baseline.
+
+/// A small valid footer-less archive to graft forged footers onto.
+Bytes footerless_archive(std::vector<float>& baseline) {
+  const Dims dims{16, 4};
+  const std::vector<float> f = ramp(dims.count());
+  archive::ChunkedConfig cfg;
+  cfg.chunks = 4;
+  cfg.seek_table = false;
+  crypto::CtrDrbg drbg(0xF007);
+  const auto r = archive::compress_chunked(
+      std::span<const float>(f), dims, small_params(), core::Scheme::kNone,
+      BytesView{}, core::CipherSpec{}, cfg, &drbg);
+  baseline = archive::decompress_chunked_f32(BytesView(r.archive), {});
+  return r.archive;
+}
+
+/// Seals `footer` (appends its CRC unless `broken_crc`) and grafts it
+/// plus a well-formed trailer onto `base`.
+Bytes graft_footer(const Bytes& base, ByteWriter& footer,
+                   bool broken_crc = false) {
+  footer.put_u32(broken_crc ? 0xDEADBEEF
+                            : crc32(BytesView(footer.bytes())));
+  const Bytes fb = footer.take();
+  Bytes out = base;
+  out.insert(out.end(), fb.begin(), fb.end());
+  ByteWriter trailer;
+  trailer.put_u32(static_cast<uint32_t>(fb.size()));
+  trailer.put_u32(archive::kSeekTrailerMagic);
+  const Bytes tb = trailer.take();
+  out.insert(out.end(), tb.begin(), tb.end());
+  return out;
+}
+
+/// Footer prelude for a {16,4} field: magic, version, dtype f32, rank 2.
+void footer_prelude(ByteWriter& w) {
+  w.put_u32(archive::kSeekFooterMagic);
+  w.put_u8(archive::kSeekFooterVersion);
+  w.put_u8(0);   // dtype f32
+  w.put_u8(2);   // rank
+  w.put_varint(16), w.put_varint(4);
+}
+
+void expect_failed_closed_but_decodable(const Bytes& forged,
+                                        const std::vector<float>& baseline,
+                                        const char* label) {
+  EXPECT_THROW((void)archive::read_seek_table(BytesView(forged)),
+               CorruptError)
+      << label;
+  EXPECT_EQ(archive::decompress_chunked_f32(BytesView(forged), {}),
+            baseline)
+      << label;
+}
+
+// A footer whose chunk count promises more entries than its bytes hold
+// dies inside the table parse (truncated varint), not by reading past
+// the buffer.
+TEST(DecoderHardening, SeekFooterTruncatedTableRejected) {
+  std::vector<float> baseline;
+  const Bytes base = footerless_archive(baseline);
+  ByteWriter w;
+  footer_prelude(w);
+  w.put_varint(4);  // promises 4 entries...
+  w.put_varint(0), w.put_varint(50);  // ...delivers 1 (offset, frame_len)
+  w.put_varint(0), w.put_varint(4);   // rows [0, 4)
+  w.put_varint(0), w.put_varint(16);  // elems [0, 16)
+  const Bytes forged = graft_footer(base, w);
+  expect_failed_closed_but_decodable(forged, baseline, "truncated table");
+}
+
+// Element ranges are redundant with rows x plane; a forged overlap or
+// gap between consecutive chunks must be caught by the exact-agreement
+// check even though rows alone would look dense.
+TEST(DecoderHardening, SeekFooterElementOverlapAndGapRejected) {
+  std::vector<float> baseline;
+  const Bytes base = footerless_archive(baseline);
+  // Entry layout: 4 chunks x 4 rows x plane 4 = 16 elems each.
+  const auto table = [&](uint64_t e1_start, uint64_t e1_count) {
+    ByteWriter w;
+    footer_prelude(w);
+    w.put_varint(4);
+    uint64_t off = 10;
+    for (int i = 0; i < 4; ++i) {
+      w.put_varint(off), w.put_varint(20);  // dense offsets
+
+      off += 20;
+      w.put_varint(static_cast<uint64_t>(i) * 4), w.put_varint(4);
+      if (i == 1) {
+        w.put_varint(e1_start), w.put_varint(e1_count);
+      } else {
+        w.put_varint(static_cast<uint64_t>(i) * 16), w.put_varint(16);
+      }
+    }
+    return graft_footer(base, w);
+  };
+  // Overlap: chunk 1 claims elements already owned by chunk 0.
+  expect_failed_closed_but_decodable(table(8, 16), baseline,
+                                     "element overlap");
+  // Gap: chunk 1 starts past its row range, leaving [16, 24) unowned.
+  expect_failed_closed_but_decodable(table(24, 16), baseline,
+                                     "element gap");
+  // Count forged short: rows say 16 elements, footer says 12.
+  expect_failed_closed_but_decodable(table(16, 12), baseline,
+                                     "element count short");
+}
+
+// Footer dims whose element product overflows size_t must die in
+// checked_field_elements before any allocation is sized from them.
+TEST(DecoderHardening, SeekFooterExtentProductOverflowRejected) {
+  std::vector<float> baseline;
+  const Bytes base = footerless_archive(baseline);
+  ByteWriter w;
+  w.put_u32(archive::kSeekFooterMagic);
+  w.put_u8(archive::kSeekFooterVersion);
+  w.put_u8(0);  // dtype f32
+  w.put_u8(4);  // rank 4
+  // Each extent is individually plausible; the product wraps 2^64.
+  for (int i = 0; i < 4; ++i) w.put_varint(uint64_t{1} << 42);
+  w.put_varint(1);                     // one chunk
+  w.put_varint(0), w.put_varint(50);   // offset, frame_len
+  w.put_varint(0), w.put_varint(1);    // rows
+  w.put_varint(0), w.put_varint(1);    // elems
+  const Bytes forged = graft_footer(base, w);
+  expect_failed_closed_but_decodable(forged, baseline, "extent overflow");
+}
+
+// The CRC is the last line of defense: a structurally plausible footer
+// with a wrong checksum is still forged.
+TEST(DecoderHardening, SeekFooterCrcMismatchRejected) {
+  std::vector<float> baseline;
+  const Bytes base = footerless_archive(baseline);
+  ByteWriter w;
+  footer_prelude(w);
+  w.put_varint(4);
+  uint64_t off = 10;
+  for (int i = 0; i < 4; ++i) {
+    w.put_varint(off), w.put_varint(20);
+    off += 20;
+    w.put_varint(static_cast<uint64_t>(i) * 4), w.put_varint(4);
+    w.put_varint(static_cast<uint64_t>(i) * 16), w.put_varint(16);
+  }
+  const Bytes forged = graft_footer(base, w, /*broken_crc=*/true);
+  expect_failed_closed_but_decodable(forged, baseline, "crc mismatch");
+}
+
 }  // namespace
 }  // namespace szsec::testing

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "archive/chunked.h"
+#include "archive/seekable.h"
 #include "archive/verify.h"
 #include "testing/fault_io.h"
 #include "testing/rng.h"
@@ -62,6 +63,11 @@ archive::ChunkedConfig campaign_config(unsigned threads = 1) {
   archive::ChunkedConfig config;
   config.chunks = kChunks;
   config.threads = threads;
+  // The damage campaigns reason about frame/index offsets; the
+  // seek-table footer would shift every cut past the last frame.  Its
+  // own torn-write behavior is covered by FooterTornWrite below and the
+  // SeekableFooter tests in seekable_test.
+  config.seek_table = false;
   return config;
 }
 
@@ -349,6 +355,60 @@ TEST(DurabilityTransport, StreamingSalvageOfTruncatedStream) {
       archive::salvage_chunked_stream(faulty, out, BytesView(c.key), opts);
   EXPECT_EQ(r.report.chunks_recovered, 2u);
   EXPECT_EQ(out.bytes().size(), kRows * kCols * sizeof(float));
+}
+
+// A crash while appending the seek-table footer (every frame committed,
+// footer partially written) must never cost data: strict decode returns
+// the exact field at every cut point, verify stays clean, and the
+// seekable open either works (footer or prelude fallback) or fails with
+// a typed CorruptError — never garbage, never an untyped escape.
+TEST(DurabilityCampaign, FooterTornWriteNeverCostsData) {
+  archive::ChunkedConfig with_footer = campaign_config();
+  with_footer.seek_table = true;
+  sz::Params params;
+  params.abs_error_bound = 1e-3;
+  const Bytes key = test_key();
+  const Dims dims{kRows, kCols};
+  std::vector<float> field(dims.count());
+  for (size_t i = 0; i < field.size(); ++i) {
+    field[i] = static_cast<float>(i % 89) * 0.5f - 20.0f;
+  }
+  crypto::CtrDrbg d1(kCampaignSeed), d2(kCampaignSeed);
+  const Bytes footered =
+      archive::compress_chunked(std::span<const float>(field), dims, params,
+                                core::Scheme::kCmprEncr, BytesView(key), {},
+                                with_footer, &d1)
+          .archive;
+  const Bytes bare =
+      archive::compress_chunked(std::span<const float>(field), dims, params,
+                                core::Scheme::kCmprEncr, BytesView(key), {},
+                                campaign_config(), &d2)
+          .archive;
+  ASSERT_GT(footered.size(), bare.size());
+  const std::vector<float> baseline =
+      archive::decompress_chunked_f32(BytesView(bare), BytesView(key));
+
+  for (size_t cut = bare.size(); cut <= footered.size(); ++cut) {
+    const Bytes torn(footered.begin(),
+                     footered.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_EQ(
+        archive::decompress_chunked_f32(BytesView(torn), BytesView(key)),
+        baseline)
+        << "cut at " << cut;
+    EXPECT_TRUE(
+        archive::verify_archive(BytesView(torn), BytesView(key)).clean())
+        << "cut at " << cut;
+    try {
+      const auto reader =
+          archive::SeekableReader::open(BytesView(torn), BytesView(key));
+      std::vector<float> got(baseline.size());
+      reader->read_range(0, baseline.size(), std::span<float>(got));
+      EXPECT_EQ(got, baseline) << "cut at " << cut;
+    } catch (const CorruptError&) {
+      // Fail-closed on a half-written footer: acceptable; the strict
+      // decode above already proved the data itself survives.
+    }
+  }
 }
 
 }  // namespace

@@ -119,6 +119,27 @@ TEST(GoldenContainer, Float64) {
 }
 
 TEST(GoldenContainer, ChunkedArchive) {
+  // Pinned to the footer-less layout: this hash predates the seek-table
+  // footer and proves the pre-footer byte stream is still emitted
+  // bit-identically (old readers and old writers stay interoperable).
+  const std::vector<float> f = golden_field_f32(17);
+  crypto::CtrDrbg drbg(0xABCD);
+  archive::ChunkedConfig cfg;
+  cfg.threads = 2;
+  cfg.chunks = 4;
+  cfg.seek_table = false;
+  const auto r = archive::compress_chunked(
+      std::span<const float>(f), kDims, golden_params(),
+      core::Scheme::kEncrHuffman, BytesView(kKey), core::CipherSpec{}, cfg,
+      &drbg);
+  EXPECT_EQ(
+      digest(BytesView(r.archive)),
+      "f3c578186833f9cb9d44e3e7c2958e4a6136d234adfe3e6e5d16c9613082d188");
+}
+
+TEST(GoldenContainer, ChunkedArchiveSeekFooter) {
+  // The default (footered) layout, pinned separately: the archive must
+  // be the footer-less golden bytes plus a deterministic footer suffix.
   const std::vector<float> f = golden_field_f32(17);
   crypto::CtrDrbg drbg(0xABCD);
   archive::ChunkedConfig cfg;
@@ -130,7 +151,7 @@ TEST(GoldenContainer, ChunkedArchive) {
       &drbg);
   EXPECT_EQ(
       digest(BytesView(r.archive)),
-      "f3c578186833f9cb9d44e3e7c2958e4a6136d234adfe3e6e5d16c9613082d188");
+      "db0540590a318ac3dbfa2116d0dd8c09dd24417a1841fe0bff5a61828df8d7e7");
 }
 
 TEST(GoldenContainer, SlabArchive) {

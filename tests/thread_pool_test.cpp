@@ -37,10 +37,30 @@ TEST(ThreadPool, DefaultThreadCountHonorsEnv) {
   EXPECT_EQ(default_thread_count(), 3u);
   ThreadPool pool(0);
   EXPECT_EQ(pool.thread_count(), 3u);
-  ::setenv("SZSEC_THREADS", "garbage", 1);
-  EXPECT_GE(default_thread_count(), 1u);
   ::unsetenv("SZSEC_THREADS");
   EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, DefaultThreadCountRejectsBadEnvValues) {
+  // Anything that is not exactly a decimal integer in [1, 1024] is
+  // ignored: the hardware default applies, never a half-parsed prefix
+  // (atoi would have read "16x" as 16) and never zero workers.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const char* bad[] = {"0",     "garbage", "16x",  "-3",
+                       "1025",  "",        " 4",   "0x10",
+                       "99999999999999999999"};
+  for (const char* v : bad) {
+    ::setenv("SZSEC_THREADS", v, 1);
+    EXPECT_EQ(default_thread_count(), hw) << "SZSEC_THREADS=" << v;
+  }
+  // In-range values pass through exactly, including the bounds.
+  const std::pair<const char*, unsigned> good[] = {
+      {"1", 1u}, {"7", 7u}, {"1024", 1024u}};
+  for (const auto& [v, expect] : good) {
+    ::setenv("SZSEC_THREADS", v, 1);
+    EXPECT_EQ(default_thread_count(), expect) << "SZSEC_THREADS=" << v;
+  }
+  ::unsetenv("SZSEC_THREADS");
 }
 
 TEST(ThreadPool, ShutdownUnderLoad) {
