@@ -1,0 +1,314 @@
+// Kernel-level throughput at every available dispatch level.
+//
+// Measures MB/s for the three hand-written kernel families — AES block
+// modes (scalar / AES-NI / VAES), Huffman decode (tree walk vs. the
+// multi-symbol probe table), and the SZ predict/quantize row kernels
+// (scalar / SSE2 / AVX2) — forcing each level in-process through
+// cpu::override_features_for_testing().
+//
+// This is also the perf-floor gate for CI: the process exits nonzero
+// when
+//   * AES-NI CTR throughput is below 4x the scalar backend,
+//   * probe-table Huffman decode is below 2x the tree walk, or
+//   * dispatch silently fell back to scalar although cpuid reports the
+//     hardware feature (catches build-system regressions that drop the
+//     -m flags or the SZSEC_HAVE_* defines).
+// Floors involving a hardware level are skipped on machines that do not
+// report the feature.
+//
+// Results go to BENCH_kernels.json (or argv[1]):
+//   {"detected": "...", "kernels": [{"kernel": ..., "level": ...,
+//    "mbps": ...}], "floors": [{"name": ..., "ratio": ..., "floor": ...,
+//    "pass": ...}], "dispatch": {"aes_backend": ..., "sz_backend": ...,
+//    "pass": ...}}
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/cpu.h"
+#include "common/error.h"
+#include "common/timer.h"
+#include "crypto/aes.h"
+#include "huffman/huffman.h"
+#include "sz/kernels.h"
+
+namespace {
+
+using szsec::Bytes;
+using szsec::BytesView;
+using szsec::CpuTimer;
+namespace cpu = szsec::cpu;
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+int runs() {
+  const char* env = std::getenv("SZSEC_RUNS");
+  const int r = env != nullptr ? std::atoi(env) : 3;
+  return std::max(3, r);
+}
+
+struct KernelResult {
+  std::string kernel;
+  std::string level;
+  double mbps = 0;
+};
+
+struct FloorResult {
+  std::string name;
+  double ratio = 0;
+  double floor = 0;
+  bool pass = true;
+  bool skipped = false;
+};
+
+// Median MB/s of `body` over `bytes` useful bytes per call.
+template <typename Fn>
+double time_mbps(size_t bytes, Fn&& body) {
+  body();  // warmup
+  std::vector<double> rates;
+  for (int r = 0; r < runs(); ++r) {
+    CpuTimer t;
+    body();
+    rates.push_back(static_cast<double>(bytes) / 1e6 / t.elapsed_s());
+  }
+  return median(std::move(rates));
+}
+
+// ------------------------------------------------------------------ AES
+
+void bench_aes(uint32_t level_mask, const std::string& level,
+               std::vector<KernelResult>& out) {
+  cpu::override_features_for_testing(level_mask);
+  const uint8_t key[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                           0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const szsec::crypto::Aes aes(BytesView(key, 16));
+  constexpr size_t kBytes = 8 * 1024 * 1024;
+  std::vector<uint8_t> buf(kBytes, 0xA5);
+  const size_t nblocks = kBytes / 16;
+
+  out.push_back({"aes128-ctr", level, time_mbps(kBytes, [&] {
+                   uint8_t counter[16] = {};
+                   aes.ctr_xor_bytes(counter, buf.data(), kBytes);
+                 })});
+  out.push_back({"aes128-ecb-enc", level, time_mbps(kBytes, [&] {
+                   aes.encrypt_blocks(buf.data(), buf.data(), nblocks);
+                 })});
+  out.push_back({"aes128-cbc-enc", level, time_mbps(kBytes, [&] {
+                   uint8_t chain[16] = {};
+                   aes.cbc_encrypt_blocks(chain, buf.data(), nblocks);
+                 })});
+  out.push_back({"aes128-cbc-dec", level, time_mbps(kBytes, [&] {
+                   uint8_t chain[16] = {};
+                   aes.cbc_decrypt_blocks(chain, buf.data(), nblocks);
+                 })});
+}
+
+// -------------------------------------------------------------- Huffman
+
+void bench_huffman(std::vector<KernelResult>& out, double& ratio) {
+  // Quantization-code-shaped symbols: tightly clustered around the
+  // central bin, the regime the probe table is built for.
+  constexpr size_t kCount = size_t{1} << 22;
+  constexpr uint32_t kRadius = 32768;
+  std::mt19937_64 rng(0xBE7C4);
+  std::normal_distribution<double> gauss(0.0, 2.5);
+  std::vector<uint32_t> symbols(kCount);
+  for (auto& s : symbols) {
+    const auto d = static_cast<int64_t>(std::lround(gauss(rng)));
+    s = static_cast<uint32_t>(kRadius + std::clamp<int64_t>(d, -64, 64));
+  }
+  std::vector<uint64_t> freq(kRadius + 65, 0);
+  for (uint32_t s : symbols) ++freq[s];
+  const szsec::huffman::CodeTable table =
+      szsec::huffman::build_code_table(freq);
+  const Bytes bits = szsec::huffman::encode(table, symbols);
+
+  const size_t payload = kCount * sizeof(uint32_t);
+  const double tree = time_mbps(payload, [&] {
+    const auto got =
+        szsec::huffman::decode_tree_walk(table, BytesView(bits), kCount);
+    SZSEC_REQUIRE(got.size() == kCount, "tree-walk decode truncated");
+  });
+  const double probe = time_mbps(payload, [&] {
+    const auto got = szsec::huffman::decode(table, BytesView(bits), kCount);
+    SZSEC_REQUIRE(got.size() == kCount, "probe decode truncated");
+  });
+  out.push_back({"huffman-decode-tree", "scalar", tree});
+  out.push_back({"huffman-decode-table", "scalar", probe});
+  ratio = probe / tree;
+}
+
+// ------------------------------------------------------------ SZ kernels
+
+void bench_sz(uint32_t level_mask, const std::string& level,
+              std::vector<KernelResult>& out) {
+  cpu::override_features_for_testing(level_mask);
+  constexpr size_t kN = size_t{1} << 20;
+  constexpr double kEb = 1e-3;
+  constexpr int64_t kRadius = 32768;
+  std::vector<float> pred(kN), values(kN), recon(kN);
+  std::vector<uint32_t> codes(kN);
+  std::mt19937_64 rng(0x5EED5);
+  std::uniform_real_distribution<double> noise(-20 * kEb, 20 * kEb);
+  szsec::sz::kernels::predict_affine_row(0.25, 1e-4, 0.5, kN, pred.data());
+  for (size_t i = 0; i < kN; ++i) {
+    values[i] = static_cast<float>(pred[i] + noise(rng));
+  }
+
+  const size_t bytes = kN * sizeof(float);
+  out.push_back({"sz-predict-row-f32", level, time_mbps(bytes, [&] {
+                   szsec::sz::kernels::predict_affine_row(
+                       0.25, 1e-4, 0.5, kN, pred.data());
+                 })});
+  out.push_back({"sz-quantize-row-f32", level, time_mbps(bytes, [&] {
+                   szsec::sz::kernels::quantize_row(
+                       values.data(), pred.data(), kN, kEb, kRadius,
+                       codes.data(), recon.data());
+                 })});
+  out.push_back({"sz-dequantize-row-f32", level, time_mbps(bytes, [&] {
+                   std::memcpy(recon.data(), pred.data(), bytes);
+                   szsec::sz::kernels::dequantize_row(
+                       codes.data(), recon.data(), kN, kEb, kRadius);
+                 })});
+}
+
+double find_mbps(const std::vector<KernelResult>& rs, const std::string& k,
+                 const std::string& level) {
+  for (const KernelResult& r : rs) {
+    if (r.kernel == k && r.level == level) return r.mbps;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
+  const uint32_t detected = cpu::detected_features();
+  std::printf("bench_kernels: detected CPU features: %s\n\n",
+              cpu::feature_string(detected).c_str());
+
+  std::vector<KernelResult> results;
+
+  // AES at every available level.
+  bench_aes(0, "scalar", results);
+  if (detected & cpu::kAesni) {
+    bench_aes(cpu::kSse2 | cpu::kAesni, "aesni", results);
+  }
+  if (detected & cpu::kVaes) {
+    bench_aes(detected, "vaes", results);
+  }
+
+  // Huffman (feature-independent: the probe table is plain C++).
+  double huffman_ratio = 0;
+  cpu::override_features_for_testing(detected);
+  bench_huffman(results, huffman_ratio);
+
+  // SZ row kernels at every available level.
+  bench_sz(0, "scalar", results);
+  if (detected & cpu::kSse2) bench_sz(cpu::kSse2, "sse2", results);
+  if (detected & cpu::kAvx2) bench_sz(cpu::kSse2 | cpu::kAvx2, "avx2", results);
+
+  // Restore full dispatch, then check for silent fallback.
+  cpu::override_features_for_testing(detected);
+  const uint8_t key[16] = {};
+  const szsec::crypto::Aes probe_aes(BytesView(key, 16));
+  const std::string aes_backend = probe_aes.backend_name();
+  const std::string sz_backend = szsec::sz::kernels::active_backend();
+  bool dispatch_ok = true;
+  if ((detected & cpu::kVaes) != 0) {
+    dispatch_ok = dispatch_ok && aes_backend == "vaes";
+  } else if ((detected & cpu::kAesni) != 0) {
+    dispatch_ok = dispatch_ok && aes_backend == "aes-ni";
+  }
+  if ((detected & cpu::kAvx2) != 0) {
+    dispatch_ok = dispatch_ok && sz_backend == "avx2";
+  }
+
+  // Perf floors.
+  std::vector<FloorResult> floors;
+  {
+    FloorResult f;
+    f.name = "aesni-ctr-vs-scalar";
+    f.floor = 4.0;
+    if (detected & cpu::kAesni) {
+      f.ratio = find_mbps(results, "aes128-ctr", "aesni") /
+                find_mbps(results, "aes128-ctr", "scalar");
+      f.pass = f.ratio >= f.floor;
+    } else {
+      f.skipped = true;
+    }
+    floors.push_back(f);
+  }
+  {
+    FloorResult f;
+    f.name = "huffman-table-vs-tree";
+    f.floor = 2.0;
+    f.ratio = huffman_ratio;
+    f.pass = f.ratio >= f.floor;
+    floors.push_back(f);
+  }
+
+  // Human-readable table.
+  std::printf("%-24s %-8s %12s\n", "kernel", "level", "MB/s");
+  for (const KernelResult& r : results) {
+    std::printf("%-24s %-8s %12.1f\n", r.kernel.c_str(), r.level.c_str(),
+                r.mbps);
+  }
+  std::printf("\ndispatch: aes=%s sz=%s (%s)\n", aes_backend.c_str(),
+              sz_backend.c_str(), dispatch_ok ? "ok" : "SILENT FALLBACK");
+  bool all_pass = dispatch_ok;
+  for (const FloorResult& f : floors) {
+    if (f.skipped) {
+      std::printf("floor %-24s skipped (feature not detected)\n",
+                  f.name.c_str());
+      continue;
+    }
+    std::printf("floor %-24s ratio %6.2fx (floor %.1fx) %s\n", f.name.c_str(),
+                f.ratio, f.floor, f.pass ? "pass" : "FAIL");
+    all_pass = all_pass && f.pass;
+  }
+
+  // JSON.
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  SZSEC_REQUIRE(json != nullptr, "cannot open output json");
+  std::fprintf(json, "{\n  \"detected\": \"%s\",\n  \"kernels\": [\n",
+               cpu::feature_string(detected).c_str());
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::fprintf(json,
+                 "    {\"kernel\": \"%s\", \"level\": \"%s\", "
+                 "\"mbps\": %.1f}%s\n",
+                 results[i].kernel.c_str(), results[i].level.c_str(),
+                 results[i].mbps, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"floors\": [\n");
+  for (size_t i = 0; i < floors.size(); ++i) {
+    const FloorResult& f = floors[i];
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"ratio\": %.3f, \"floor\": %.1f, "
+                 "\"pass\": %s, \"skipped\": %s}%s\n",
+                 f.name.c_str(), f.ratio, f.floor,
+                 f.pass ? "true" : "false", f.skipped ? "true" : "false",
+                 i + 1 < floors.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n  \"dispatch\": {\"aes_backend\": \"%s\", "
+               "\"sz_backend\": \"%s\", \"pass\": %s}\n}\n",
+               aes_backend.c_str(), sz_backend.c_str(),
+               dispatch_ok ? "true" : "false");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!all_pass) {
+    std::fprintf(stderr, "bench_kernels: PERF FLOOR BREACH\n");
+    return 1;
+  }
+  return 0;
+}

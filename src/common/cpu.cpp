@@ -1,0 +1,143 @@
+#include "common/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/error.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace szsec::cpu {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+// XCR0 state bits the OS must have enabled before the corresponding
+// registers may be touched (Intel SDM vol 1, ch 13).
+constexpr uint64_t kXcr0Sse = 0x2;         // XMM state
+constexpr uint64_t kXcr0Avx = 0x4;         // YMM state
+constexpr uint64_t kXcr0Opmask = 0x20;     // AVX-512 k-registers
+constexpr uint64_t kXcr0ZmmHi256 = 0x40;   // upper halves of zmm0-15
+constexpr uint64_t kXcr0Hi16Zmm = 0x80;    // zmm16-31
+
+uint64_t read_xcr0() {
+  uint32_t eax, edx;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (uint64_t{edx} << 32) | eax;
+}
+
+uint32_t detect() {
+  uint32_t f = 0;
+  unsigned eax, ebx, ecx, edx;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return 0;
+
+  if (edx & (1u << 26)) f |= kSse2;
+
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool aesni = (ecx & (1u << 25)) != 0;
+  const uint64_t xcr0 = osxsave ? read_xcr0() : 0;
+  const bool ymm_ok = (xcr0 & (kXcr0Sse | kXcr0Avx)) == (kXcr0Sse | kXcr0Avx);
+  const bool zmm_ok =
+      ymm_ok && (xcr0 & (kXcr0Opmask | kXcr0ZmmHi256 | kXcr0Hi16Zmm)) ==
+                    (kXcr0Opmask | kXcr0ZmmHi256 | kXcr0Hi16Zmm);
+
+  // AES-NI operates on xmm state only; SSE state needs no xgetbv check
+  // (it predates XSAVE and is always enabled on x86-64 kernels).
+  if (aesni) f |= kAesni;
+
+  unsigned eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;
+  if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7)) {
+    if (ymm_ok && (ebx7 & (1u << 5))) f |= kAvx2;
+    // The VAES kernel uses the ymm (VL) encodings, so it additionally
+    // needs AVX-512F + AVX-512VL and full zmm/opmask OS state.
+    const bool avx512f = (ebx7 & (1u << 16)) != 0;
+    const bool avx512vl = (ebx7 & (1u << 31)) != 0;
+    const bool vaes = (ecx7 & (1u << 9)) != 0;
+    if (zmm_ok && vaes && avx512f && avx512vl && (f & kAvx2) && aesni) {
+      f |= kVaes;
+    }
+  }
+  return f;
+}
+
+#else
+
+uint32_t detect() { return 0; }
+
+#endif
+
+uint32_t env_enabled() {
+  const uint32_t det = detected_features();
+  const char* env = std::getenv("SZSEC_CPU_FEATURES");
+  if (env == nullptr || *env == '\0') return det;
+  return parse_features(env) & det;
+}
+
+// Enabled set, published once; override_features_for_testing swaps it.
+std::atomic<uint32_t> g_enabled{0};
+std::atomic<bool> g_enabled_init{false};
+
+}  // namespace
+
+uint32_t detected_features() {
+  static const uint32_t f = detect();
+  return f;
+}
+
+uint32_t enabled_features() {
+  if (!g_enabled_init.load(std::memory_order_acquire)) {
+    // Benign race: every thread computes the same value from the
+    // environment, so double initialization is harmless.
+    g_enabled.store(env_enabled(), std::memory_order_relaxed);
+    g_enabled_init.store(true, std::memory_order_release);
+  }
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+uint32_t parse_features(const std::string& spec) {
+  if (spec == "scalar" || spec == "none") return 0;
+  if (spec == "auto" || spec == "all") return ~uint32_t{0};
+  uint32_t mask = 0;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string name = spec.substr(pos, comma - pos);
+    if (name == "sse2") {
+      mask |= kSse2;
+    } else if (name == "avx2") {
+      mask |= kAvx2;
+    } else if (name == "aesni" || name == "aes-ni" || name == "aes") {
+      mask |= kAesni;
+    } else if (name == "vaes") {
+      mask |= kVaes;
+    } else if (!name.empty()) {
+      throw Error("unknown CPU feature in SZSEC_CPU_FEATURES: '" + name +
+                  "' (known: scalar, auto, sse2, avx2, aesni, vaes)");
+    }
+    pos = comma + 1;
+  }
+  return mask;
+}
+
+std::string feature_string(uint32_t features) {
+  std::string s;
+  const auto add = [&s](const char* name) {
+    if (!s.empty()) s += ',';
+    s += name;
+  };
+  if (features & kSse2) add("sse2");
+  if (features & kAvx2) add("avx2");
+  if (features & kAesni) add("aesni");
+  if (features & kVaes) add("vaes");
+  return s.empty() ? "scalar" : s;
+}
+
+void override_features_for_testing(uint32_t features) {
+  g_enabled.store(features & detected_features(), std::memory_order_relaxed);
+  g_enabled_init.store(true, std::memory_order_release);
+}
+
+}  // namespace szsec::cpu

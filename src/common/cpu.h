@@ -1,0 +1,61 @@
+// Runtime CPU feature detection and kernel dispatch control.
+//
+// Every hand-written kernel in the library (AES-NI/VAES block ciphers,
+// SIMD predict/quantize rows) is runtime-dispatched: the scalar
+// fallback is always present and KAT-verified, and a hardware kernel is
+// selected only when the CPU reports the feature via cpuid *and* the OS
+// has enabled the corresponding register state (xgetbv).  Detection
+// happens once per process; the `SZSEC_CPU_FEATURES` environment
+// variable can mask features off for testing (it can never enable a
+// feature the CPU does not have).
+//
+//   SZSEC_CPU_FEATURES=scalar            force every kernel scalar
+//   SZSEC_CPU_FEATURES=sse2,aesni        allow only the listed features
+//   SZSEC_CPU_FEATURES=auto (or unset)   use everything detected
+//
+// Dispatch decisions are made against enabled_features() at object
+// construction time (AES key schedules) or per-call (SZ row kernels),
+// so tests can drive every level in-process via
+// override_features_for_testing().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace szsec::cpu {
+
+/// Feature bits used for kernel dispatch.  A bit is reported only when
+/// both the CPU and the OS support it (AVX bits require xgetbv state).
+enum Feature : uint32_t {
+  kSse2 = 1u << 0,   ///< baseline x86-64 SIMD (always set on x86-64)
+  kAvx2 = 1u << 1,   ///< 256-bit integer/double SIMD
+  kAesni = 1u << 2,  ///< AESENC/AESDEC block instructions
+  kVaes = 1u << 3,   ///< vector AES on ymm (requires AVX-512 VL here)
+};
+
+/// Raw cpuid/xgetbv detection, cached after the first call.  Empty (0)
+/// on non-x86 builds.
+uint32_t detected_features();
+
+/// Features kernels may use: detected_features() masked by the
+/// SZSEC_CPU_FEATURES environment variable (parsed once, at the first
+/// call).  This is the value every dispatch decision consults.
+uint32_t enabled_features();
+
+/// Parses a SZSEC_CPU_FEATURES-style spec: "scalar" -> 0, "auto" -> all
+/// bits, otherwise a comma-separated list of feature names.  Throws
+/// szsec::Error on an unknown name so typos fail loudly instead of
+/// silently running scalar.
+uint32_t parse_features(const std::string& spec);
+
+/// Human-readable comma list ("sse2,avx2,aesni"), or "scalar" when no
+/// bit is set.  Inverse of parse_features for valid masks.
+std::string feature_string(uint32_t features);
+
+/// Test hook: replaces the enabled-feature set with `features &
+/// detected_features()` for the rest of the process (or until called
+/// again).  Benches and dispatch tests use this to force each level
+/// in-process; production code must not call it.
+void override_features_for_testing(uint32_t features);
+
+}  // namespace szsec::cpu

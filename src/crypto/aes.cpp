@@ -1,6 +1,10 @@
 #include "crypto/aes.h"
 
+#include <cstring>
+
+#include "common/cpu.h"
 #include "common/error.h"
+#include "crypto/aes_backend.h"
 
 namespace szsec::crypto {
 
@@ -131,6 +135,100 @@ uint32_t inv_mix_word(uint32_t w) {
          uint32_t{b3};
 }
 
+void encrypt_block_scalar(const Aes& aes, const uint8_t in[16],
+                          uint8_t out[16]);
+void decrypt_block_scalar(const Aes& aes, const uint8_t in[16],
+                          uint8_t out[16]);
+
+// ---------------------------------------------------------------------------
+// Scalar backend: T-table block function looped over the bulk shapes.
+// These loops are the reference semantics every hardware kernel must
+// reproduce bit-exactly (tests/kernel_dispatch_test.cpp enforces it).
+// ---------------------------------------------------------------------------
+
+void scalar_ecb_encrypt(const Aes& aes, const uint8_t* in, uint8_t* out,
+                        size_t nblocks) {
+  for (size_t b = 0; b < nblocks; ++b) {
+    encrypt_block_scalar(aes, in + 16 * b, out + 16 * b);
+  }
+}
+
+void scalar_ecb_decrypt(const Aes& aes, const uint8_t* in, uint8_t* out,
+                        size_t nblocks) {
+  for (size_t b = 0; b < nblocks; ++b) {
+    decrypt_block_scalar(aes, in + 16 * b, out + 16 * b);
+  }
+}
+
+void scalar_cbc_encrypt(const Aes& aes, uint8_t chain[16], uint8_t* data,
+                        size_t nblocks) {
+  for (size_t b = 0; b < nblocks; ++b) {
+    uint8_t* block = data + 16 * b;
+    for (size_t i = 0; i < 16; ++i) block[i] ^= chain[i];
+    encrypt_block_scalar(aes, block, block);
+    std::memcpy(chain, block, 16);
+  }
+}
+
+void scalar_cbc_decrypt(const Aes& aes, uint8_t chain[16], uint8_t* data,
+                        size_t nblocks) {
+  uint8_t next_chain[16];
+  for (size_t b = 0; b < nblocks; ++b) {
+    uint8_t* block = data + 16 * b;
+    std::memcpy(next_chain, block, 16);
+    decrypt_block_scalar(aes, block, block);
+    for (size_t i = 0; i < 16; ++i) block[i] ^= chain[i];
+    std::memcpy(chain, next_chain, 16);
+  }
+}
+
+void scalar_ctr_xor(const Aes& aes, uint8_t counter[16], uint8_t* data,
+                    size_t nbytes) {
+  uint8_t keystream[16];
+  for (size_t off = 0; off < nbytes; off += 16) {
+    encrypt_block_scalar(aes, counter, keystream);
+    const size_t n = nbytes - off < 16 ? nbytes - off : 16;
+    for (size_t i = 0; i < n; ++i) data[off + i] ^= keystream[i];
+    // Big-endian increment of the low 64 bits.
+    for (size_t i = 16; i-- > 8;) {
+      if (++counter[i] != 0) break;
+    }
+  }
+}
+
+constexpr AesBackend kScalarBackend{
+    "scalar",          scalar_ecb_encrypt, scalar_ecb_decrypt,
+    scalar_cbc_encrypt, scalar_cbc_decrypt, scalar_ctr_xor,
+};
+
+#ifdef SZSEC_HAVE_AESNI
+constexpr AesBackend kAesniBackend{
+    "aes-ni",          aesni::ecb_encrypt, aesni::ecb_decrypt,
+    aesni::cbc_encrypt, aesni::cbc_decrypt, aesni::ctr_xor,
+};
+#endif
+
+#ifdef SZSEC_HAVE_VAES
+// VAES widens the throughput-bound primitives; the serial/latency-bound
+// CBC paths stay on the AES-NI kernels.
+constexpr AesBackend kVaesBackend{
+    "vaes",            vaes::ecb_encrypt,  vaes::ecb_decrypt,
+    aesni::cbc_encrypt, aesni::cbc_decrypt, vaes::ctr_xor,
+};
+#endif
+
+const AesBackend& select_backend() {
+  const uint32_t f = cpu::enabled_features();
+  (void)f;
+#ifdef SZSEC_HAVE_VAES
+  if ((f & cpu::kVaes) && (f & cpu::kAesni)) return kVaesBackend;
+#endif
+#ifdef SZSEC_HAVE_AESNI
+  if (f & cpu::kAesni) return kAesniBackend;
+#endif
+  return kScalarBackend;
+}
+
 }  // namespace
 
 Aes::Aes(BytesView key) {
@@ -160,18 +258,68 @@ Aes::Aes(BytesView key) {
     dk_[i] = ek_[4 * src_round + i % 4];
     if (i >= 4 && i < nwords - 4) dk_[i] = inv_mix_word(dk_[i]);
   }
+
+  // Byte-order copies of both schedules for the hardware kernels (the
+  // memory image of each 128-bit round key, ready for unaligned loads).
+  for (int i = 0; i < nwords; ++i) {
+    store_be32(ekb_.data() + 4 * i, ek_[i]);
+    store_be32(dkb_.data() + 4 * i, dk_[i]);
+  }
+
+  backend_ = &select_backend();
 }
+
+const char* Aes::backend_name() const { return backend_->name; }
 
 void Aes::encrypt_block(const uint8_t in[kBlockSize],
                         uint8_t out[kBlockSize]) const {
-  const auto& t = tables();
-  uint32_t s0 = load_be32(in) ^ ek_[0];
-  uint32_t s1 = load_be32(in + 4) ^ ek_[1];
-  uint32_t s2 = load_be32(in + 8) ^ ek_[2];
-  uint32_t s3 = load_be32(in + 12) ^ ek_[3];
+  backend_->ecb_encrypt(*this, in, out, 1);
+}
 
-  for (int r = 1; r < rounds_; ++r) {
-    const uint32_t* rk = &ek_[4 * r];
+void Aes::decrypt_block(const uint8_t in[kBlockSize],
+                        uint8_t out[kBlockSize]) const {
+  backend_->ecb_decrypt(*this, in, out, 1);
+}
+
+void Aes::encrypt_blocks(const uint8_t* in, uint8_t* out,
+                         size_t nblocks) const {
+  backend_->ecb_encrypt(*this, in, out, nblocks);
+}
+
+void Aes::decrypt_blocks(const uint8_t* in, uint8_t* out,
+                         size_t nblocks) const {
+  backend_->ecb_decrypt(*this, in, out, nblocks);
+}
+
+void Aes::cbc_encrypt_blocks(uint8_t chain[kBlockSize], uint8_t* data,
+                             size_t nblocks) const {
+  backend_->cbc_encrypt(*this, chain, data, nblocks);
+}
+
+void Aes::cbc_decrypt_blocks(uint8_t chain[kBlockSize], uint8_t* data,
+                             size_t nblocks) const {
+  backend_->cbc_decrypt(*this, chain, data, nblocks);
+}
+
+void Aes::ctr_xor_bytes(uint8_t counter[kBlockSize], uint8_t* data,
+                        size_t nbytes) const {
+  backend_->ctr_xor(*this, counter, data, nbytes);
+}
+
+namespace {
+
+void encrypt_block_scalar(const Aes& aes, const uint8_t in[16],
+                          uint8_t out[16]) {
+  const auto& t = tables();
+  const uint32_t* ek = aes.round_key_words_enc();
+  const int rounds = aes.rounds();
+  uint32_t s0 = load_be32(in) ^ ek[0];
+  uint32_t s1 = load_be32(in + 4) ^ ek[1];
+  uint32_t s2 = load_be32(in + 8) ^ ek[2];
+  uint32_t s3 = load_be32(in + 12) ^ ek[3];
+
+  for (int r = 1; r < rounds; ++r) {
+    const uint32_t* rk = &ek[4 * r];
     const uint32_t t0 = t.te[0][(s0 >> 24) & 0xFF] ^
                         t.te[1][(s1 >> 16) & 0xFF] ^
                         t.te[2][(s2 >> 8) & 0xFF] ^ t.te[3][s3 & 0xFF] ^
@@ -195,7 +343,7 @@ void Aes::encrypt_block(const uint8_t in[kBlockSize],
   }
 
   // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
-  const uint32_t* rk = &ek_[4 * rounds_];
+  const uint32_t* rk = &ek[4 * rounds];
   const auto& sb = t.sbox;
   const uint32_t o0 = (uint32_t{sb[(s0 >> 24) & 0xFF]} << 24) |
                       (uint32_t{sb[(s1 >> 16) & 0xFF]} << 16) |
@@ -219,16 +367,18 @@ void Aes::encrypt_block(const uint8_t in[kBlockSize],
   store_be32(out + 12, o3 ^ rk[3]);
 }
 
-void Aes::decrypt_block(const uint8_t in[kBlockSize],
-                        uint8_t out[kBlockSize]) const {
+void decrypt_block_scalar(const Aes& aes, const uint8_t in[16],
+                          uint8_t out[16]) {
   const auto& t = tables();
-  uint32_t s0 = load_be32(in) ^ dk_[0];
-  uint32_t s1 = load_be32(in + 4) ^ dk_[1];
-  uint32_t s2 = load_be32(in + 8) ^ dk_[2];
-  uint32_t s3 = load_be32(in + 12) ^ dk_[3];
+  const uint32_t* dk = aes.round_key_words_dec();
+  const int rounds = aes.rounds();
+  uint32_t s0 = load_be32(in) ^ dk[0];
+  uint32_t s1 = load_be32(in + 4) ^ dk[1];
+  uint32_t s2 = load_be32(in + 8) ^ dk[2];
+  uint32_t s3 = load_be32(in + 12) ^ dk[3];
 
-  for (int r = 1; r < rounds_; ++r) {
-    const uint32_t* rk = &dk_[4 * r];
+  for (int r = 1; r < rounds; ++r) {
+    const uint32_t* rk = &dk[4 * r];
     const uint32_t t0 = t.td[0][(s0 >> 24) & 0xFF] ^
                         t.td[1][(s3 >> 16) & 0xFF] ^
                         t.td[2][(s2 >> 8) & 0xFF] ^ t.td[3][s1 & 0xFF] ^
@@ -251,7 +401,7 @@ void Aes::decrypt_block(const uint8_t in[kBlockSize],
     s3 = t3;
   }
 
-  const uint32_t* rk = &dk_[4 * rounds_];
+  const uint32_t* rk = &dk[4 * rounds];
   const auto& isb = t.inv_sbox;
   const uint32_t o0 = (uint32_t{isb[(s0 >> 24) & 0xFF]} << 24) |
                       (uint32_t{isb[(s3 >> 16) & 0xFF]} << 16) |
@@ -274,5 +424,7 @@ void Aes::decrypt_block(const uint8_t in[kBlockSize],
   store_be32(out + 8, o2 ^ rk[2]);
   store_be32(out + 12, o3 ^ rk[3]);
 }
+
+}  // namespace
 
 }  // namespace szsec::crypto

@@ -1,13 +1,20 @@
-// AES (FIPS-197) block cipher implemented from scratch.
+// AES (FIPS-197) block cipher implemented from scratch, with runtime
+// CPU dispatch onto hardware kernels.
 //
 // Supports 128-, 192- and 256-bit keys.  The paper uses AES-128 as its
-// light-weight cipher; the longer key sizes exist for the ablation benches.
-// Encryption/decryption use precomputed T-tables (derived at static init
-// from the algebraic S-box definition), giving laptop-class throughput of
-// hundreds of MB/s without assembly or hardware intrinsics.
+// light-weight cipher; the longer key sizes exist for the ablation
+// benches.  The scalar core uses precomputed T-tables (derived at
+// static init from the algebraic S-box definition) and is always
+// present as the KAT-verified fallback; when the CPU reports AES-NI
+// (and VAES for wide counter-mode keystreams) the bulk entry points
+// below dispatch onto pipelined hardware kernels selected once at
+// construction from cpu::enabled_features() — see common/cpu.h and the
+// `SZSEC_CPU_FEATURES` override, and docs/PERFORMANCE.md for measured
+// per-backend throughput.
 //
 // Correctness is pinned by FIPS-197 Appendix C known-answer tests in
-// tests/crypto_test.cpp.
+// tests/crypto_test.cpp, re-run against every available backend by
+// tests/kernel_dispatch_test.cpp.
 #pragma once
 
 #include <array>
@@ -17,8 +24,12 @@
 
 namespace szsec::crypto {
 
+struct AesBackend;
+
 /// AES block cipher with an expanded key schedule.  Immutable after
-/// construction; safe to share across threads for concurrent encrypt calls.
+/// construction; safe to share across threads for concurrent encrypt
+/// calls.  The kernel backend (scalar / AES-NI / VAES) is chosen at
+/// construction time.
 class Aes {
  public:
   static constexpr size_t kBlockSize = 16;
@@ -34,14 +45,57 @@ class Aes {
   void decrypt_block(const uint8_t in[kBlockSize],
                      uint8_t out[kBlockSize]) const;
 
+  /// ECB-encrypts `nblocks` 16-byte blocks (in-place allowed).  This is
+  /// the raw block primitive — no padding; callers own the framing.
+  void encrypt_blocks(const uint8_t* in, uint8_t* out, size_t nblocks) const;
+
+  /// ECB-decrypts `nblocks` 16-byte blocks (in-place allowed).
+  void decrypt_blocks(const uint8_t* in, uint8_t* out, size_t nblocks) const;
+
+  /// CBC-encrypts `nblocks` blocks in place, chaining from (and
+  /// updating) `chain`; `chain` starts as the IV and ends as the last
+  /// ciphertext block.  No padding is applied.
+  void cbc_encrypt_blocks(uint8_t chain[kBlockSize], uint8_t* data,
+                          size_t nblocks) const;
+
+  /// Inverse of cbc_encrypt_blocks (also updates `chain`).
+  void cbc_decrypt_blocks(uint8_t chain[kBlockSize], uint8_t* data,
+                          size_t nblocks) const;
+
+  /// XORs the CTR keystream into `data` (encrypt == decrypt).  The low
+  /// 64 bits of `counter` are incremented big-endian once per 16-byte
+  /// block, including a trailing partial block, leaving `counter` ready
+  /// for a continuation call.
+  void ctr_xor_bytes(uint8_t counter[kBlockSize], uint8_t* data,
+                     size_t nbytes) const;
+
   /// Number of rounds: 10 / 12 / 14 for 128 / 192 / 256-bit keys.
   int rounds() const { return rounds_; }
 
+  /// Kernel backend this instance dispatches to: "scalar", "aes-ni" or
+  /// "vaes".  Decided once, at construction.
+  const char* backend_name() const;
+
+  /// Round keys in byte (memory) order, 16 bytes per round key,
+  /// rounds()+1 keys — the layout hardware kernels load directly.
+  /// Internal: exposed for the kernel translation units.
+  const uint8_t* round_key_bytes_enc() const { return ekb_.data(); }
+  const uint8_t* round_key_bytes_dec() const { return dkb_.data(); }
+
+  /// Round keys as big-endian packed words (scalar T-table layout).
+  /// Internal: exposed for the scalar kernel.
+  const uint32_t* round_key_words_enc() const { return ek_.data(); }
+  const uint32_t* round_key_words_dec() const { return dk_.data(); }
+
  private:
   int rounds_;
+  const AesBackend* backend_;
   // Round keys as big-endian packed words, 4*(rounds+1) each.
   std::array<uint32_t, 60> ek_{};  // encryption schedule
   std::array<uint32_t, 60> dk_{};  // decryption schedule (InvMixColumns'd)
+  // The same schedules in byte order for the hardware kernels.
+  alignas(16) std::array<uint8_t, 240> ekb_{};
+  alignas(16) std::array<uint8_t, 240> dkb_{};
 };
 
 }  // namespace szsec::crypto

@@ -1,0 +1,74 @@
+// Internal AES kernel backend table (not part of the public API).
+//
+// Each backend implements the same five bulk primitives over an
+// expanded Aes key schedule; Aes picks one at construction from
+// cpu::enabled_features().  Hardware kernels are compiled in separate
+// translation units with the matching -m flags and are only ever
+// *called* behind a cpuid check, so the library runs correctly on any
+// x86-64 (or non-x86) machine.
+//
+// Contract notes shared by all implementations:
+//  - `nblocks` counts 16-byte blocks; buffers may alias (in == out).
+//  - cbc_* update `chain` to the value needed to continue the stream
+//    (last ciphertext block).
+//  - ctr_xor processes `nbytes` (a trailing partial block is allowed),
+//    XORs the keystream into `data` in place, and increments the low 64
+//    bits of `counter` big-endian once per block *including* the final
+//    partial one — exactly the semantics of the historical scalar loop
+//    in modes.cpp, so all backends generate identical ciphertext.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace szsec::crypto {
+
+class Aes;
+
+/// Bulk-kernel dispatch table; one static instance per backend.
+struct AesBackend {
+  const char* name;
+  void (*ecb_encrypt)(const Aes&, const uint8_t* in, uint8_t* out,
+                      size_t nblocks);
+  void (*ecb_decrypt)(const Aes&, const uint8_t* in, uint8_t* out,
+                      size_t nblocks);
+  void (*cbc_encrypt)(const Aes&, uint8_t chain[16], uint8_t* data,
+                      size_t nblocks);
+  void (*cbc_decrypt)(const Aes&, uint8_t chain[16], uint8_t* data,
+                      size_t nblocks);
+  void (*ctr_xor)(const Aes&, uint8_t counter[16], uint8_t* data,
+                  size_t nbytes);
+};
+
+#ifdef SZSEC_HAVE_AESNI
+// aes_ni.cpp — compiled with -maes -mssse3.
+namespace aesni {
+void ecb_encrypt(const Aes& aes, const uint8_t* in, uint8_t* out,
+                 size_t nblocks);
+void ecb_decrypt(const Aes& aes, const uint8_t* in, uint8_t* out,
+                 size_t nblocks);
+void cbc_encrypt(const Aes& aes, uint8_t chain[16], uint8_t* data,
+                 size_t nblocks);
+void cbc_decrypt(const Aes& aes, uint8_t chain[16], uint8_t* data,
+                 size_t nblocks);
+void ctr_xor(const Aes& aes, uint8_t counter[16], uint8_t* data,
+             size_t nbytes);
+}  // namespace aesni
+#endif
+
+#ifdef SZSEC_HAVE_VAES
+// aes_vaes.cpp — compiled with -mvaes -mavx512f -mavx512vl -mavx2.
+// CBC encryption is inherently serial and CBC decryption is already
+// latency-bound at the AES-NI width, so the VAES backend contributes
+// the throughput-bound primitives only (CTR keystream, ECB).
+namespace vaes {
+void ecb_encrypt(const Aes& aes, const uint8_t* in, uint8_t* out,
+                 size_t nblocks);
+void ecb_decrypt(const Aes& aes, const uint8_t* in, uint8_t* out,
+                 size_t nblocks);
+void ctr_xor(const Aes& aes, uint8_t counter[16], uint8_t* data,
+             size_t nbytes);
+}  // namespace vaes
+#endif
+
+}  // namespace szsec::crypto

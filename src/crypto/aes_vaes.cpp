@@ -1,0 +1,165 @@
+// VAES bulk kernels: two AES blocks per 256-bit register (compiled with
+// -mvaes -mavx512f -mavx512vl -mavx2; see aes_backend.h).
+//
+// Only reached when cpuid reports VAES + AVX-512F/VL and the OS has
+// enabled zmm/opmask state (common/cpu.h), so the ymm-encoded AES
+// instructions here can never fault at runtime.  The kernels cover the
+// throughput-bound primitives (CTR keystream, ECB); CBC dispatches to
+// the AES-NI kernels (serial chain / latency-bound either way).
+//
+// Eight ymm lanes keep sixteen blocks in flight per round — enough to
+// saturate the two AES units on Ice Lake-and-later cores.
+
+#include "crypto/aes_backend.h"
+
+#ifdef SZSEC_HAVE_VAES
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "crypto/aes.h"
+
+namespace szsec::crypto::vaes {
+
+namespace {
+
+constexpr size_t kLanes = 8;          // ymm registers in flight
+constexpr size_t kBlocksPerLane = 2;  // 128-bit blocks per ymm
+constexpr size_t kBlocksPerIter = kLanes * kBlocksPerLane;
+
+inline __m256i load2(const uint8_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void store2(uint8_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+inline void load_round_keys(const uint8_t* bytes, int rounds,
+                            __m256i rk[15]) {
+  for (int r = 0; r <= rounds; ++r) {
+    rk[r] = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + 16 * r)));
+  }
+}
+
+inline void encrypt_lanes(__m256i b[kLanes], const __m256i rk[15],
+                          int rounds) {
+  for (size_t l = 0; l < kLanes; ++l) b[l] = _mm256_xor_si256(b[l], rk[0]);
+  for (int r = 1; r < rounds; ++r) {
+    for (size_t l = 0; l < kLanes; ++l) {
+      b[l] = _mm256_aesenc_epi128(b[l], rk[r]);
+    }
+  }
+  for (size_t l = 0; l < kLanes; ++l) {
+    b[l] = _mm256_aesenclast_epi128(b[l], rk[rounds]);
+  }
+}
+
+inline void decrypt_lanes(__m256i b[kLanes], const __m256i rk[15],
+                          int rounds) {
+  for (size_t l = 0; l < kLanes; ++l) b[l] = _mm256_xor_si256(b[l], rk[0]);
+  for (int r = 1; r < rounds; ++r) {
+    for (size_t l = 0; l < kLanes; ++l) {
+      b[l] = _mm256_aesdec_epi128(b[l], rk[r]);
+    }
+  }
+  for (size_t l = 0; l < kLanes; ++l) {
+    b[l] = _mm256_aesdeclast_epi128(b[l], rk[rounds]);
+  }
+}
+
+inline uint64_t load_be64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return __builtin_bswap64(v);
+}
+
+inline void store_be64(uint8_t* p, uint64_t v) {
+  v = __builtin_bswap64(v);
+  std::memcpy(p, &v, 8);
+}
+
+}  // namespace
+
+void ecb_encrypt(const Aes& aes, const uint8_t* in, uint8_t* out,
+                 size_t nblocks) {
+  __m256i rk[15];
+  load_round_keys(aes.round_key_bytes_enc(), aes.rounds(), rk);
+  size_t b = 0;
+  for (; b + kBlocksPerIter <= nblocks; b += kBlocksPerIter) {
+    __m256i v[kLanes];
+    for (size_t l = 0; l < kLanes; ++l) v[l] = load2(in + 16 * b + 32 * l);
+    encrypt_lanes(v, rk, aes.rounds());
+    for (size_t l = 0; l < kLanes; ++l) store2(out + 16 * b + 32 * l, v[l]);
+  }
+  if (b < nblocks) {
+    // Tail (< 16 blocks): the AES-NI kernel finishes it off.
+    aesni::ecb_encrypt(aes, in + 16 * b, out + 16 * b, nblocks - b);
+  }
+}
+
+void ecb_decrypt(const Aes& aes, const uint8_t* in, uint8_t* out,
+                 size_t nblocks) {
+  __m256i rk[15];
+  load_round_keys(aes.round_key_bytes_dec(), aes.rounds(), rk);
+  size_t b = 0;
+  for (; b + kBlocksPerIter <= nblocks; b += kBlocksPerIter) {
+    __m256i v[kLanes];
+    for (size_t l = 0; l < kLanes; ++l) v[l] = load2(in + 16 * b + 32 * l);
+    decrypt_lanes(v, rk, aes.rounds());
+    for (size_t l = 0; l < kLanes; ++l) store2(out + 16 * b + 32 * l, v[l]);
+  }
+  if (b < nblocks) {
+    aesni::ecb_decrypt(aes, in + 16 * b, out + 16 * b, nblocks - b);
+  }
+}
+
+void ctr_xor(const Aes& aes, uint8_t counter[16], uint8_t* data,
+             size_t nbytes) {
+  __m256i rk[15];
+  load_round_keys(aes.round_key_bytes_enc(), aes.rounds(), rk);
+
+  uint64_t hi_raw;
+  std::memcpy(&hi_raw, counter, 8);
+  const uint64_t lo = load_be64(counter + 8);
+  const auto counter_pair = [&](uint64_t n) {
+    // Two consecutive counter blocks in one ymm (low lane = block n).
+    return _mm256_set_epi64x(
+        static_cast<long long>(__builtin_bswap64(n + 1)),
+        static_cast<long long>(hi_raw),
+        static_cast<long long>(__builtin_bswap64(n)),
+        static_cast<long long>(hi_raw));
+  };
+
+  const size_t nfull = nbytes / 16;
+  size_t b = 0;
+  for (; b + kBlocksPerIter <= nfull; b += kBlocksPerIter) {
+    __m256i v[kLanes];
+    for (size_t l = 0; l < kLanes; ++l) {
+      v[l] = counter_pair(lo + b + kBlocksPerLane * l);
+    }
+    encrypt_lanes(v, rk, aes.rounds());
+    for (size_t l = 0; l < kLanes; ++l) {
+      uint8_t* p = data + 16 * b + 32 * l;
+      store2(p, _mm256_xor_si256(load2(p), v[l]));
+    }
+  }
+
+  if (16 * b < nbytes) {
+    // Tail (< 16 blocks incl. any partial): AES-NI path, continuing
+    // from the current counter value.
+    uint8_t tail_counter[16];
+    std::memcpy(tail_counter, counter, 8);
+    store_be64(tail_counter + 8, lo + b);
+    aesni::ctr_xor(aes, tail_counter, data + 16 * b, nbytes - 16 * b);
+    std::memcpy(counter, tail_counter, 16);
+  } else {
+    store_be64(counter + 8, lo + b);
+  }
+}
+
+}  // namespace szsec::crypto::vaes
+
+#endif  // SZSEC_HAVE_VAES

@@ -8,17 +8,6 @@ namespace szsec::crypto {
 
 namespace {
 constexpr size_t kBlock = Aes::kBlockSize;
-
-void xor_block(uint8_t* dst, const uint8_t* src) {
-  for (size_t i = 0; i < kBlock; ++i) dst[i] ^= src[i];
-}
-
-// Big-endian increment of the low 64 bits of a CTR counter block.
-void increment_counter(uint8_t block[kBlock]) {
-  for (size_t i = kBlock; i-- > 8;) {
-    if (++block[i] != 0) return;
-  }
-}
 }  // namespace
 
 const char* mode_name(Mode m) {
@@ -60,11 +49,7 @@ Bytes cbc_encrypt(const Aes& aes, const Iv& iv, BytesView plaintext) {
   pkcs7_pad(buf);
   uint8_t chain[kBlock];
   std::memcpy(chain, iv.data(), kBlock);
-  for (size_t off = 0; off < buf.size(); off += kBlock) {
-    xor_block(buf.data() + off, chain);
-    aes.encrypt_block(buf.data() + off, buf.data() + off);
-    std::memcpy(chain, buf.data() + off, kBlock);
-  }
+  aes.cbc_encrypt_blocks(chain, buf.data(), buf.size() / kBlock);
   return buf;
 }
 
@@ -74,14 +59,8 @@ Bytes cbc_decrypt(const Aes& aes, const Iv& iv, BytesView ciphertext) {
   }
   Bytes buf(ciphertext.begin(), ciphertext.end());
   uint8_t chain[kBlock];
-  uint8_t next_chain[kBlock];
   std::memcpy(chain, iv.data(), kBlock);
-  for (size_t off = 0; off < buf.size(); off += kBlock) {
-    std::memcpy(next_chain, buf.data() + off, kBlock);
-    aes.decrypt_block(buf.data() + off, buf.data() + off);
-    xor_block(buf.data() + off, chain);
-    std::memcpy(chain, next_chain, kBlock);
-  }
+  aes.cbc_decrypt_blocks(chain, buf.data(), buf.size() / kBlock);
   pkcs7_unpad(buf);
   return buf;
 }
@@ -89,23 +68,15 @@ Bytes cbc_decrypt(const Aes& aes, const Iv& iv, BytesView ciphertext) {
 Bytes ctr_crypt(const Aes& aes, const Iv& nonce, BytesView data) {
   Bytes out(data.begin(), data.end());
   uint8_t counter[kBlock];
-  uint8_t keystream[kBlock];
   std::memcpy(counter, nonce.data(), kBlock);
-  for (size_t off = 0; off < out.size(); off += kBlock) {
-    aes.encrypt_block(counter, keystream);
-    const size_t n = std::min(kBlock, out.size() - off);
-    for (size_t i = 0; i < n; ++i) out[off + i] ^= keystream[i];
-    increment_counter(counter);
-  }
+  aes.ctr_xor_bytes(counter, out.data(), out.size());
   return out;
 }
 
 Bytes ecb_encrypt(const Aes& aes, BytesView plaintext) {
   Bytes buf(plaintext.begin(), plaintext.end());
   pkcs7_pad(buf);
-  for (size_t off = 0; off < buf.size(); off += kBlock) {
-    aes.encrypt_block(buf.data() + off, buf.data() + off);
-  }
+  aes.encrypt_blocks(buf.data(), buf.data(), buf.size() / kBlock);
   return buf;
 }
 
@@ -114,9 +85,7 @@ Bytes ecb_decrypt(const Aes& aes, BytesView ciphertext) {
     throw CryptoError("ECB ciphertext length not a multiple of 16");
   }
   Bytes buf(ciphertext.begin(), ciphertext.end());
-  for (size_t off = 0; off < buf.size(); off += kBlock) {
-    aes.decrypt_block(buf.data() + off, buf.data() + off);
-  }
+  aes.decrypt_blocks(buf.data(), buf.data(), buf.size() / kBlock);
   pkcs7_unpad(buf);
   return buf;
 }

@@ -1,6 +1,8 @@
 #include "huffman/huffman.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <queue>
 
 #include "common/error.h"
@@ -192,40 +194,97 @@ size_t encoded_bits(const CodeTable& table,
   return bits;
 }
 
-std::vector<uint32_t> decode(const CodeTable& table, BytesView bits,
-                             size_t count) {
-  // Canonical decoding: track the running code value and compare against
-  // the first-code boundary for each length.
-  std::vector<uint32_t> first_code(kMaxCodeLength + 2, 0);
-  std::vector<uint32_t> first_index(kMaxCodeLength + 2, 0);
-  std::vector<uint32_t> lcount(kMaxCodeLength + 1, 0);
-  for (uint8_t l : table.lengths) {
-    if (l > 0) ++lcount[l];
-  }
-  // Symbols sorted by (length, symbol) — the canonical order.
+namespace {
+
+// Canonical-decode context: the first-code boundary per length plus the
+// symbols in (length, symbol) order, shared by both decode paths.
+struct Canonical {
+  std::vector<uint32_t> first_code;
+  std::vector<uint32_t> first_index;
+  std::vector<uint32_t> lcount;
   std::vector<uint32_t> sorted;
-  sorted.reserve(table.used_symbols());
+};
+
+Canonical build_canonical(const CodeTable& table) {
+  Canonical c;
+  c.first_code.assign(kMaxCodeLength + 2, 0);
+  c.first_index.assign(kMaxCodeLength + 2, 0);
+  c.lcount.assign(kMaxCodeLength + 1, 0);
+  for (uint8_t l : table.lengths) {
+    if (l > 0) ++c.lcount[l];
+  }
+  c.sorted.reserve(table.used_symbols());
   for (unsigned l = 1; l <= kMaxCodeLength; ++l) {
     for (size_t s = 0; s < table.lengths.size(); ++s) {
-      if (table.lengths[s] == l) sorted.push_back(static_cast<uint32_t>(s));
+      if (table.lengths[s] == l) c.sorted.push_back(static_cast<uint32_t>(s));
     }
   }
-  {
-    uint32_t code = 0, index = 0;
-    for (unsigned l = 1; l <= kMaxCodeLength; ++l) {
-      code = (code + lcount[l - 1]) << 1;
-      first_code[l] = code;
-      first_index[l] = index;
-      index += lcount[l];
-    }
+  uint32_t code = 0, index = 0;
+  for (unsigned l = 1; l <= kMaxCodeLength; ++l) {
+    code = (code + c.lcount[l - 1]) << 1;
+    c.first_code[l] = code;
+    c.first_index[l] = index;
+    index += c.lcount[l];
   }
+  return c;
+}
 
-  BitReader r(bits);
-  // Every symbol consumes at least one bit, so a count beyond the
-  // bitstream's capacity is unsatisfiable; reject it before the
-  // reserve so a forged count can't drive a huge allocation.
+// Every symbol consumes at least one bit, so a count beyond the
+// bitstream's capacity is unsatisfiable; reject it before the reserve so
+// a forged count can't drive a huge allocation.
+void check_count(BytesView bits, size_t count) {
   SZSEC_CHECK_FORMAT(count <= static_cast<uint64_t>(bits.size()) * 8,
                      "symbol count exceeds bitstream capacity");
+}
+
+// One entry of the flat probe table: the symbols spelled out by the top
+// kDecodeTableBits of the bitstream, as many as fit (up to
+// kMaxSymbolsPerProbe).  nsym == 0 marks a first codeword longer than
+// the window — the caller falls back to the exact bit walk.
+struct ProbeEntry {
+  uint8_t nsym;
+  uint8_t nbits;  // total bits consumed by the nsym symbols
+  uint32_t sym[kMaxSymbolsPerProbe];
+};
+
+std::vector<ProbeEntry> build_probe_table(const Canonical& c) {
+  std::vector<ProbeEntry> dt(size_t{1} << kDecodeTableBits);
+  for (uint32_t idx = 0; idx < dt.size(); ++idx) {
+    ProbeEntry e{};
+    unsigned used = 0;
+    while (e.nsym < kMaxSymbolsPerProbe) {
+      // Walk the canonical code over window bits [used, kDecodeTableBits).
+      uint32_t code = 0;
+      unsigned len = 0;
+      bool matched = false;
+      while (used + len < kDecodeTableBits) {
+        const unsigned bit = (idx >> (kDecodeTableBits - 1 - (used + len))) & 1u;
+        code = (code << 1) | bit;
+        ++len;
+        if (c.lcount[len] != 0 && code - c.first_code[len] < c.lcount[len]) {
+          e.sym[e.nsym++] = c.sorted[c.first_index[len] + (code - c.first_code[len])];
+          used += len;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) break;  // next codeword spills past the window
+    }
+    e.nbits = static_cast<uint8_t>(used);
+    dt[idx] = e;
+  }
+  return dt;
+}
+
+}  // namespace
+
+std::vector<uint32_t> decode_tree_walk(const CodeTable& table, BytesView bits,
+                                       size_t count) {
+  // Canonical decoding: track the running code value and compare against
+  // the first-code boundary for each length.
+  const Canonical c = build_canonical(table);
+  check_count(bits, count);
+  BitReader r(bits);
   std::vector<uint32_t> out;
   out.reserve(count);
   for (size_t i = 0; i < count; ++i) {
@@ -235,14 +294,105 @@ std::vector<uint32_t> decode(const CodeTable& table, BytesView bits,
       SZSEC_CHECK_FORMAT(len < kMaxCodeLength, "dead branch in Huffman code");
       code = (code << 1) | r.get_bit();
       ++len;
-      if (lcount[len] != 0 && code - first_code[len] < lcount[len]) {
-        out.push_back(sorted[first_index[len] + (code - first_code[len])]);
+      if (c.lcount[len] != 0 && code - c.first_code[len] < c.lcount[len]) {
+        out.push_back(c.sorted[c.first_index[len] + (code - c.first_code[len])]);
         break;
       }
       // No codeword of this length matches; keep extending.  Invalid
       // streams fall off the length limit and throw above.
     }
   }
+  return out;
+}
+
+std::vector<uint32_t> decode(const CodeTable& table, BytesView bits,
+                             size_t count) {
+  // Short streams don't amortize the 2^kDecodeTableBits probe-table
+  // build; take the exact walk directly.
+  if (count < kProbeDecodeMinSymbols) {
+    return decode_tree_walk(table, bits, count);
+  }
+
+  const Canonical c = build_canonical(table);
+  check_count(bits, count);
+  const std::vector<ProbeEntry> dt = build_probe_table(c);
+
+  // 64-bit MSB-aligned accumulator over the byte buffer: `acc` holds at
+  // least the next `have` stream bits in its top bits.  The wide refill
+  // may OR in more real stream bits than `have` accounts for; that is
+  // harmless — the next refill ORs the same values over themselves.
+  const uint8_t* data = bits.data();
+  const size_t nbytes = bits.size();
+  uint64_t acc = 0;
+  unsigned have = 0;
+  size_t next_byte = 0;
+  const auto refill = [&] {
+    if (next_byte + 8 <= nbytes) {
+      uint64_t chunk;
+      std::memcpy(&chunk, data + next_byte, 8);
+      if constexpr (std::endian::native == std::endian::little) {
+        chunk = __builtin_bswap64(chunk);
+      }
+      acc |= chunk >> have;
+      const unsigned consumed = (63u - have) >> 3;
+      next_byte += consumed;
+      have += consumed * 8;
+    } else {
+      while (have <= 56 && next_byte < nbytes) {
+        acc |= static_cast<uint64_t>(data[next_byte++]) << (56 - have);
+        have += 8;
+      }
+    }
+  };
+  // Exact bit walk over the accumulator — same comparisons and same
+  // error behavior as decode_tree_walk, used for over-long codewords
+  // and the stream tail.
+  const auto decode_one = [&]() -> uint32_t {
+    uint32_t code = 0;
+    unsigned len = 0;
+    while (true) {
+      SZSEC_CHECK_FORMAT(len < kMaxCodeLength, "dead branch in Huffman code");
+      if (have == 0) {
+        refill();
+        SZSEC_CHECK_FORMAT(have > 0, "bitstream exhausted");
+      }
+      code = (code << 1) | static_cast<uint32_t>(acc >> 63);
+      acc <<= 1;
+      --have;
+      ++len;
+      if (c.lcount[len] != 0 && code - c.first_code[len] < c.lcount[len]) {
+        return c.sorted[c.first_index[len] + (code - c.first_code[len])];
+      }
+    }
+  };
+
+  // Preallocated output with raw-pointer stores: the probe loop writes all
+  // kMaxSymbolsPerProbe slots unconditionally (the `i + kMaxSymbolsPerProbe
+  // <= count` guard reserves room) and advances by the real count, which
+  // keeps the hot loop free of per-symbol bounds checks.
+  std::vector<uint32_t> out(count);
+  uint32_t* op = out.data();
+  size_t i = 0;
+  while (i + kMaxSymbolsPerProbe <= count) {
+    refill();
+    if (have < kDecodeTableBits) break;  // tail: finish with the exact walk
+    const ProbeEntry& e = dt[acc >> (64 - kDecodeTableBits)];
+    if (e.nsym == 0) {
+      // First codeword longer than the window: exact walk for one symbol.
+      *op++ = decode_one();
+      ++i;
+      continue;
+    }
+    static_assert(kMaxSymbolsPerProbe == 3, "unrolled stores below");
+    op[0] = e.sym[0];
+    op[1] = e.sym[1];
+    op[2] = e.sym[2];
+    op += e.nsym;
+    acc <<= e.nbits;
+    have -= e.nbits;
+    i += e.nsym;
+  }
+  for (; i < count; ++i) *op++ = decode_one();
   return out;
 }
 

@@ -26,6 +26,21 @@ namespace szsec::huffman {
 /// unrestricted Huffman tree would exceed it.
 inline constexpr unsigned kMaxCodeLength = 32;
 
+/// Width of the flat probe table used by the fast decoder: each lookup
+/// indexes with the next kDecodeTableBits stream bits and yields every
+/// whole codeword inside that window (up to kMaxSymbolsPerProbe).
+/// Quantization codes cluster tightly around the zero bin, so typical
+/// codewords are 2-5 bits and one probe resolves 2-3 symbols.
+inline constexpr unsigned kDecodeTableBits = 11;
+
+/// Most symbols a single probe-table entry can carry.
+inline constexpr unsigned kMaxSymbolsPerProbe = 3;
+
+/// decode() falls back to decode_tree_walk() below this symbol count,
+/// where building the 2^kDecodeTableBits probe table costs more than it
+/// saves.
+inline constexpr size_t kProbeDecodeMinSymbols = 4096;
+
 /// Canonical code table: per-symbol code lengths plus derived codewords.
 struct CodeTable {
   /// lengths[s] == 0 means symbol s never occurs.
@@ -59,8 +74,20 @@ Bytes encode(const CodeTable& table, std::span<const uint32_t> symbols);
 
 /// Decodes exactly `count` symbols from `bits`.
 /// Throws CorruptError if the stream is exhausted or hits a dead branch.
+///
+/// Large streams take a table-driven fast path: a flat probe table
+/// (kDecodeTableBits wide) decodes several symbols per lookup from a
+/// 64-bit accumulator, falling back to the exact canonical walk for
+/// over-long codewords and the stream tail.  Output and error behavior
+/// are identical to decode_tree_walk() on every input.
 std::vector<uint32_t> decode(const CodeTable& table, BytesView bits,
                              size_t count);
+
+/// Reference decoder: bit-by-bit canonical walk, no probe table.  Always
+/// available; decode() must match it byte-for-byte (asserted by
+/// tests/kernel_dispatch_test.cpp and the golden-container pins).
+std::vector<uint32_t> decode_tree_walk(const CodeTable& table, BytesView bits,
+                                       size_t count);
 
 /// Exact encoded size in bits for `symbols` under `table` (no encoding).
 size_t encoded_bits(const CodeTable& table, std::span<const uint32_t> symbols);

@@ -1,0 +1,242 @@
+// AVX2 SZ row kernels: four double lanes per iteration (compiled with
+// -mavx2 only — no -mfma, so mul/add round separately, exactly like the
+// scalar expressions these kernels must match bit-for-bit).
+//
+// Dispatch safety: kernels.cpp only calls into this TU when
+// cpu::enabled_features() reports AVX2, which requires both cpuid and
+// OS ymm state (xgetbv).
+
+#include "sz/kernels.h"
+
+#ifdef SZSEC_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <limits>
+
+namespace szsec::sz::kernels::avx2 {
+
+namespace {
+
+inline __m256d abs_pd(__m256d v) {
+  return _mm256_and_pd(
+      v, _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL)));
+}
+
+// nearbyint(): round under the current MXCSR mode, no exceptions.
+inline __m256d round_pd(__m256d v) {
+  return _mm256_round_pd(v, _MM_FROUND_CUR_DIRECTION | _MM_FROUND_NO_EXC);
+}
+
+// Narrows a 4-lane double mask (all-ones / all-zeros per 64-bit lane)
+// to a 4-lane int32 mask.
+inline __m128i mask_pd_to_epi32(__m256d mask) {
+  const __m256i mi = _mm256_castpd_si256(mask);
+  const __m128 lo = _mm_castsi128_ps(_mm256_castsi256_si128(mi));
+  const __m128 hi = _mm_castsi128_ps(_mm256_extracti128_si256(mi, 1));
+  return _mm_castps_si128(_mm_shuffle_ps(lo, hi, _MM_SHUFFLE(2, 0, 2, 0)));
+}
+
+// First half of the 4-lane quantize body: rounding plus the
+// range/finiteness guard.  The reconstruction-error guard is
+// type-specific (the scalar code narrows to T *before* comparing), so
+// it lives in the callers.
+inline void quantize4_pre(__m256d v, __m256d p, __m256d vtwo_eb,
+                          __m256d vradius, __m256d vinf, __m256d& rounded,
+                          __m256d& rec, __m256d& ok) {
+  const __m256d diff = _mm256_sub_pd(v, p);
+  const __m256d scaled = _mm256_div_pd(diff, vtwo_eb);
+  rounded = round_pd(scaled);
+  ok = _mm256_and_pd(
+      _mm256_cmp_pd(abs_pd(diff), vinf, _CMP_LT_OQ),
+      _mm256_cmp_pd(abs_pd(rounded), vradius, _CMP_LT_OQ));
+  rec = _mm256_add_pd(p, _mm256_mul_pd(rounded, vtwo_eb));
+}
+
+// Second guard + code extraction.  `rec_t` is the reconstruction after
+// any narrowing to T, widened back to double — what the scalar code
+// compares.  Scalar form is `if (|rec - v| > eb) fail`, which *passes*
+// on an unordered compare — mirror that with andnot(GT) rather than LE.
+inline void quantize4_finish(__m256d v, __m256d rec_t, __m256d veb,
+                             __m256d rounded, __m128i vradius32, __m256d ok,
+                             __m128i& code, __m128i& m32) {
+  ok = _mm256_andnot_pd(
+      _mm256_cmp_pd(abs_pd(_mm256_sub_pd(rec_t, v)), veb, _CMP_GT_OQ), ok);
+  m32 = mask_pd_to_epi32(ok);
+  code = _mm_and_si128(
+      _mm_add_epi32(_mm256_cvtpd_epi32(rounded), vradius32), m32);
+}
+
+}  // namespace
+
+void predict_affine_row_f64(double t_zy, double slope_x, double intercept,
+                            size_t n, double* pred) {
+  const __m256d vt = _mm256_set1_pd(t_zy);
+  const __m256d vs = _mm256_set1_pd(slope_x);
+  const __m256d vb = _mm256_set1_pd(intercept);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d xd = _mm256_set_pd(
+        static_cast<double>(i + 3), static_cast<double>(i + 2),
+        static_cast<double>(i + 1), static_cast<double>(i));
+    _mm256_storeu_pd(
+        pred + i,
+        _mm256_add_pd(_mm256_add_pd(vt, _mm256_mul_pd(vs, xd)), vb));
+  }
+  for (; i < n; ++i) {
+    pred[i] = (t_zy + slope_x * static_cast<double>(i)) + intercept;
+  }
+}
+
+void predict_affine_row_f32(double t_zy, double slope_x, double intercept,
+                            size_t n, float* pred) {
+  const __m256d vt = _mm256_set1_pd(t_zy);
+  const __m256d vs = _mm256_set1_pd(slope_x);
+  const __m256d vb = _mm256_set1_pd(intercept);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d xd = _mm256_set_pd(
+        static_cast<double>(i + 3), static_cast<double>(i + 2),
+        static_cast<double>(i + 1), static_cast<double>(i));
+    const __m256d p =
+        _mm256_add_pd(_mm256_add_pd(vt, _mm256_mul_pd(vs, xd)), vb);
+    _mm_storeu_ps(pred + i, _mm256_cvtpd_ps(p));
+  }
+  for (; i < n; ++i) {
+    pred[i] = static_cast<float>(
+        (t_zy + slope_x * static_cast<double>(i)) + intercept);
+  }
+}
+
+void quantize_row_f64(const double* values, const double* pred, size_t n,
+                      double eb, int64_t radius, uint32_t* codes,
+                      double* recon) {
+  const __m256d veb = _mm256_set1_pd(eb);
+  const __m256d vtwo_eb = _mm256_set1_pd(2.0 * eb);
+  const __m256d vradius = _mm256_set1_pd(static_cast<double>(radius));
+  const __m256d vinf =
+      _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  const __m128i vradius32 = _mm_set1_epi32(static_cast<int32_t>(radius));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(values + i);
+    __m256d rounded, rec, ok;
+    quantize4_pre(v, _mm256_loadu_pd(pred + i), vtwo_eb, vradius, vinf,
+                  rounded, rec, ok);
+    __m128i code, m32;
+    quantize4_finish(v, rec, veb, rounded, vradius32, ok, code, m32);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(codes + i), code);
+    // Write reconstructions only where the guards passed (the scalar
+    // code leaves failed lanes untouched).
+    _mm256_maskstore_pd(recon + i, _mm256_cvtepi32_epi64(m32), rec);
+  }
+  // Scalar tail: the reference body verbatim.
+  const double two_eb = 2.0 * eb;
+  for (; i < n; ++i) {
+    const double diff = values[i] - pred[i];
+    const double scaled = diff / two_eb;
+    const double rounded = std::nearbyint(scaled);
+    if (std::abs(rounded) >= static_cast<double>(radius) ||
+        !std::isfinite(diff)) {
+      codes[i] = 0;
+      continue;
+    }
+    const double rec = pred[i] + rounded * two_eb;
+    if (std::abs(rec - values[i]) > eb) {
+      codes[i] = 0;
+      continue;
+    }
+    recon[i] = rec;
+    codes[i] = static_cast<uint32_t>(static_cast<int64_t>(rounded) + radius);
+  }
+}
+
+void quantize_row_f32(const float* values, const float* pred, size_t n,
+                      double eb, int64_t radius, uint32_t* codes,
+                      float* recon) {
+  const __m256d veb = _mm256_set1_pd(eb);
+  const __m256d vtwo_eb = _mm256_set1_pd(2.0 * eb);
+  const __m256d vradius = _mm256_set1_pd(static_cast<double>(radius));
+  const __m256d vinf =
+      _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  const __m128i vradius32 = _mm_set1_epi32(static_cast<int32_t>(radius));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_cvtps_pd(_mm_loadu_ps(values + i));
+    const __m256d p = _mm256_cvtps_pd(_mm_loadu_ps(pred + i));
+    __m256d rounded, rec, ok;
+    quantize4_pre(v, p, vtwo_eb, vradius, vinf, rounded, rec, ok);
+    // Narrow to float first — the scalar code casts to T and compares
+    // the narrowed value against the bound.
+    const __m128 rec_ps = _mm256_cvtpd_ps(rec);
+    __m128i code, m32;
+    quantize4_finish(v, _mm256_cvtps_pd(rec_ps), veb, rounded, vradius32, ok,
+                     code, m32);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(codes + i), code);
+    _mm_maskstore_ps(recon + i, m32, rec_ps);
+  }
+  const double two_eb = 2.0 * eb;
+  for (; i < n; ++i) {
+    const double diff = static_cast<double>(values[i]) - pred[i];
+    const double scaled = diff / two_eb;
+    const double rounded = std::nearbyint(scaled);
+    if (std::abs(rounded) >= static_cast<double>(radius) ||
+        !std::isfinite(diff)) {
+      codes[i] = 0;
+      continue;
+    }
+    const auto rec = static_cast<float>(pred[i] + rounded * two_eb);
+    if (std::abs(static_cast<double>(rec) - values[i]) > eb) {
+      codes[i] = 0;
+      continue;
+    }
+    recon[i] = rec;
+    codes[i] = static_cast<uint32_t>(static_cast<int64_t>(rounded) + radius);
+  }
+}
+
+void dequantize_row_f64(const uint32_t* codes, double* values, size_t n,
+                        double eb, int64_t radius) {
+  const __m256d vtwo_eb = _mm256_set1_pd(2.0 * eb);
+  const __m128i vradius = _mm_set1_epi32(static_cast<int32_t>(radius));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i c = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(codes + i));
+    const __m256d q = _mm256_cvtepi32_pd(_mm_sub_epi32(c, vradius));
+    _mm256_storeu_pd(values + i,
+                     _mm256_add_pd(_mm256_loadu_pd(values + i),
+                                   _mm256_mul_pd(q, vtwo_eb)));
+  }
+  const double two_eb = 2.0 * eb;
+  for (; i < n; ++i) {
+    const int64_t q = static_cast<int64_t>(codes[i]) - radius;
+    values[i] = values[i] + static_cast<double>(q) * two_eb;
+  }
+}
+
+void dequantize_row_f32(const uint32_t* codes, float* values, size_t n,
+                        double eb, int64_t radius) {
+  const __m256d vtwo_eb = _mm256_set1_pd(2.0 * eb);
+  const __m128i vradius = _mm_set1_epi32(static_cast<int32_t>(radius));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i c = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(codes + i));
+    const __m256d q = _mm256_cvtepi32_pd(_mm_sub_epi32(c, vradius));
+    const __m256d p = _mm256_cvtps_pd(_mm_loadu_ps(values + i));
+    _mm_storeu_ps(values + i,
+                  _mm256_cvtpd_ps(_mm256_add_pd(p, _mm256_mul_pd(q, vtwo_eb))));
+  }
+  const double two_eb = 2.0 * eb;
+  for (; i < n; ++i) {
+    const int64_t q = static_cast<int64_t>(codes[i]) - radius;
+    values[i] = static_cast<float>(static_cast<double>(values[i]) +
+                                   static_cast<double>(q) * two_eb);
+  }
+}
+
+}  // namespace szsec::sz::kernels::avx2
+
+#endif  // SZSEC_HAVE_AVX2

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "sz/interpolation.h"
+#include "sz/kernels.h"
 #include "sz/predictor.h"
 #include "sz/quantizer.h"
 #include "sz/regression.h"
@@ -93,6 +94,8 @@ void encode_volume(const T* data, T* recon, size_t nz, size_t ny, size_t nx,
                    ByteWriter& side, std::vector<uint32_t>& codes,
                    uint64_t& unpred_count, const BlockShape& bs) {
   const Lorenzo3D<T> lorenzo{recon, nz, ny, nx};
+  std::vector<T> pred_row(bs.bx);
+  const auto radius = static_cast<int64_t>(quant.radius());
   for (size_t z0 = 0; z0 < nz; z0 += bs.bz) {
     const size_t bz = std::min(bs.bz, nz - z0);
     for (size_t y0 = 0; y0 < ny; y0 += bs.by) {
@@ -123,34 +126,54 @@ void encode_volume(const T* data, T* recon, size_t nz, size_t ny, size_t nx,
           qmean = codec.encode_mean(mean, side);
         }
 
-        for (size_t z = 0; z < bz; ++z) {
-          for (size_t y = 0; y < by; ++y) {
-            for (size_t x = 0; x < bx; ++x) {
-              const size_t gz = z0 + z, gy = y0 + y, gx = x0 + x;
-              const size_t idx = (gz * ny + gy) * nx + gx;
-              const T v = data[idx];
-              T pred;
-              switch (mode) {
-                case PredictorMode::kRegression:
-                  pred = static_cast<T>(
-                      reg.slope[0] * static_cast<double>(z) +
-                      reg.slope[1] * static_cast<double>(y) +
-                      reg.slope[2] * static_cast<double>(x) + reg.intercept);
-                  break;
-                case PredictorMode::kMean:
-                  pred = static_cast<T>(qmean);
-                  break;
-                default:
-                  pred = lorenzo.predict(gz, gy, gx);
+        if (mode == PredictorMode::kLorenzo) {
+          // Lorenzo reads reconstructed neighbours — a serial recurrence
+          // that cannot be vectorized without changing output bytes.
+          for (size_t z = 0; z < bz; ++z) {
+            for (size_t y = 0; y < by; ++y) {
+              for (size_t x = 0; x < bx; ++x) {
+                const size_t gz = z0 + z, gy = y0 + y, gx = x0 + x;
+                const size_t idx = (gz * ny + gy) * nx + gx;
+                const T v = data[idx];
+                const T pred = lorenzo.predict(gz, gy, gx);
+                T rv = pred;
+                const uint32_t code = quant.quantize(v, pred, rv);
+                codes.push_back(code);
+                if (code == 0) {
+                  rv = unpred.put(v);
+                  ++unpred_count;
+                }
+                recon[idx] = rv;
               }
-              T rv = pred;
-              const uint32_t code = quant.quantize(v, pred, rv);
-              codes.push_back(code);
-              if (code == 0) {
-                rv = unpred.put(v);
-                ++unpred_count;
+            }
+          }
+        } else {
+          // Regression/mean predictions are element-wise: predict and
+          // quantize whole rows through the SIMD kernels, then patch the
+          // unpredictable lanes in scan order.
+          for (size_t z = 0; z < bz; ++z) {
+            for (size_t y = 0; y < by; ++y) {
+              const size_t row0 = ((z0 + z) * ny + (y0 + y)) * nx + x0;
+              if (mode == PredictorMode::kRegression) {
+                const double t_zy = reg.slope[0] * static_cast<double>(z) +
+                                    reg.slope[1] * static_cast<double>(y);
+                kernels::predict_affine_row(t_zy, reg.slope[2],
+                                            reg.intercept, bx,
+                                            pred_row.data());
+              } else {
+                std::fill_n(pred_row.data(), bx, static_cast<T>(qmean));
               }
-              recon[idx] = rv;
+              const size_t code_base = codes.size();
+              codes.resize(code_base + bx);
+              kernels::quantize_row(data + row0, pred_row.data(), bx,
+                                    quant.error_bound(), radius,
+                                    codes.data() + code_base, recon + row0);
+              for (size_t x = 0; x < bx; ++x) {
+                if (codes[code_base + x] == 0) {
+                  recon[row0 + x] = unpred.put(data[row0 + x]);
+                  ++unpred_count;
+                }
+              }
             }
           }
         }
@@ -166,6 +189,7 @@ void decode_volume(T* out, size_t nz, size_t ny, size_t nx,
                    ByteReader& side, const uint32_t*& code_it,
                    const BlockShape& bs) {
   const Lorenzo3D<T> lorenzo{out, nz, ny, nx};
+  const auto radius = static_cast<int64_t>(quant.radius());
   for (size_t z0 = 0; z0 < nz; z0 += bs.bz) {
     const size_t bz = std::min(bs.bz, nz - z0);
     for (size_t y0 = 0; y0 < ny; y0 += bs.by) {
@@ -186,37 +210,60 @@ void decode_volume(T* out, size_t nz, size_t ny, size_t nx,
           qmean = codec.decode_mean(side);
         }
 
-        for (size_t z = 0; z < bz; ++z) {
-          for (size_t y = 0; y < by; ++y) {
-            for (size_t x = 0; x < bx; ++x) {
-              const size_t gz = z0 + z, gy = y0 + y, gx = x0 + x;
-              const size_t idx = (gz * ny + gy) * nx + gx;
-              T pred;
-              switch (mode) {
-                case PredictorMode::kRegression:
-                  pred = static_cast<T>(
-                      reg.slope[0] * static_cast<double>(z) +
-                      reg.slope[1] * static_cast<double>(y) +
-                      reg.slope[2] * static_cast<double>(x) + reg.intercept);
-                  break;
-                case PredictorMode::kMean:
-                  pred = static_cast<T>(qmean);
-                  break;
-                default:
-                  pred = lorenzo.predict(gz, gy, gx);
-              }
-              const uint32_t code = *code_it++;
-              if (code == 0) {
-                if constexpr (std::is_same_v<T, float>) {
-                  out[idx] = unpred.next_f32();
+        if (mode == PredictorMode::kLorenzo) {
+          for (size_t z = 0; z < bz; ++z) {
+            for (size_t y = 0; y < by; ++y) {
+              for (size_t x = 0; x < bx; ++x) {
+                const size_t gz = z0 + z, gy = y0 + y, gx = x0 + x;
+                const size_t idx = (gz * ny + gy) * nx + gx;
+                const T pred = lorenzo.predict(gz, gy, gx);
+                const uint32_t code = *code_it++;
+                if (code == 0) {
+                  if constexpr (std::is_same_v<T, float>) {
+                    out[idx] = unpred.next_f32();
+                  } else {
+                    out[idx] = unpred.next_f64();
+                  }
                 } else {
-                  out[idx] = unpred.next_f64();
+                  SZSEC_CHECK_FORMAT(code < quant.bins(),
+                                     "quantization code out of range");
+                  out[idx] = quant.dequantize(code, pred);
                 }
-              } else {
-                SZSEC_CHECK_FORMAT(code < quant.bins(),
-                                   "quantization code out of range");
-                out[idx] = quant.dequantize(code, pred);
               }
+            }
+          }
+        } else {
+          // Row-kernel path mirroring encode_volume: predict the row in
+          // place, dequantize every non-zero lane, then patch zeros from
+          // the unpredictable stream in scan order.
+          for (size_t z = 0; z < bz; ++z) {
+            for (size_t y = 0; y < by; ++y) {
+              const size_t row0 = ((z0 + z) * ny + (y0 + y)) * nx + x0;
+              T* row = out + row0;
+              if (mode == PredictorMode::kRegression) {
+                const double t_zy = reg.slope[0] * static_cast<double>(z) +
+                                    reg.slope[1] * static_cast<double>(y);
+                kernels::predict_affine_row(t_zy, reg.slope[2],
+                                            reg.intercept, bx, row);
+              } else {
+                std::fill_n(row, bx, static_cast<T>(qmean));
+              }
+              for (size_t x = 0; x < bx; ++x) {
+                SZSEC_CHECK_FORMAT(code_it[x] == 0 || code_it[x] < quant.bins(),
+                                   "quantization code out of range");
+              }
+              kernels::dequantize_row(code_it, row, bx, quant.error_bound(),
+                                      radius);
+              for (size_t x = 0; x < bx; ++x) {
+                if (code_it[x] == 0) {
+                  if constexpr (std::is_same_v<T, float>) {
+                    row[x] = unpred.next_f32();
+                  } else {
+                    row[x] = unpred.next_f64();
+                  }
+                }
+              }
+              code_it += bx;
             }
           }
         }
