@@ -1,0 +1,228 @@
+// Service load bench + regression gate for the multi-tenant archive
+// daemon (src/service).
+//
+// Phase 1 — single-job baseline: one client submits compress jobs
+// sequentially; the median wall latency is the no-contention cost of a
+// job (socket round trip + admission + HKDF derive + codec).
+//
+// Phase 2 — 64 concurrent clients hammer the same daemon with the same
+// job.  With C clients sharing P pool threads, ideal queueing already
+// multiplies per-job latency by ~C/P, so the gate normalizes for it:
+//
+//   p99_concurrent <= 2 x baseline_median x max(1, C / P)
+//
+// Anything past 2x that bound is contention the architecture promises
+// not to have (lock convoys in the fair queue, admission serialization,
+// buffer-pool thrash) — exit 1, this is a regression gate, not a
+// report.  A second gate pins peak RSS growth across the concurrent
+// phase to the admission budget (x4 for codec working set + 64 MiB
+// process slack): admission control is only real if memory follows it.
+//
+// Results go to BENCH_service_load.json:
+//   {"baseline": {"jobs": ..., "p50_ms": ..., "p99_ms": ...},
+//    "concurrent": {"clients": 64, "pool_threads": ..., "jobs": ...,
+//                   "p50_ms": ..., "p90_ms": ..., "p99_ms": ...},
+//    "gates": {"latency": {"limit_ms": ..., "p99_ms": ..., "pass": ...},
+//              "memory": {"limit_kb": ..., "peak_delta_kb": ...,
+//                         "pass": ...}}}
+//
+// Usage: bench_service_load [output.json]   (default
+// BENCH_service_load.json in the working directory)
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "parallel/thread_pool.h"
+#include "service/client.h"
+#include "service/daemon.h"
+#include "service/keyring.h"
+
+using namespace szsec;
+using namespace szsec::bench;
+
+namespace {
+
+constexpr size_t kClients = 64;
+constexpr size_t kJobsPerClient = 8;
+constexpr size_t kBaselineJobs = 32;
+constexpr size_t kRows = 64, kCols = 64;  // 16 KiB f32 payload per job
+constexpr double kEb = 1e-3;
+constexpr double kLatencyFactor = 2.0;
+constexpr uint64_t kBudgetBytes = 8ull << 20;
+constexpr uint64_t kMemorySlackKb = 64 * 1024;
+
+service::JobRequest make_job(const Bytes& payload) {
+  service::JobRequest req;
+  req.op = service::JobOp::kCompress;
+  req.tenant = "bench";
+  req.scheme = core::Scheme::kEncrHuffman;
+  req.authenticate = true;
+  req.dims = Dims{kRows, kCols};
+  req.have_dims = true;
+  req.error_bound = kEb;
+  req.chunks = 2;
+  req.payload = payload;
+  return req;
+}
+
+Bytes make_payload() {
+  std::vector<float> field(kRows * kCols);
+  for (size_t i = 0; i < field.size(); ++i) {
+    field[i] = std::sin(static_cast<float>(i) * 0.05f) * 10.0f;
+  }
+  Bytes b(field.size() * sizeof(float));
+  std::memcpy(b.data(), field.data(), b.size());
+  return b;
+}
+
+double percentile(std::vector<double> v, double p) {
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * (v.size() - 1));
+  return v[idx];
+}
+
+/// Submits `jobs` compress jobs over one connection, appending each
+/// job's wall latency (ms) to `out`.  Any non-OK status is fatal: the
+/// gate measures a healthy daemon, not one shedding load.
+void run_client(const std::string& socket_path, const Bytes& payload,
+                size_t jobs, std::vector<double>& out) {
+  service::ServiceClient client(socket_path);
+  const service::JobRequest req = make_job(payload);
+  for (size_t j = 0; j < jobs; ++j) {
+    WallTimer t;
+    const service::JobResponse resp = client.submit(req);
+    const double ms = t.elapsed_ms();
+    SZSEC_REQUIRE(resp.status == service::Status::kOk,
+                  "bench job failed: " + resp.detail);
+    out.push_back(ms);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_service_load.json";
+  const std::string socket_path =
+      "/tmp/szsec_bench_svc_" + std::to_string(::getpid()) + ".sock";
+
+  service::ServiceConfig config;
+  config.socket_path = socket_path;
+  config.admission_budget_bytes = kBudgetBytes;
+  service::TenantKeyring keyring;
+  {
+    const Bytes master = make_payload();  // any bytes; HKDF extracts
+    keyring.add_key("bench", BytesView(master.data(), 32));
+  }
+  service::ServiceDaemon daemon(config, std::move(keyring));
+  daemon.start();
+  const unsigned pool_threads = parallel::default_thread_count();
+  const Bytes payload = make_payload();
+
+  std::printf("Service load: %zu clients x %zu jobs, %u pool threads, "
+              "%llu MiB admission budget\n\n",
+              kClients, kJobsPerClient, pool_threads,
+              static_cast<unsigned long long>(kBudgetBytes >> 20));
+
+  // --- Phase 1: single-job baseline (plus untimed warmup).
+  {
+    std::vector<double> warmup;
+    run_client(socket_path, payload, 4, warmup);
+  }
+  std::vector<double> baseline;
+  baseline.reserve(kBaselineJobs);
+  run_client(socket_path, payload, kBaselineJobs, baseline);
+  const double base_p50 = percentile(baseline, 0.50);
+  const double base_p99 = percentile(baseline, 0.99);
+  std::printf("baseline:   %zu jobs, p50 %.3f ms, p99 %.3f ms\n",
+              baseline.size(), base_p50, base_p99);
+
+  // --- Phase 2: 64 concurrent clients.
+  const uint64_t rss_before_kb = vm_rss_kb();
+  const bool hwm_reset = reset_vm_hwm();
+  std::vector<std::vector<double>> per_client(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    per_client[c].reserve(kJobsPerClient);
+    threads.emplace_back(run_client, socket_path, std::cref(payload),
+                         kJobsPerClient, std::ref(per_client[c]));
+  }
+  for (auto& t : threads) t.join();
+  const uint64_t peak_kb = vm_hwm_kb();
+  const uint64_t peak_delta_kb =
+      hwm_reset ? peak_kb : (peak_kb > rss_before_kb ? peak_kb - rss_before_kb
+                                                     : 0);
+
+  std::vector<double> concurrent;
+  concurrent.reserve(kClients * kJobsPerClient);
+  for (const auto& v : per_client) {
+    concurrent.insert(concurrent.end(), v.begin(), v.end());
+  }
+  const double conc_p50 = percentile(concurrent, 0.50);
+  const double conc_p90 = percentile(concurrent, 0.90);
+  const double conc_p99 = percentile(concurrent, 0.99);
+  std::printf("concurrent: %zu jobs, p50 %.3f ms, p90 %.3f ms, "
+              "p99 %.3f ms\n",
+              concurrent.size(), conc_p50, conc_p90, conc_p99);
+
+  daemon.stop();
+  const service::ServiceStats stats = daemon.stats();
+  SZSEC_REQUIRE(stats.jobs_rejected == 0,
+                "admission rejected bench jobs; budget too small for the "
+                "configured load");
+
+  // --- Gates.
+  const double queue_factor =
+      std::max(1.0, static_cast<double>(kClients) / pool_threads);
+  const double latency_limit_ms = kLatencyFactor * base_p50 * queue_factor;
+  const bool latency_ok = conc_p99 <= latency_limit_ms;
+  const uint64_t memory_limit_kb = 4 * (kBudgetBytes >> 10) + kMemorySlackKb;
+  const bool memory_ok = peak_delta_kb <= memory_limit_kb;
+
+  std::printf("\nlatency gate: p99 %.3f ms vs limit %.3f ms "
+              "(%.1fx baseline p50 x %.1f queueing) -> %s\n",
+              conc_p99, latency_limit_ms, kLatencyFactor, queue_factor,
+              latency_ok ? "ok" : "FAIL");
+  std::printf("memory gate:  peak delta %llu KiB vs limit %llu KiB -> %s\n",
+              static_cast<unsigned long long>(peak_delta_kb),
+              static_cast<unsigned long long>(memory_limit_kb),
+              memory_ok ? "ok" : "FAIL");
+
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  SZSEC_REQUIRE(json != nullptr, "cannot open " + out_path);
+  std::fprintf(
+      json,
+      "{\n"
+      "  \"baseline\": {\"jobs\": %zu, \"p50_ms\": %.6f, \"p99_ms\": %.6f},\n"
+      "  \"concurrent\": {\"clients\": %zu, \"pool_threads\": %u,\n"
+      "                  \"jobs\": %zu, \"p50_ms\": %.6f,\n"
+      "                  \"p90_ms\": %.6f, \"p99_ms\": %.6f},\n"
+      "  \"stats\": {\"jobs_completed\": %llu, \"peak_in_flight_bytes\": "
+      "%llu},\n"
+      "  \"gates\": {\n"
+      "    \"latency\": {\"limit_ms\": %.6f, \"p99_ms\": %.6f, "
+      "\"pass\": %s},\n"
+      "    \"memory\": {\"limit_kb\": %llu, \"peak_delta_kb\": %llu, "
+      "\"pass\": %s}\n"
+      "  }\n"
+      "}\n",
+      baseline.size(), base_p50, base_p99, kClients, pool_threads,
+      concurrent.size(), conc_p50, conc_p90, conc_p99,
+      static_cast<unsigned long long>(stats.jobs_completed),
+      static_cast<unsigned long long>(stats.peak_in_flight_bytes),
+      latency_limit_ms, conc_p99, latency_ok ? "true" : "false",
+      static_cast<unsigned long long>(memory_limit_kb),
+      static_cast<unsigned long long>(peak_delta_kb),
+      memory_ok ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  return (latency_ok && memory_ok) ? 0 : 1;
+}

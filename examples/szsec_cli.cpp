@@ -11,6 +11,21 @@
 //             [--key <hex> | --password <s>] [--threads N]
 //   szsec_cli info       <in.szs> [--json]
 //   szsec_cli verify     <in.szs> [--key <hex> | --password <s>]
+//   szsec_cli serve      <socket> --tenant name=<hex master key> ...
+//             [--threads N] [--budget-mb N] [--chunks N]
+//   szsec_cli client     <socket> <op> [in] [out] [--tenant name]
+//             [--key-id N] [--dims Z,Y,X] [--eb 1e-4] [--scheme S]
+//             [--mode cbc|ctr] [--auth] [--chunks N]
+//
+// `serve` runs the multi-tenant archive service daemon (src/service):
+// concurrent compress/decompress/verify/salvage jobs over a Unix-domain
+// socket, one shared thread pool with round-robin tenant fairness,
+// admission control by in-flight payload bytes, per-tenant HKDF-derived
+// data keys, and graceful drain on SIGTERM/SIGINT (in-flight jobs
+// finish and respond; new requests get a typed "draining" status).
+// `client` submits one job: op is ping|compress|decompress|verify|
+// salvage; in/out are files or '-'.  A daemon that is not running
+// surfaces as exit 2 with the connect errno text.  See docs/SERVICE.md.
 //
 // `-` in place of a path means stdin (inputs) or stdout (outputs), so
 // the CLI composes in pipelines:
@@ -57,6 +72,7 @@
 // containers, wrong keys, verify found damage), 2 usage or operational
 // I/O error (IoError: unreadable/unwritable files, broken pipes — the
 // errno text is printed).
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -74,6 +90,8 @@
 #include "core/secure_compressor.h"
 #include "crypto/sha256.h"
 #include "data/io.h"
+#include "service/client.h"
+#include "service/daemon.h"
 
 namespace {
 
@@ -111,6 +129,12 @@ struct Options {
       "            --roi o0,o1[,o2]:n0,n1[,n2] [--key <hex>] [--threads N]\n"
       "  szsec_cli info <in.szs> [--json]\n"
       "  szsec_cli verify <in.szs> [--key <hex>]\n"
+      "  szsec_cli serve <socket> --tenant name=<hexkey> ...\n"
+      "            [--threads N] [--budget-mb N] [--chunks N]\n"
+      "  szsec_cli client <socket> ping|compress|decompress|verify|salvage\n"
+      "            [in] [out] [--tenant name] [--key-id N] [--dims Z,Y,X]\n"
+      "            [--eb 1e-4] [--scheme S] [--mode cbc|ctr] [--auth]\n"
+      "            [--chunks N]\n"
       "  ('-' as a path reads stdin / writes stdout)\n"
       "(see docs/CLI.md for the full reference)\n");
   std::exit(2);
@@ -728,6 +752,206 @@ int cmd_verify(const Options& o) {
   return rep.clean() ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------
+// Archive service: serve / client (src/service; docs/SERVICE.md)
+
+/// The running daemon, for the signal handlers.  request_drain() is
+/// async-signal-safe by contract, so the handler may call it directly.
+std::atomic<service::ServiceDaemon*> g_daemon{nullptr};
+
+extern "C" void handle_drain_signal(int) {
+  if (service::ServiceDaemon* d = g_daemon.load()) d->request_drain();
+}
+
+int cmd_serve(int argc, char** argv) {
+  if (argc < 3) usage("serve requires a socket path");
+  service::ServiceConfig config;
+  config.socket_path = argv[2];
+  service::TenantKeyring keyring;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--tenant") {
+      const std::string v = next();
+      const size_t eq = v.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= v.size()) {
+        usage("--tenant takes name=<hex master key>");
+      }
+      keyring.add_key(v.substr(0, eq), BytesView(from_hex(v.substr(eq + 1))));
+    } else if (arg == "--threads") {
+      const long t = std::stol(next());
+      if (t < 1) usage("--threads must be >= 1");
+      config.threads = static_cast<unsigned>(t);
+    } else if (arg == "--budget-mb") {
+      const unsigned long long mb = std::stoull(next());
+      if (mb < 1) usage("--budget-mb must be >= 1");
+      config.admission_budget_bytes = mb << 20;
+    } else if (arg == "--chunks") {
+      config.default_chunks = std::stoull(next());
+      if (config.default_chunks == 0) usage("--chunks must be >= 1");
+    } else {
+      usage(("unknown argument " + arg).c_str());
+    }
+  }
+
+  service::ServiceDaemon daemon(config, std::move(keyring));
+  daemon.start();
+  g_daemon.store(&daemon);
+  std::signal(SIGTERM, handle_drain_signal);
+  std::signal(SIGINT, handle_drain_signal);
+  std::printf("listening on %s (%u threads, %llu MB budget)\n",
+              config.socket_path.c_str(),
+              config.threads == 0 ? parallel::default_thread_count()
+                                  : config.threads,
+              static_cast<unsigned long long>(
+                  config.admission_budget_bytes >> 20));
+  std::fflush(stdout);  // tests poll for this line to learn "ready"
+  daemon.wait();
+  g_daemon.store(nullptr);
+  const service::ServiceStats s = daemon.stats();
+  std::printf("drained: %llu connections, %llu jobs (%llu rejected), "
+              "peak in-flight %llu bytes\n",
+              static_cast<unsigned long long>(s.connections_accepted),
+              static_cast<unsigned long long>(s.jobs_completed),
+              static_cast<unsigned long long>(s.jobs_rejected),
+              static_cast<unsigned long long>(s.peak_in_flight_bytes));
+  return 0;
+}
+
+int cmd_client(int argc, char** argv) {
+  if (argc < 4) usage("client requires <socket> <op>");
+  const std::string socket_path = argv[2];
+  const std::string op_name = argv[3];
+
+  service::JobRequest req;
+  bool needs_input = true;
+  bool has_output = true;
+  if (op_name == "ping") {
+    req.op = service::JobOp::kPing;
+    needs_input = false;
+    has_output = false;
+  } else if (op_name == "compress") {
+    req.op = service::JobOp::kCompress;
+  } else if (op_name == "decompress") {
+    req.op = service::JobOp::kDecompress;
+  } else if (op_name == "verify") {
+    req.op = service::JobOp::kVerify;
+    has_output = false;
+  } else if (op_name == "salvage") {
+    req.op = service::JobOp::kSalvage;
+  } else {
+    usage("client op must be ping|compress|decompress|verify|salvage");
+  }
+
+  int i = 4;
+  std::string input, output;
+  if (needs_input) {
+    if (argc < 5) usage("this op requires an input path");
+    input = argv[4];
+    i = 5;
+    if (has_output) {
+      if (argc < 6) usage("this op requires an output path");
+      output = argv[5];
+      i = 6;
+    }
+  }
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--tenant") {
+      req.tenant = next();
+    } else if (arg == "--key-id") {
+      req.key_id = std::stoull(next());
+    } else if (arg == "--dims") {
+      req.dims = parse_dims(next());
+      req.have_dims = true;
+    } else if (arg == "--eb") {
+      req.error_bound = std::stod(next());
+    } else if (arg == "--chunks") {
+      req.chunks = std::stoull(next());
+    } else if (arg == "--auth") {
+      req.authenticate = true;
+    } else if (arg == "--mode") {
+      const std::string m = next();
+      if (m == "cbc") {
+        req.mode = crypto::Mode::kCbc;
+      } else if (m == "ctr") {
+        req.mode = crypto::Mode::kCtr;
+      } else {
+        usage("unknown --mode");
+      }
+    } else if (arg == "--scheme") {
+      const std::string s = next();
+      if (s == "none") {
+        req.scheme = core::Scheme::kNone;
+      } else if (s == "cmpr-encr") {
+        req.scheme = core::Scheme::kCmprEncr;
+      } else if (s == "encr-quant") {
+        req.scheme = core::Scheme::kEncrQuant;
+      } else if (s == "encr-huffman") {
+        req.scheme = core::Scheme::kEncrHuffman;
+      } else {
+        usage("unknown --scheme");
+      }
+    } else {
+      usage(("unknown argument " + arg).c_str());
+    }
+  }
+
+  if (needs_input) {
+    const std::unique_ptr<ByteSource> in = open_input(input);
+    req.payload = slurp(*in);
+  }
+
+  // connect_unix failures (ENOENT: no daemon ever bound the path;
+  // ECONNREFUSED: one did but is gone) throw IoError with the errno
+  // text — main() turns that into the exit-2 operational contract.
+  service::ServiceClient client(socket_path);
+  const service::JobResponse resp = client.submit(req);
+
+  const bool to_stdout = has_output && output == "-";
+  std::FILE* report = to_stdout ? stderr : stdout;
+  std::fprintf(report, "%s: %s", service::to_string(req.op),
+               service::to_string(resp.status));
+  if (!resp.detail.empty()) std::fprintf(report, " (%s)", resp.detail.c_str());
+  if (resp.key_id != 0) {
+    std::fprintf(report, ", key id %llu",
+                 static_cast<unsigned long long>(resp.key_id));
+  }
+  std::fprintf(report, ", %llu raw / %llu archive bytes\n",
+               static_cast<unsigned long long>(resp.raw_bytes),
+               static_cast<unsigned long long>(resp.archive_bytes));
+
+  if (resp.ok() && has_output) {
+    Output out = open_output(output);
+    out.sink->write(BytesView(resp.payload));
+    out.commit();
+  }
+
+  // Exit contract mirrors the local commands: 0 success, 1 data/key
+  // failures, 2 operational (retry-able or caller-side) failures.
+  switch (resp.status) {
+    case service::Status::kOk:
+      return 0;
+    case service::Status::kDataError:
+    case service::Status::kCryptoError:
+    case service::Status::kUnknownTenant:
+      return 1;
+    case service::Status::kBadRequest:
+    case service::Status::kOverloaded:
+    case service::Status::kDraining:
+    case service::Status::kInternalError:
+      return 2;
+  }
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -738,6 +962,12 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
 #endif
   try {
+    if (argc >= 2 && std::string(argv[1]) == "serve") {
+      return cmd_serve(argc, argv);
+    }
+    if (argc >= 2 && std::string(argv[1]) == "client") {
+      return cmd_client(argc, argv);
+    }
     const Options o = parse(argc, argv);
     if (o.command == "compress") return cmd_compress(o);
     if (o.command == "decompress") return cmd_decompress(o);

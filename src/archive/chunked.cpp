@@ -107,14 +107,19 @@ Dims dims_from_extents(const size_t* extents, size_t rank) {
 /// dims when already known).  When `into` is non-empty the chunk is
 /// reconstructed directly into it (the strict decoder passes its slice
 /// of the output field); otherwise `own` is resized and filled.
-/// Returns the failure reason, or empty on success.
+/// Returns the failure reason, or empty on success.  When the failure
+/// was cryptographic (MAC mismatch, cipher rejection) `*crypto_failure`
+/// is set, so strict callers can surface a CryptoError instead of a
+/// generic CorruptError — a wrong tenant key and flipped archive bytes
+/// are different operator problems.
 template <typename T>
 std::string try_decode_chunk(const Frame& f, RuntimeCache& runtimes,
                              BufferPool* pool,
                              const std::optional<Dims>& field_dims,
                              std::span<T> into, std::vector<T>* own,
                              Dims& chunk_dims,
-                             PipelineMetrics* times = nullptr) {
+                             PipelineMetrics* times = nullptr,
+                             bool* crypto_failure = nullptr) {
   try {
     const core::Header h = core::peek_header(f.container);
     if (h.dims[0] != f.row_extent) return "container rows != frame rows";
@@ -146,6 +151,9 @@ std::string try_decode_chunk(const Frame& f, RuntimeCache& runtimes,
     if (times != nullptr) times->merge(r.times);
     chunk_dims = h.dims;
     return {};
+  } catch (const CryptoError& e) {
+    if (crypto_failure != nullptr) *crypto_failure = true;
+    return e.what();
   } catch (const Error& e) {
     return e.what();
   }
@@ -763,6 +771,7 @@ std::vector<T> decompress_chunked_impl(BytesView archive, BytesView key,
   const auto workers = make_worker_states(sched.thread_count(), key);
   struct ChunkDecode {
     std::string error;
+    bool crypto = false;
     PipelineMetrics times;
   };
   sched.run_ordered<ChunkDecode>(
@@ -776,13 +785,15 @@ std::vector<T> decompress_chunked_impl(BytesView archive, BytesView key,
         d.error = try_decode_chunk<T>(
             frames[i], workers[worker]->runtimes,
             &workers[worker]->scratch, index.dims, slice, nullptr,
-            chunk_dims, &d.times);
+            chunk_dims, &d.times, &d.crypto);
         return d;
       },
       [&](size_t i, ChunkDecode&& d) {
         if (!d.error.empty()) {
-          throw CorruptError("chunk " + std::to_string(i) + ": " +
-                             d.error);
+          const std::string msg =
+              "chunk " + std::to_string(i) + ": " + d.error;
+          if (d.crypto) throw CryptoError(msg);
+          throw CorruptError(msg);
         }
         if (config.metrics != nullptr) config.metrics->merge(d.times);
       });
@@ -824,6 +835,7 @@ ChunkedStreamDecodeResult decompress_chunked_stream(
   };
   struct ChunkDecode {
     std::string error;  ///< decode failure; framing errors throw instead
+    bool crypto = false;  ///< failure was a MAC/cipher rejection
     core::DecompressResult r;
   };
 
@@ -888,6 +900,9 @@ ChunkedStreamDecodeResult decompress_chunked_stream(
             d.r = core::codec::decode_payload(runtime.config(),
                                               f->container, opts);
           }
+        } catch (const CryptoError& ex) {
+          d.crypto = true;
+          d.error = ex.what();
         } catch (const Error& ex) {
           d.error = ex.what();
         }
@@ -896,7 +911,10 @@ ChunkedStreamDecodeResult decompress_chunked_stream(
       },
       [&](size_t i, ChunkDecode&& d) {
         if (!d.error.empty()) {
-          throw CorruptError("chunk " + std::to_string(i) + ": " + d.error);
+          const std::string msg =
+              "chunk " + std::to_string(i) + ": " + d.error;
+          if (d.crypto) throw CryptoError(msg);
+          throw CorruptError(msg);
         }
         if (!dtype_set) {
           res.dtype = d.r.dtype;

@@ -9,8 +9,11 @@
 #include <io.h>
 #else
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/mman.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/un.h>
 #include <unistd.h>
 #endif
 
@@ -307,9 +310,23 @@ void FdSink::write(BytesView data) {
     const auto n = ::_write(fd_, data.data() + done,
                             static_cast<unsigned>(data.size() - done));
 #else
+    // A socket whose peer hung up raises SIGPIPE from ::write before it
+    // can return EPIPE — fatal by default, which would let one vanished
+    // client kill a whole daemon.  send(MSG_NOSIGNAL) suppresses the
+    // signal per-call; non-socket fds answer ENOTSOCK once and drop to
+    // the plain write path for good (no extra syscall per chunk).
     ssize_t n;
     do {
-      n = ::write(fd_, data.data() + done, data.size() - done);
+      if (plain_write_) {
+        n = ::write(fd_, data.data() + done, data.size() - done);
+      } else {
+        n = ::send(fd_, data.data() + done, data.size() - done,
+                   MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK) {
+          plain_write_ = true;
+          n = ::write(fd_, data.data() + done, data.size() - done);
+        }
+      }
     } while (n < 0 && errno == EINTR);
 #endif
     if (n > 0) {
@@ -530,6 +547,127 @@ size_t MmapSource::read(std::span<uint8_t> out) {
   pos_ += n;
   return n;
 }
+
+// ---------------------------------------------------------------------
+// Sockets
+
+#ifndef _WIN32
+
+void OwnedFd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void OwnedFd::shutdown(int how) noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, how);
+}
+
+namespace {
+
+/// Fills a sockaddr_un for `path`, rejecting paths longer than the
+/// fixed sun_path field (a typed error beats silent truncation, which
+/// would bind/connect a different address).
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw IoError("unix socket path too long (" +
+                      std::to_string(path.size()) + " >= " +
+                      std::to_string(sizeof(addr.sun_path)) + "): " + path,
+                  ENAMETOOLONG);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+OwnedFd connect_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  OwnedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw errno_error("cannot create unix socket");
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    throw errno_error("cannot connect to " + path);
+  }
+}
+
+UnixListener::UnixListener(const std::string& path, int backlog)
+    : path_(path) {
+  const sockaddr_un addr = unix_address(path);
+  listen_fd_ = OwnedFd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!listen_fd_.valid()) throw errno_error("cannot create unix socket");
+  if (::bind(listen_fd_.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (errno != EADDRINUSE) throw errno_error("cannot bind " + path);
+    // A socket file already exists.  Live daemon => real error; stale
+    // file from a crashed predecessor (nobody accepts) => replace it.
+    try {
+      connect_unix(path);  // probe; the temp fd closes immediately
+      throw IoError("socket " + path + " is in use by a live listener",
+                    EADDRINUSE);
+    } catch (const IoError& e) {
+      if (e.error_code() == EADDRINUSE) throw;
+    }
+    ::unlink(path.c_str());
+    if (::bind(listen_fd_.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw errno_error("cannot bind " + path);
+    }
+  }
+  if (::listen(listen_fd_.get(), backlog) != 0) {
+    const IoError err = errno_error("cannot listen on " + path);
+    ::unlink(path.c_str());
+    throw err;
+  }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    const IoError err = errno_error("cannot create wake pipe");
+    ::unlink(path.c_str());
+    throw err;
+  }
+  wake_read_ = OwnedFd(pipe_fds[0]);
+  wake_write_ = OwnedFd(pipe_fds[1]);
+}
+
+UnixListener::~UnixListener() { ::unlink(path_.c_str()); }
+
+OwnedFd UnixListener::accept() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_.get(), POLLIN, 0},
+                     {wake_read_.get(), POLLIN, 0}};
+    const int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw errno_error("poll on " + path_);
+    }
+    // The wake pipe wins ties: once interrupt() fired, no further
+    // connection is accepted even if one is pending.
+    if ((fds[1].revents & (POLLIN | POLLHUP)) != 0) return OwnedFd();
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+      if (fd >= 0) return OwnedFd(fd);
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      throw errno_error("accept on " + path_);
+    }
+  }
+}
+
+void UnixListener::interrupt() noexcept {
+  // A single write(2): async-signal-safe, and the pipe is never drained
+  // so every subsequent accept() sees POLLIN immediately.
+  const uint8_t byte = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_write_.get(), &byte, 1);
+}
+
+#endif  // !_WIN32
 
 // ---------------------------------------------------------------------
 // FrameSpool

@@ -332,9 +332,11 @@ class FdSource final : public ByteSource {
 };
 
 /// Writes to a POSIX file descriptor (not closed on destruction); a
-/// failed ::write — EPIPE included — throws IoError.  stdout piping uses
+/// failed write — EPIPE included — throws IoError.  stdout piping uses
 /// FdSink(1).  EINTR is always retried; EAGAIN and zero-byte writes
 /// retry per `retry`, resuming from the bytes already accepted.
+/// Sockets are written with send(MSG_NOSIGNAL), so a peer hang-up is
+/// the documented IoError rather than a process-fatal SIGPIPE.
 class FdSink final : public ByteSink {
  public:
   explicit FdSink(int fd, RetryPolicy retry = {})
@@ -347,6 +349,7 @@ class FdSink final : public ByteSink {
  private:
   int fd_;
   RetryPolicy retry_;
+  bool plain_write_ = false;  ///< fd answered ENOTSOCK: not a socket
 };
 
 /// All-or-nothing file writes: bytes land in a same-directory temp file
@@ -608,6 +611,94 @@ class RetrySink final : public ByteSink {
   ByteSink& inner_;
   RetryPolicy policy_;
   uint64_t retries_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Sockets (POSIX-only, like MmapSource/AtomicFileSink)
+
+/// RAII owner of a POSIX file descriptor.  Moves transfer ownership;
+/// destruction closes.  The archive service's socket plumbing hands
+/// these around and reads/writes them through FdSource/FdSink — a
+/// connected socket IS a byte stream, so the whole codec stack serves
+/// it unchanged.
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  ~OwnedFd() { reset(); }
+
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.release()) {}
+  OwnedFd& operator=(OwnedFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Gives up ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes now (idempotent).
+  void reset() noexcept;
+
+  /// shutdown(2) — wakes a peer (or this process's own reader) blocked
+  /// in read() without closing the descriptor.  `how` is SHUT_RD /
+  /// SHUT_WR / SHUT_RDWR; errors are ignored (the fd may already be
+  /// half-closed).
+  void shutdown(int how) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to a Unix-domain stream socket at `path`.  Throws IoError
+/// carrying the OS errno (ENOENT when no daemon ever bound the path,
+/// ECONNREFUSED when one did but is gone) — callers surface the errno
+/// text, e.g. the CLI's exit-2 contract for "daemon not running".
+OwnedFd connect_unix(const std::string& path);
+
+/// A listening Unix-domain stream socket.  Binds `path` (replacing a
+/// stale socket file left by a crashed predecessor), listens, and
+/// accepts connections; the socket file is unlinked on destruction.
+/// accept() blocks but can be woken from another thread (or a signal
+/// handler, via the async-signal-safe interrupt() — it only calls
+/// write(2)) so a daemon can stop accepting without a poll timeout.
+class UnixListener {
+ public:
+  /// Binds and listens; throws IoError (with errno) on failure — an
+  /// EADDRINUSE from a *live* listener is reported, only genuinely
+  /// stale socket files are replaced.
+  explicit UnixListener(const std::string& path, int backlog = 64);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Blocks until a client connects (returning the connected fd) or
+  /// interrupt() is called (returning an invalid OwnedFd).  Throws
+  /// IoError on OS failure; EINTR is retried.
+  OwnedFd accept();
+
+  /// Wakes every current and future accept() call, making it return an
+  /// invalid fd.  Async-signal-safe and idempotent.
+  void interrupt() noexcept;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  OwnedFd listen_fd_;
+  OwnedFd wake_read_, wake_write_;  ///< self-pipe for interrupt()
 };
 
 // ---------------------------------------------------------------------

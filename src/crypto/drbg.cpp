@@ -67,7 +67,13 @@ std::array<uint8_t, 16> CtrDrbg::generate_key128() {
 }
 
 CtrDrbg& global_drbg() {
-  static CtrDrbg drbg = [] {
+  // One instance per thread: CtrDrbg is stateful (counter + key churn),
+  // and a process-wide instance shared across threads would race — two
+  // concurrent compressions could read the same counter and emit the
+  // SAME IV, i.e. CTR keystream reuse, not just a benign torn read.
+  // Independent per-thread seeding keeps IVs unique without a lock on
+  // every 16-byte draw.
+  thread_local CtrDrbg drbg = [] {
     std::random_device rd;
     std::array<uint8_t, 32> entropy;
     for (size_t i = 0; i < entropy.size(); i += 4) {

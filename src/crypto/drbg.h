@@ -50,10 +50,12 @@ class CtrDrbg {
   std::array<uint8_t, 16> counter_{};
 };
 
-/// Process-global DRBG used when callers don't supply one.  Seeded once
-/// from std::random_device.  Not cryptographically certified, but all
-/// security-relevant call sites accept an explicit CtrDrbg so applications
-/// can plug in a hardware-seeded instance.
+/// Ambient DRBG used when callers don't supply one: one instance per
+/// thread, each seeded from std::random_device on first use, so
+/// concurrent compressions never share (or race on) a counter stream.
+/// Not cryptographically certified, but all security-relevant call
+/// sites accept an explicit CtrDrbg so applications can plug in a
+/// hardware-seeded instance.
 CtrDrbg& global_drbg();
 
 }  // namespace szsec::crypto

@@ -1,0 +1,27 @@
+#include "service/client.h"
+
+#include <cerrno>
+
+namespace szsec::service {
+
+ServiceClient::ServiceClient(const std::string& socket_path)
+    : fd_(connect_unix(socket_path)), src_(fd_.get()), sink_(fd_.get()) {}
+
+JobResponse ServiceClient::submit(const JobRequest& req) {
+  write_frame(sink_, BytesView(encode_request(req)));
+  std::optional<Bytes> body = read_frame(src_, kResponseMagic);
+  if (!body) {
+    throw IoError("daemon closed the connection without responding",
+                  ECONNRESET);
+  }
+  return parse_response(BytesView(*body));
+}
+
+JobResponse ServiceClient::ping(BytesView payload) {
+  JobRequest req;
+  req.op = JobOp::kPing;
+  req.payload.assign(payload.begin(), payload.end());
+  return submit(req);
+}
+
+}  // namespace szsec::service

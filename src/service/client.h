@@ -1,0 +1,44 @@
+// Client side of the archive service protocol (`szsec_cli client`).
+//
+// One ServiceClient owns one connected Unix-domain socket and submits
+// jobs synchronously: write a request frame, block for the response
+// frame.  The connection is reusable for any number of sequential jobs;
+// concurrency comes from opening more clients (the daemon serves each
+// connection on its own handler and fans job bodies across its shared
+// pool).  Not thread-safe: one submitting thread per client.
+#pragma once
+
+#include <string>
+
+#include "common/io.h"
+#include "service/protocol.h"
+
+namespace szsec::service {
+
+class ServiceClient {
+ public:
+  /// Connects to the daemon at `socket_path`.  Throws IoError carrying
+  /// the OS errno — ENOENT when no daemon ever bound the path,
+  /// ECONNREFUSED when one did but is gone (the CLI's exit-2 contract
+  /// surfaces that text).
+  explicit ServiceClient(const std::string& socket_path);
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Submits one job and blocks for its response.  Throws IoError when
+  /// the daemon hangs up without responding, CorruptError on a
+  /// malformed response frame.  Typed job failures are NOT exceptions —
+  /// inspect JobResponse::status.
+  JobResponse submit(const JobRequest& req);
+
+  /// Liveness probe: round-trips `payload` through JobOp::kPing.
+  JobResponse ping(BytesView payload = {});
+
+ private:
+  OwnedFd fd_;
+  FdSource src_;
+  FdSink sink_;
+};
+
+}  // namespace szsec::service

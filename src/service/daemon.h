@@ -1,0 +1,177 @@
+// The szsec archive service daemon (`szsec_cli serve`).
+//
+// A long-running process accepting concurrent compress / decompress /
+// verify / salvage jobs from many clients over a Unix-domain socket
+// (protocol in service/protocol.h; normative layout in
+// docs/FORMATS.md).  Resource model:
+//
+//  * One shared parallel::ThreadPool executes every job body.  Each job
+//    runs its codec single-threaded (ChunkedConfig::threads = 1), so
+//    concurrency comes from many jobs in flight, never from nested
+//    pools.
+//  * One shared BufferPool recycles request/response frame buffers
+//    across connections, so steady-state frame handling performs no
+//    heap allocation.
+//  * Fairness: queued jobs are dispatched round-robin across tenants
+//    (FairTenantQueue) — a tenant flooding the queue cannot starve the
+//    others; it only queues behind itself.
+//  * Admission control: the total payload bytes of admitted-but-
+//    unfinished jobs are capped at ServiceConfig::
+//    admission_budget_bytes.  A job that would exceed the budget is
+//    rejected immediately with Status::kOverloaded (backpressure — the
+//    client should retry), keeping daemon memory bounded the same way
+//    the streaming codec bounds RSS by its in-flight window.
+//  * Keys: per-tenant master keys live in a TenantKeyring; every job
+//    uses an HKDF-derived data key bound to (tenant, key id), and the
+//    response records which id was used (service/keyring.h).
+//
+// Shutdown is a graceful drain: request_drain() (async-signal-safe —
+// callable straight from a SIGTERM handler) stops the accept loop,
+// half-closes every connection for reading so idle clients see EOF,
+// answers any not-yet-admitted request with Status::kDraining, and lets
+// every in-flight job finish and deliver its response before wait()
+// returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bufpool.h"
+#include "common/io.h"
+#include "parallel/thread_pool.h"
+#include "service/keyring.h"
+#include "service/protocol.h"
+
+namespace szsec::service {
+
+struct ServiceConfig {
+  /// Filesystem path of the Unix-domain listening socket.
+  std::string socket_path;
+  /// Shared pool workers (0 = parallel::default_thread_count()).
+  unsigned threads = 0;
+  /// In-flight payload byte budget for admission control.
+  uint64_t admission_budget_bytes = 256ull << 20;
+  /// Per-frame body cap (clamped to protocol kMaxFrameBytes).
+  uint64_t max_frame_bytes = kMaxFrameBytes;
+  /// v3 chunk count for compress jobs that leave `chunks` at 0.
+  uint64_t default_chunks = 4;
+};
+
+/// Monotonic counters (a snapshot; see ServiceDaemon::stats()).
+struct ServiceStats {
+  uint64_t connections_accepted = 0;
+  uint64_t jobs_completed = 0;  ///< responses delivered, any status
+  uint64_t jobs_rejected = 0;   ///< admission-control rejections
+  uint64_t peak_in_flight_bytes = 0;
+};
+
+/// Round-robin-fair multi-tenant job queue.  push() files a job under
+/// its tenant; pop() serves one job from the tenant at the head of the
+/// rotation, then rotates.  A tenant with a deep backlog therefore
+/// delays only itself — every other tenant gets a turn per cycle.
+/// pop() never blocks and must be called exactly once per push() (the
+/// daemon submits one pool ticket per pushed job).
+class FairTenantQueue {
+ public:
+  void push(const std::string& tenant, std::function<void()> job);
+
+  /// Takes one job, honoring the round-robin rotation.  Throws Error if
+  /// the queue is empty (a ticket/job mismatch — a daemon bug).
+  std::function<void()> pop();
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::deque<std::function<void()>>> queues_;
+  std::deque<std::string> order_;  ///< rotation of tenants with jobs
+};
+
+/// The daemon.  Construct, start(), then wait(); request_drain() from
+/// any thread or signal handler begins shutdown.  The destructor drains
+/// and joins if the caller has not already.
+class ServiceDaemon {
+ public:
+  ServiceDaemon(ServiceConfig config, TenantKeyring keyring);
+  ~ServiceDaemon();
+
+  ServiceDaemon(const ServiceDaemon&) = delete;
+  ServiceDaemon& operator=(const ServiceDaemon&) = delete;
+
+  /// Binds the socket and starts the accept loop.  Throws IoError when
+  /// the socket cannot be bound (e.g. a live daemon already owns it).
+  void start();
+
+  /// Begins a graceful drain.  Async-signal-safe (only atomics and
+  /// write(2)); idempotent.
+  void request_drain() noexcept;
+
+  /// Blocks until the drain completes: accept loop exited, every
+  /// connection closed, every in-flight job responded.
+  void wait();
+
+  /// request_drain() + wait().
+  void stop();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  ServiceStats stats() const;
+
+  /// The shared frame BufferPool (tests assert its high-water mark
+  /// stays within the admission budget).
+  BufferPool& buffer_pool() { return buffer_pool_; }
+
+  const std::string& socket_path() const { return config_.socket_path; }
+
+  /// Executes one job to completion on the calling thread (the shared
+  /// pool in production; tests may call it directly).  Never throws —
+  /// failures become typed Status values.
+  JobResponse run_job(JobRequest req);
+
+ private:
+  struct Connection {
+    std::thread thread;
+    std::atomic<int> fd{-1};  ///< for drain-time shutdown; -1 once closed
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void handle_connection(Connection* conn, OwnedFd fd);
+  void drain_connections() noexcept;
+  void reap_finished_locked();
+
+  bool try_admit(uint64_t cost);
+  void release_admission(uint64_t cost);
+
+  ServiceConfig config_;
+  TenantKeyring keyring_;
+  BufferPool buffer_pool_;
+  FairTenantQueue queue_;
+  std::unique_ptr<parallel::ThreadPool> pool_;
+  std::unique_ptr<UnixListener> listener_;
+  std::thread accept_thread_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::mutex admit_mu_;
+  uint64_t in_flight_bytes_ = 0;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> jobs_completed_{0};
+  std::atomic<uint64_t> jobs_rejected_{0};
+  std::atomic<uint64_t> peak_in_flight_bytes_{0};
+};
+
+}  // namespace szsec::service

@@ -1,0 +1,85 @@
+#include "service/keyring.h"
+
+#include "common/error.h"
+#include "crypto/sha256.h"
+
+namespace szsec::service {
+
+namespace {
+
+/// Domain-separation salt for every service data-key derivation.  A
+/// fixed, public salt is sound for HKDF (RFC 5869 Section 3.1) — the
+/// secrecy lives in the master key; the salt separates this use from
+/// any other HKDF consumer of the same master.
+constexpr char kDataKeySalt[] = "szsec/service/data-key/v1";
+
+}  // namespace
+
+uint64_t TenantKeyring::add_key(const std::string& tenant,
+                                BytesView master_key, uint64_t key_id) {
+  SZSEC_REQUIRE(!tenant.empty(), "tenant name must not be empty");
+  SZSEC_REQUIRE(!master_key.empty(), "master key must not be empty");
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantKeys& keys = tenants_[tenant];
+  uint64_t id = key_id;
+  if (id == 0) {
+    id = keys.masters.empty() ? 1 : keys.masters.rbegin()->first + 1;
+  }
+  SZSEC_REQUIRE(keys.masters.find(id) == keys.masters.end(),
+                "duplicate key id for tenant");
+  keys.masters.emplace(id, Bytes(master_key.begin(), master_key.end()));
+  if (id > keys.active) keys.active = id;
+  return id;
+}
+
+uint64_t TenantKeyring::rotate(const std::string& tenant,
+                               BytesView new_master) {
+  return add_key(tenant, new_master);
+}
+
+bool TenantKeyring::has_tenant(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.find(tenant) != tenants_.end();
+}
+
+uint64_t TenantKeyring::active_key_id(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.active;
+}
+
+size_t TenantKeyring::tenant_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
+}
+
+std::optional<DataKey> TenantKeyring::derive_data_key(
+    const std::string& tenant, uint64_t key_id, size_t key_bytes) const {
+  Bytes master;
+  uint64_t id = key_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) return std::nullopt;
+    if (id == 0) id = it->second.active;
+    const auto kit = it->second.masters.find(id);
+    if (kit == it->second.masters.end()) return std::nullopt;
+    master = kit->second;  // copy so HKDF runs outside the lock
+  }
+  // The info string binds tenant identity and key id into the derived
+  // key; two tenants sharing a master key (or one tenant's two ids)
+  // still get unrelated data keys.
+  const std::string info =
+      "szsec-data-key|tenant=" + tenant + "|id=" + std::to_string(id);
+  DataKey out;
+  out.key_id = id;
+  out.key = crypto::hkdf_sha256(
+      BytesView(master),
+      BytesView(reinterpret_cast<const uint8_t*>(kDataKeySalt),
+                sizeof(kDataKeySalt) - 1),
+      BytesView(reinterpret_cast<const uint8_t*>(info.data()), info.size()),
+      key_bytes);
+  return out;
+}
+
+}  // namespace szsec::service

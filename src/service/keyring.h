@@ -1,0 +1,85 @@
+// Per-tenant key management for the archive service.
+//
+// Each tenant registers one or more *master* keys, identified by a
+// monotonically increasing key id; the newest is the tenant's *active*
+// key.  Jobs never touch a master key directly: the daemon derives a
+// per-use *data* key with crypto::hkdf_sha256, binding the tenant name
+// and key id into the HKDF info string so no two (tenant, id) pairs can
+// ever derive the same data key — even from an identical master.  The
+// derivation is deterministic, so decompressing an archive only needs
+// the (tenant, key id) recorded in its job metadata, and rotating a
+// tenant means adding a new master (re-wrapping), not re-encrypting
+// existing archives: old ids keep deriving the old data keys.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/bytestream.h"
+
+namespace szsec::service {
+
+/// A derived per-job encryption key plus the master key id it came from
+/// (recorded in job metadata so the archive can be decrypted later).
+struct DataKey {
+  uint64_t key_id = 0;
+  Bytes key;
+};
+
+/// Thread-safe registry of tenant master keys.  All methods may be
+/// called concurrently; rotation during live traffic is safe (jobs that
+/// resolved key id 0 before the rotation finish under the old key, and
+/// their response reports which id was used).
+class TenantKeyring {
+ public:
+  TenantKeyring() = default;
+
+  /// Movable so a fully-populated keyring can be handed to the daemon;
+  /// the source must not be in concurrent use during the move.
+  TenantKeyring(TenantKeyring&& other) noexcept {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    tenants_ = std::move(other.tenants_);
+  }
+  TenantKeyring& operator=(TenantKeyring&&) = delete;
+  TenantKeyring(const TenantKeyring&) = delete;
+  TenantKeyring& operator=(const TenantKeyring&) = delete;
+
+  /// Registers a master key for `tenant`.  `key_id` 0 assigns the next
+  /// id (1 for a new tenant); the new key becomes the active one when
+  /// its id is the highest registered.  Throws Error on an empty tenant
+  /// name, an empty key, or a duplicate explicit id.
+  uint64_t add_key(const std::string& tenant, BytesView master_key,
+                   uint64_t key_id = 0);
+
+  /// Adds `new_master` under the next key id and makes it active.
+  /// Returns the new id.  Equivalent to add_key(tenant, new_master).
+  uint64_t rotate(const std::string& tenant, BytesView new_master);
+
+  bool has_tenant(const std::string& tenant) const;
+
+  /// The tenant's active (highest) key id, or 0 when unknown.
+  uint64_t active_key_id(const std::string& tenant) const;
+
+  size_t tenant_count() const;
+
+  /// Derives a `key_bytes`-byte data key for (tenant, key_id); id 0
+  /// selects the tenant's active key.  Returns nullopt when the tenant
+  /// or the id is not registered — the daemon maps that to
+  /// Status::kUnknownTenant, never to a crypto failure.
+  std::optional<DataKey> derive_data_key(const std::string& tenant,
+                                         uint64_t key_id,
+                                         size_t key_bytes) const;
+
+ private:
+  struct TenantKeys {
+    std::map<uint64_t, Bytes> masters;  ///< id -> master key
+    uint64_t active = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, TenantKeys> tenants_;
+};
+
+}  // namespace szsec::service

@@ -1,0 +1,163 @@
+// Wire protocol of the szsec archive service (szsec_cli serve/client).
+//
+// One TCP-style Unix-domain stream carries a sequence of independent
+// job exchanges: the client writes a request frame, the daemon writes
+// exactly one response frame, and the connection is then free for the
+// next request.  Frames are length-prefixed so either side can read a
+// whole message with two exact-length reads and never has to parse a
+// partial buffer:
+//
+//   frame:  u32 magic ("SZJQ" request / "SZJS" response)
+//           u64 body_len      -- bytes that follow, little-endian
+//           body_len x u8     -- serialized JobRequest / JobResponse
+//
+// Body layouts (every multi-byte integer little-endian, varint =
+// LEB128 as in common/bytestream.h; see docs/FORMATS.md for the
+// normative spec):
+//
+//   request body:
+//     u8  protocol version (= kProtocolVersion)
+//     u8  op                       (JobOp)
+//     varint tenant_len | tenant   (UTF-8 tenant id; empty = untenanted,
+//                                   only valid for unencrypted jobs)
+//     varint key_id                (0 = the tenant's active key)
+//     u8  scheme | u8 cipher mode | u8 flags (bit0 = authenticate)
+//     u8  dtype (0 = f32, 1 = f64) | u8 rank
+//     rank x varint dims           (compress only; rank 0 otherwise)
+//     u64 error-bound bits         (IEEE-754 f64 bit pattern)
+//     varint chunks                (compress: v3 chunk count, 0 = daemon
+//                                   default)
+//     varint payload_len | payload (compress: raw little-endian element
+//                                   bytes; decompress/verify/salvage:
+//                                   archive bytes; ping: echoed opaquely)
+//
+//   response body:
+//     u8  protocol version
+//     u8  status                   (Status)
+//     varint detail_len | detail   (human-readable; error text, or
+//                                   summary metadata on success)
+//     varint key_id                (key id actually used; 0 = none)
+//     varint raw_bytes             (element bytes in/out; op-dependent)
+//     varint archive_bytes         (archive bytes out/in; op-dependent)
+//     varint payload_len | payload (compress: archive; decompress/
+//                                   salvage: element bytes; verify:
+//                                   empty; ping: the echoed request
+//                                   payload)
+//
+// Every field of an incoming frame is untrusted: lengths are capped
+// (kMaxFrameBytes and the daemon's admission budget), enum values are
+// range-checked, and a malformed body is CorruptError — never an
+// out-of-bounds read.  A frame whose magic does not match is rejected
+// before any length is believed.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bufpool.h"
+#include "common/bytestream.h"
+#include "common/dims.h"
+#include "common/io.h"
+#include "core/scheme.h"
+#include "crypto/cipher.h"
+#include "sz/params.h"
+
+namespace szsec::service {
+
+inline constexpr uint32_t kRequestMagic = 0x514A5A53;   // "SZJQ"
+inline constexpr uint32_t kResponseMagic = 0x534A5A53;  // "SZJS"
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Hard ceiling on any frame body this implementation will read;
+/// daemons enforce their (smaller) admission budget on top.
+inline constexpr uint64_t kMaxFrameBytes = 1ull << 30;
+
+/// Longest tenant id accepted on the wire.
+inline constexpr size_t kMaxTenantBytes = 256;
+
+/// Job kinds the daemon executes.
+enum class JobOp : uint8_t {
+  kPing = 0,        ///< liveness probe; payload echoed back
+  kCompress = 1,    ///< raw elements -> v3 chunked archive
+  kDecompress = 2,  ///< archive (v2 or v3) -> raw elements
+  kVerify = 3,      ///< read-only integrity scan (archive/verify.h)
+  kSalvage = 4,     ///< best-effort decode of a damaged archive
+};
+
+const char* to_string(JobOp op);
+
+/// Response status.  kOk means the job ran to completion; every other
+/// value is typed so clients can branch without parsing detail text.
+enum class Status : uint8_t {
+  kOk = 0,
+  kDataError = 1,      ///< corrupt archive / damaged chunks (szsec::Error)
+  kCryptoError = 2,    ///< decryption or MAC failure — wrong key or
+                       ///< wrong tenant, never silently wrong data
+  kBadRequest = 3,     ///< malformed or inconsistent request fields
+  kOverloaded = 4,     ///< admission control rejected the job; the byte
+                       ///< budget is full — back off and retry
+  kDraining = 5,       ///< daemon is shutting down; no new jobs
+  kUnknownTenant = 6,  ///< tenant or key id absent from the keyring
+  kInternalError = 7,  ///< unexpected daemon-side failure
+};
+
+const char* to_string(Status s);
+
+/// One job submission (see the file comment for the wire layout).
+struct JobRequest {
+  JobOp op = JobOp::kPing;
+  std::string tenant;
+  uint64_t key_id = 0;  ///< 0 = tenant's active key
+  core::Scheme scheme = core::Scheme::kEncrHuffman;
+  crypto::Mode mode = crypto::Mode::kCbc;
+  bool authenticate = false;
+  sz::DType dtype = sz::DType::kFloat32;
+  Dims dims;            ///< compress only (rank >= 1)
+  bool have_dims = false;
+  double error_bound = 1e-4;
+  uint64_t chunks = 0;  ///< compress: v3 chunk count (0 = daemon default)
+  Bytes payload;
+};
+
+/// One job outcome.
+struct JobResponse {
+  Status status = Status::kInternalError;
+  std::string detail;
+  uint64_t key_id = 0;
+  uint64_t raw_bytes = 0;
+  uint64_t archive_bytes = 0;
+  Bytes payload;
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+/// Serializes `req` into a complete frame (magic + length + body).
+Bytes encode_request(const JobRequest& req);
+
+/// Serializes `resp` into a complete frame.
+Bytes encode_response(const JobResponse& resp);
+
+/// Parses a request body (the bytes after magic + length).  Throws
+/// CorruptError on any malformed field.
+JobRequest parse_request(BytesView body);
+
+/// Parses a response body.  Throws CorruptError on malformed input.
+JobResponse parse_response(BytesView body);
+
+/// Reads one complete frame body from `in`: checks the magic, caps the
+/// length at min(kMaxFrameBytes, `max_body_bytes` when non-zero), and
+/// loops until body_len bytes arrived.  Returns nullopt on a clean end
+/// of stream BEFORE the first magic byte (the peer hung up between
+/// exchanges — not an error); throws CorruptError on a bad magic, an
+/// oversized length, or a stream that ends mid-frame.  The body buffer
+/// is acquired from `pool` when one is supplied (the daemon recycles
+/// request buffers through its shared BufferPool).
+std::optional<Bytes> read_frame(ByteSource& in, uint32_t expected_magic,
+                                uint64_t max_body_bytes = 0,
+                                BufferPool* pool = nullptr);
+
+/// Writes a complete frame (already produced by encode_*) to `out` and
+/// flushes.
+void write_frame(ByteSink& out, BytesView frame);
+
+}  // namespace szsec::service

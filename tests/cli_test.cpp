@@ -8,12 +8,14 @@
 #include <sys/wait.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/io.h"
@@ -576,6 +578,177 @@ TEST_F(CliTest, InfoJsonIsMachineReadable) {
       << j2.output;
   EXPECT_NE(j2.output.find("\"seekable\": false"), std::string::npos)
       << j2.output;
+}
+
+// --- Archive service: serve / client ---------------------------------------
+//
+// These spawn a real `szsec_cli serve` daemon in the background, poll
+// its log for the ready line (printed and flushed only once the socket
+// is bound and the accept loop is live), drive it with `szsec_cli
+// client`, and tear it down with the documented SIGTERM drain.
+
+class CliServiceTest : public CliTest {
+ protected:
+  void TearDown() override {
+    if (fs::exists(p("serve.pid"))) stop_daemon();
+    CliTest::TearDown();
+  }
+
+  void start_daemon(const std::string& extra = "") {
+    socket_ = p("svc.sock").string();
+    const std::string cmd =
+        std::string(SZSEC_CLI_PATH) + " serve " + socket_ +
+        " --tenant acme=" + kKeyHex + " --tenant globex=" + kWrongKeyHex +
+        " --threads 2" + extra + " > " + p("serve.log").string() +
+        " 2>&1 & echo $! > " + p("serve.pid").string();
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    for (int tries = 0; tries < 400; ++tries) {
+      if (slurp_log("serve.log").find("listening on") != std::string::npos) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    FAIL() << "daemon never became ready: " << slurp_log("serve.log");
+  }
+
+  // SIGTERM, then wait for the process to exit (pid file is written by
+  // the spawning shell; the daemon prints its drain stats on the way
+  // out).  Safe to call twice — a dead pid just fails the signal.
+  void stop_daemon() {
+    std::system(("kill -TERM $(cat " + p("serve.pid").string() +
+                 ") 2>/dev/null")
+                    .c_str());
+    for (int tries = 0; tries < 400; ++tries) {
+      const std::string alive = "kill -0 $(cat " + p("serve.pid").string() +
+                                ") 2>/dev/null";
+      if (std::system(alive.c_str()) != 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    fs::remove(p("serve.pid"));
+  }
+
+  std::string slurp_log(const std::string& name) const {
+    std::ifstream in(p(name));
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  std::string socket_;
+};
+
+TEST_F(CliServiceTest, ClientRoundTripThroughDaemon) {
+  start_daemon();
+  const size_t n = 20 * 24;
+  const std::vector<float> field = wave_field(n);
+  data::save_f32(p("in.bin").string(), field);
+
+  const RunResult c = run_cli(
+      "client " + socket_ + " compress " + p("in.bin").string() + " " +
+          p("arch.szs").string() +
+          " --tenant acme --dims 20,24 --eb 1e-3 --auth --chunks 3",
+      p("c.log"));
+  ASSERT_EQ(c.exit_code, 0) << c.output;
+  EXPECT_NE(c.output.find("compress: ok"), std::string::npos) << c.output;
+  EXPECT_NE(c.output.find("key id 1"), std::string::npos) << c.output;
+
+  const RunResult v = run_cli("client " + socket_ + " verify " +
+                                  p("arch.szs").string() + " --tenant acme",
+                              p("v.log"));
+  ASSERT_EQ(v.exit_code, 0) << v.output;
+  EXPECT_NE(v.output.find("verify: ok"), std::string::npos) << v.output;
+
+  const RunResult d = run_cli("client " + socket_ + " decompress " +
+                                  p("arch.szs").string() + " " +
+                                  p("back.bin").string() + " --tenant acme",
+                              p("d.log"));
+  ASSERT_EQ(d.exit_code, 0) << d.output;
+
+  const std::vector<float> back = data::load_f32(p("back.bin").string());
+  ASSERT_EQ(back.size(), field.size());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_LE(std::abs(back[i] - field[i]), kEb) << "element " << i;
+  }
+  stop_daemon();
+  EXPECT_NE(slurp_log("serve.log").find("drained:"), std::string::npos);
+}
+
+TEST_F(CliServiceTest, ClientExitCodesFollowContract) {
+  start_daemon();
+  const std::vector<float> field = wave_field(16 * 16);
+  data::save_f32(p("in.bin").string(), field);
+
+  ASSERT_EQ(run_cli("client " + socket_ + " compress " + p("in.bin").string() +
+                        " " + p("arch.szs").string() +
+                        " --tenant acme --dims 16,16 --eb 1e-3 --auth",
+                    p("c.log"))
+                .exit_code,
+            0);
+
+  // Unregistered tenant: typed rejection, exit 1 (key failure class).
+  const RunResult ghost = run_cli("client " + socket_ + " decompress " +
+                                      p("arch.szs").string() + " " +
+                                      p("g.bin").string() + " --tenant ghost",
+                                  p("g.log"));
+  EXPECT_EQ(ghost.exit_code, 1) << ghost.output;
+  EXPECT_NE(ghost.output.find("unknown-tenant"), std::string::npos)
+      << ghost.output;
+  EXPECT_FALSE(fs::exists(p("g.bin")));  // no output on failure
+
+  // Registered tenant, wrong key: authenticated decrypt fails typed,
+  // same exit class.
+  const RunResult wrong = run_cli("client " + socket_ + " decompress " +
+                                      p("arch.szs").string() + " " +
+                                      p("w.bin").string() + " --tenant globex",
+                                  p("w.log"));
+  EXPECT_EQ(wrong.exit_code, 1) << wrong.output;
+  EXPECT_NE(wrong.output.find("crypto-error"), std::string::npos)
+      << wrong.output;
+
+  // Malformed job (no dims): the daemon answers bad-request, exit 2.
+  const RunResult bad = run_cli("client " + socket_ + " compress " +
+                                    p("in.bin").string() + " " +
+                                    p("b.szs").string() + " --tenant acme",
+                                p("b.log"));
+  EXPECT_EQ(bad.exit_code, 2) << bad.output;
+  EXPECT_NE(bad.output.find("bad-request"), std::string::npos) << bad.output;
+  stop_daemon();
+}
+
+TEST_F(CliServiceTest, ClientWithoutDaemonExitsTwo) {
+  // No daemon was ever started on this path: connect fails with the
+  // errno text and the operational exit code — distinguishable from a
+  // daemon that answered with a typed error.
+  const RunResult r = run_cli(
+      "client " + p("nothing.sock").string() + " ping", p("n.log"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("cannot connect"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("No such file or directory"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliServiceTest, ServeDrainsCleanlyOnSigterm) {
+  // One shell owns the whole lifecycle so `wait` can capture the
+  // daemon's real exit code after SIGTERM.
+  const std::string script =
+      std::string("szs='") + SZSEC_CLI_PATH + "'; sock='" +
+      p("d.sock").string() + "'; log='" + p("serve.log").string() +
+      "'; "
+      "\"$szs\" serve \"$sock\" --tenant acme=" +
+      kKeyHex +
+      " --threads 2 > \"$log\" 2>&1 & pid=$!; "
+      "for i in $(seq 1 400); do grep -q 'listening on' \"$log\" 2>/dev/null "
+      "&& break; sleep 0.01; done; "
+      "\"$szs\" client \"$sock\" ping > /dev/null 2>&1; "
+      "kill -TERM $pid; wait $pid";
+  // std::system already runs through sh -c: the script's exit status is
+  // `wait $pid`, i.e. the daemon's own exit code after the drain.
+  const int status = std::system(script.c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << slurp_log("serve.log");
+  const std::string log = slurp_log("serve.log");
+  EXPECT_NE(log.find("drained:"), std::string::npos) << log;
+  EXPECT_NE(log.find("1 jobs (0 rejected)"), std::string::npos) << log;
 }
 
 }  // namespace

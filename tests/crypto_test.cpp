@@ -3,17 +3,20 @@
 // remaining tests cover padding, tamper detection, and the DRBG.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 #include "common/hex.h"
 #include "crypto/aes.h"
 #include "crypto/drbg.h"
 #include "crypto/modes.h"
+#include "crypto/sha256.h"
 
 namespace szsec::crypto {
 namespace {
 
 Bytes H(const std::string& hex) { return from_hex(hex); }
+Bytes S(const std::string& s) { return Bytes(s.begin(), s.end()); }
 
 // --- FIPS-197 Appendix C block cipher vectors ------------------------------
 
@@ -320,6 +323,91 @@ TEST(Drbg, GlobalInstanceWorks) {
   const Iv iv1 = global_drbg().generate_iv();
   const Iv iv2 = global_drbg().generate_iv();
   EXPECT_NE(iv1, iv2);
+}
+
+// --- RFC 5869 Appendix A HKDF-SHA256 vectors -------------------------------
+//
+// The service's envelope-key scheme (per-tenant data keys derived from
+// master keys) leans entirely on this primitive, so all three official
+// test cases are pinned here: basic (case 1), long inputs spanning
+// multiple expand blocks (case 2), and zero-length salt/info (case 3).
+
+TEST(HkdfKat, Rfc5869Case1Basic) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = H("000102030405060708090a0b0c");
+  const Bytes info = H("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm =
+      hkdf_sha256(BytesView(ikm), BytesView(salt), BytesView(info), 42);
+  EXPECT_EQ(to_hex(BytesView(okm)),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(HkdfKat, Rfc5869Case2LongInputs) {
+  // 80-byte ikm/salt/info and an 82-byte okm: exercises T(1)..T(4)
+  // chaining in the expand step, which case 1 never reaches.
+  Bytes ikm(80), salt(80), info(80);
+  for (size_t i = 0; i < 80; ++i) {
+    ikm[i] = static_cast<uint8_t>(i);
+    salt[i] = static_cast<uint8_t>(0x60 + i);
+    info[i] = static_cast<uint8_t>(0xb0 + i);
+  }
+  const Bytes okm =
+      hkdf_sha256(BytesView(ikm), BytesView(salt), BytesView(info), 82);
+  EXPECT_EQ(to_hex(BytesView(okm)),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"
+            "59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71"
+            "cc30c58179ec3e87c14c01d5c1f3434f1d87");
+}
+
+TEST(HkdfKat, Rfc5869Case3EmptySaltAndInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf_sha256(BytesView(ikm), {}, {}, 42);
+  EXPECT_EQ(to_hex(BytesView(okm)),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(HkdfKat, DerivationIsDeterministic) {
+  // The archive service re-derives a tenant's data key on every job
+  // from (master, salt, info); any nondeterminism here would make
+  // previously written archives undecryptable.
+  const Bytes ikm = H("000102030405060708090a0b0c0d0e0f");
+  const Bytes salt = Bytes{'s', 'z', 's', 'e', 'c'};
+  const Bytes info = Bytes{'t', 'e', 'n', 'a', 'n', 't', '1'};
+  const Bytes a =
+      hkdf_sha256(BytesView(ikm), BytesView(salt), BytesView(info), 16);
+  const Bytes b =
+      hkdf_sha256(BytesView(ikm), BytesView(salt), BytesView(info), 16);
+  EXPECT_EQ(a, b);
+  // A shorter request is a strict prefix of a longer one (RFC 5869
+  // expand structure) — truncating a derived key never re-keys it.
+  const Bytes longer =
+      hkdf_sha256(BytesView(ikm), BytesView(salt), BytesView(info), 64);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), longer.begin()));
+}
+
+TEST(HkdfKat, DistinctInfoSeparatesKeys) {
+  // Domain separation: the info string carries (tenant, key id), so
+  // every coordinate change must produce an unrelated key even when
+  // master and salt are identical.
+  const Bytes ikm = H("202122232425262728292a2b2c2d2e2f");
+  const Bytes salt = Bytes{'s', 'a', 'l', 't'};
+  const auto derive = [&](const std::string& info) {
+    const Bytes i(info.begin(), info.end());
+    return hkdf_sha256(BytesView(ikm), BytesView(salt), BytesView(i), 32);
+  };
+  const Bytes t1k1 = derive("szsec-data-key|tenant=acme|id=1");
+  const Bytes t1k2 = derive("szsec-data-key|tenant=acme|id=2");
+  const Bytes t2k1 = derive("szsec-data-key|tenant=globex|id=1");
+  EXPECT_NE(t1k1, t1k2);
+  EXPECT_NE(t1k1, t2k1);
+  EXPECT_NE(t1k2, t2k1);
+  // And the salt separates deployments sharing an info convention.
+  const Bytes other_salt = Bytes{'S', 'A', 'L', 'T'};
+  const Bytes i = S("szsec-data-key|tenant=acme|id=1");
+  EXPECT_NE(t1k1, hkdf_sha256(BytesView(ikm), BytesView(other_salt),
+                              BytesView(i), 32));
 }
 
 }  // namespace
