@@ -5,6 +5,7 @@
 //             [--scheme none|cmpr-encr|encr-quant|encr-huffman]
 //             [--key <hex 16/24/32 bytes> | --password <string>]
 //             [--mode cbc|ctr] [--chunks N] [--threads N]
+//             [--drbg-seed S]
 //   szsec_cli decompress <in.szs> <out.bin> [--key <hex> | --password <s>]
 //             [--threads N]
 //   szsec_cli extract    <in.szs> <out.bin> --range A:B | --roi o0,o1[,o2]:n0,n1[,n2]
@@ -50,6 +51,13 @@
 // iterations, fixed application salt) — convenient for interactive use;
 // supply a random --key for production.
 //
+// compress and decompress run through the sans-io context
+// (core/sansio.h): the codec sees only byte spans, and the CLI owns
+// every transport concern — retry, pipes, atomic file commit.
+// --drbg-seed S seeds the IV generator, making compressed output a
+// pure function of (flags, key, field bytes) — the CI golden-container
+// replays pin exact archive SHA-256s through this flag.
+//
 // Input .bin files are raw little-endian float32 (SDRBench layout).
 //
 // `extract` is random access: it opens a v3 chunked archive through
@@ -87,7 +95,7 @@
 #include "common/bytestream.h"
 #include "common/hex.h"
 #include "common/io.h"
-#include "core/secure_compressor.h"
+#include "core/sansio.h"
 #include "crypto/sha256.h"
 #include "data/io.h"
 #include "service/client.h"
@@ -108,6 +116,7 @@ struct Options {
   bool auth = false;     // append an HMAC-SHA256 tag to each container
   size_t chunks = 0;     // >0: write a v3 chunked archive
   unsigned threads = 1;  // chunked codec workers (1 = serial)
+  std::optional<uint64_t> drbg_seed;  // --drbg-seed: reproducible IVs
   bool json = false;     // info: machine-readable output
   bool have_range = false;
   uint64_t range_lo = 0, range_hi = 0;   // extract --range (half-open)
@@ -122,7 +131,7 @@ struct Options {
       "  szsec_cli compress <in.bin> <out.szs> --dims Z,Y,X --eb 1e-4\n"
       "            [--scheme none|cmpr-encr|encr-quant|encr-huffman]\n"
       "            [--key <hex>] [--mode cbc|ctr] [--auth]\n"
-      "            [--chunks N] [--threads N]\n"
+      "            [--chunks N] [--threads N] [--drbg-seed S]\n"
       "  szsec_cli decompress <in.szs> <out.bin> [--key <hex>]\n"
       "            [--threads N]\n"
       "  szsec_cli extract <in.szs> <out.bin> --range A:B |\n"
@@ -249,6 +258,12 @@ Options parse(int argc, char** argv) {
     } else if (arg == "--chunks") {
       o.chunks = std::stoull(next());
       if (o.chunks == 0) usage("--chunks must be >= 1");
+    } else if (arg == "--drbg-seed") {
+      try {
+        o.drbg_seed = std::stoull(next(), nullptr, 0);
+      } catch (const std::exception&) {
+        usage("--drbg-seed takes an unsigned integer (decimal or 0x hex)");
+      }
     } else if (arg == "--threads") {
       const long t = std::stol(next());
       if (t < 1) usage("--threads must be >= 1");
@@ -357,6 +372,47 @@ Bytes slurp(ByteSource& src) {
   return out;
 }
 
+/// Pumps a sans-io Context between a ByteSource and a ByteSink.  The
+/// Context never sees a file descriptor: the CLI reads, feeds, pulls,
+/// and writes, so every transport concern (retry, atomic commit,
+/// pipes) stays on this side of the API.
+sansio::Result run_context(sansio::Context& ctx, ByteSource& in,
+                           ByteSink& out) {
+  Bytes ibuf(size_t{1} << 16), obuf(size_t{1} << 16);
+  size_t have = 0, off = 0;
+  bool in_eof = false, finished = false;
+  for (;;) {
+    switch (ctx.status()) {
+      case sansio::Status::kHaveOutput: {
+        size_t produced = 0;
+        ctx.pull(std::span<uint8_t>(obuf.data(), obuf.size()), produced);
+        out.write(BytesView(obuf.data(), produced));
+        break;
+      }
+      case sansio::Status::kNeedInput: {
+        if (off == have && !in_eof) {
+          have = in.read(std::span<uint8_t>(ibuf.data(), ibuf.size()));
+          off = 0;
+          if (have == 0) in_eof = true;
+        }
+        if (in_eof) {
+          if (!finished) {
+            finished = true;
+            ctx.finish();
+          }
+        } else {
+          size_t consumed = 0;
+          ctx.feed(BytesView(ibuf.data() + off, have - off), consumed);
+          off += consumed;
+        }
+        break;
+      }
+      case sansio::Status::kDone:
+        return ctx.result();
+    }
+  }
+}
+
 int cmd_compress(const Options& o) {
   if (!o.have_dims) usage("compress requires --dims");
   if (o.scheme != core::Scheme::kNone && o.key.empty()) {
@@ -364,96 +420,100 @@ int cmd_compress(const Options& o) {
   }
   const bool to_stdout = o.output == "-";
   std::FILE* report = to_stdout ? stderr : stdout;
-  sz::Params params;
-  params.abs_error_bound = o.eb;
 
-  if (o.chunks > 0) {
-    // Streaming path: chunks are pulled from the input and frames are
-    // committed to the output in index order — the field is never whole
-    // in memory.  A regular file's size is still checked up front so a
-    // wrong --dims fails before any work.
-    if (o.input != "-") {
-      std::ifstream f(o.input, std::ios::binary | std::ios::ate);
-      if (f.good()) {
-        const auto bytes = static_cast<uint64_t>(f.tellg());
-        if (bytes != o.dims.count() * sizeof(float)) {
-          std::fprintf(stderr,
-                       "error: file has %llu floats but dims %s = %zu\n",
-                       static_cast<unsigned long long>(bytes / 4),
-                       o.dims.to_string().c_str(), o.dims.count());
-          return 1;
-        }
+  // A regular file's size is checked up front so a wrong --dims fails
+  // before any work (pipes cannot be sized; a short pipe surfaces as
+  // an IoError from the context instead).
+  if (o.input != "-") {
+    std::ifstream f(o.input, std::ios::binary | std::ios::ate);
+    if (f.good()) {
+      const auto bytes = static_cast<uint64_t>(f.tellg());
+      if (bytes != o.dims.count() * sizeof(float)) {
+        std::fprintf(stderr,
+                     "error: file has %llu floats but dims %s = %zu\n",
+                     static_cast<unsigned long long>(bytes / 4),
+                     o.dims.to_string().c_str(), o.dims.count());
+        return 1;
       }
     }
-    archive::ChunkedConfig config;
-    config.chunks = o.chunks;
-    config.threads = o.threads;
-    archive::ChunkedStreamResult r;
-    {
-      std::unique_ptr<ByteSource> in;
-      if (o.input == "-") {
-        in = std::make_unique<FdSource>(0, cli_retry());
-      } else {
-        in = std::make_unique<FileSource>(o.input, cli_retry());
-      }
-      Output out = open_output(o.output);
-      r = archive::compress_chunked_stream(
-          *in, *out.sink, sz::DType::kFloat32, o.dims, params, o.scheme,
-          BytesView(o.key),
-          core::CipherSpec{crypto::CipherKind::kAes128, o.mode, o.auth},
-          config);
-      out.commit();
-    }
-    std::fprintf(report,
-                 "%s: %llu -> %llu bytes (%.2fx), scheme %s, eb %g, "
-                 "%zu chunks, %u threads\n",
-                 o.output.c_str(),
-                 static_cast<unsigned long long>(r.stats.raw_bytes),
-                 static_cast<unsigned long long>(r.archive_bytes),
-                 r.stats.compression_ratio(), core::scheme_name(o.scheme),
-                 o.eb, r.chunk_count, o.threads);
-    print_stage_metrics(report, "stages (summed over chunks):", r.times);
-    return 0;
   }
 
-  // v2 single container: the stage chain needs the whole field, so load
-  // it; the finished container still goes out through a ByteSink.
-  std::vector<float> values;
-  if (o.input == "-") {
-    FdSource src(0);
-    const Bytes raw = slurp(src);
+  sansio::EncoderConfig ec;
+  ec.params.abs_error_bound = o.eb;
+  ec.scheme = o.scheme;
+  ec.spec = core::CipherSpec{crypto::CipherKind::kAes128, o.mode, o.auth};
+  ec.key = o.key;
+  ec.dims = o.dims;
+  ec.drbg_seed = o.drbg_seed;
+  if (o.chunks > 0) {
+    ec.container = sansio::Container::kV3Chunked;
+    ec.chunks = o.chunks;
+    ec.threads = o.threads;
+  }
+  auto ctx = sansio::Context::encoder(std::move(ec));
+
+  sansio::Result r;
+  if (o.chunks > 0) {
+    // Streaming path: chunks flow input -> context -> output with
+    // memory bounded by the scheduler's in-flight window.
+    std::unique_ptr<ByteSource> in;
+    if (o.input == "-") {
+      in = std::make_unique<FdSource>(0, cli_retry());
+    } else {
+      in = std::make_unique<FileSource>(o.input, cli_retry());
+    }
+    Output out = open_output(o.output);
+    r = run_context(*ctx, *in, *out.sink);
+    out.commit();
+  } else {
+    // v2 single container: one-shot format, so the field is loaded and
+    // size-checked first (stdin included — the historical exit-1
+    // contract for a --dims mismatch predates the sans-io core).
+    Bytes raw;
+    if (o.input == "-") {
+      FdSource src(0);
+      raw = slurp(src);
+    } else {
+      FileSource src(o.input, cli_retry());
+      raw = slurp(src);
+    }
     if (raw.size() % sizeof(float) != 0) {
       std::fprintf(stderr,
                    "error: stdin carried %zu bytes, not a multiple of 4\n",
                    raw.size());
       return 1;
     }
-    values.resize(raw.size() / sizeof(float));
-    std::memcpy(values.data(), raw.data(), raw.size());
-  } else {
-    values = data::load_f32(o.input);
-  }
-  if (values.size() != o.dims.count()) {
-    std::fprintf(stderr, "error: file has %zu floats but dims %s = %zu\n",
-                 values.size(), o.dims.to_string().c_str(),
-                 o.dims.count());
-    return 1;
-  }
-  const core::SecureCompressor c(
-      params, o.scheme, BytesView(o.key),
-      core::CipherSpec{crypto::CipherKind::kAes128, o.mode, o.auth});
-  const core::CompressResult r =
-      c.compress(std::span<const float>(values), o.dims);
-  {
+    if (raw.size() / sizeof(float) != o.dims.count()) {
+      std::fprintf(stderr, "error: file has %zu floats but dims %s = %zu\n",
+                   raw.size() / sizeof(float), o.dims.to_string().c_str(),
+                   o.dims.count());
+      return 1;
+    }
+    MemorySource src{BytesView(raw)};
     Output out = open_output(o.output);
-    out.sink->write(BytesView(r.container));
+    r = run_context(*ctx, src, *out.sink);
     out.commit();
   }
-  std::fprintf(report, "%s: %zu -> %zu bytes (%.2fx), scheme %s, eb %g\n",
-               o.output.c_str(), values.size() * 4, r.container.size(),
-               r.stats.compression_ratio(), core::scheme_name(o.scheme),
-               o.eb);
-  print_stage_metrics(report, "stages:", r.times);
+
+  if (o.chunks > 0) {
+    std::fprintf(report,
+                 "%s: %llu -> %llu bytes (%.2fx), scheme %s, eb %g, "
+                 "%zu chunks, %u threads\n",
+                 o.output.c_str(),
+                 static_cast<unsigned long long>(r.stats.raw_bytes),
+                 static_cast<unsigned long long>(r.bytes_out),
+                 r.stats.compression_ratio(), core::scheme_name(o.scheme),
+                 o.eb, r.chunk_count, o.threads);
+    print_stage_metrics(report, "stages (summed over chunks):", r.times);
+  } else {
+    std::fprintf(report, "%s: %llu -> %llu bytes (%.2fx), scheme %s, eb %g\n",
+                 o.output.c_str(),
+                 static_cast<unsigned long long>(r.bytes_in),
+                 static_cast<unsigned long long>(r.bytes_out),
+                 r.stats.compression_ratio(), core::scheme_name(o.scheme),
+                 o.eb);
+    print_stage_metrics(report, "stages:", r.times);
+  }
   return 0;
 }
 
@@ -463,62 +523,72 @@ int cmd_decompress(const Options& o) {
   const std::unique_ptr<ByteSource> in = open_input(o.input);
 
   // Sniff the magic, then replay it in front of the remaining stream —
-  // pipes cannot seek back.
+  // pipes cannot seek back.  (The sans-io decoder sniffs again itself;
+  // the CLI only needs the kind for the "supply --key" usage check and
+  // the report wording.)
   uint8_t head[sizeof(uint32_t)] = {};
   const size_t head_len = read_full(*in, std::span<uint8_t>(head));
   SZSEC_CHECK_FORMAT(head_len == sizeof(head),
                      "input too short for any container");
 
-  if (is_chunked_magic(BytesView(head, sizeof(head)))) {
+  sansio::DecoderConfig dc;
+  dc.key = o.key;
+  dc.threads = o.threads;
+
+  sansio::Result r;
+  const bool chunked = is_chunked_magic(BytesView(head, sizeof(head)));
+  if (chunked) {
     // v3 chunked archives stream: frames in, elements out, in index
     // order, with memory bounded by the in-flight window.
+    auto ctx = sansio::Context::decoder(std::move(dc));
     ConcatSource full(BytesView(head, sizeof(head)), *in);
-    archive::ChunkedConfig config;
-    config.threads = o.threads;
-    PipelineMetrics metrics;
-    config.metrics = &metrics;
-    archive::ChunkedStreamDecodeResult r;
-    {
-      Output out = open_output(o.output);
-      r = archive::decompress_chunked_stream(full, *out.sink,
-                                             BytesView(o.key), config);
-      out.commit();
-    }
+    Output out = open_output(o.output);
+    r = run_context(*ctx, full, *out.sink);
+    out.commit();
     std::fprintf(report, "%s: restored %llu float%d elements "
                          "(dims %s, %u threads)\n",
                  o.output.c_str(),
                  static_cast<unsigned long long>(r.elements),
                  r.dtype == sz::DType::kFloat32 ? 32 : 64,
                  r.dims.to_string().c_str(), o.threads);
-    print_stage_metrics(report, "stages (summed over chunks):", metrics);
+    print_stage_metrics(report, "stages (summed over chunks):", r.times);
     return 0;
   }
 
+  // v2 single containers and v1 slab archives are one-shot formats:
+  // load the container, honor the historical "supply --key" usage exit
+  // for v2, then decode through the same sans-io machine.
   Bytes container(head, head + sizeof(head));
   {
     const Bytes rest = slurp(*in);
     container.insert(container.end(), rest.begin(), rest.end());
   }
-  const core::Header h = core::peek_header(BytesView(container));
-  if (h.scheme != core::Scheme::kNone && o.key.empty()) {
-    usage("this container is encrypted; supply --key");
+  uint32_t magic = 0;
+  std::memcpy(&magic, head, sizeof(magic));
+  if (magic == core::kMagic) {
+    const core::Header h = core::peek_header(BytesView(container));
+    if (h.scheme != core::Scheme::kNone && o.key.empty()) {
+      usage("this container is encrypted; supply --key");
+    }
   }
-  const core::SecureCompressor c(
-      sz::Params{}, h.scheme, BytesView(o.key),
-      core::CipherSpec{crypto::CipherKind::kAes128, h.cipher_mode,
-                       (h.flags & core::kFlagAuthenticated) != 0});
-  core::DecompressResult r = c.decompress(BytesView(container));
-  SZSEC_REQUIRE(r.dtype == sz::DType::kFloat32, "container holds float64");
+  auto ctx = sansio::Context::decoder(std::move(dc));
   {
+    MemorySource src{BytesView(container)};
     Output out = open_output(o.output);
-    out.sink->write(
-        BytesView(reinterpret_cast<const uint8_t*>(r.f32.data()),
-                  r.f32.size() * sizeof(float)));
+    r = run_context(*ctx, src, *out.sink);
     out.commit();
   }
-  std::fprintf(report, "%s: restored %zu floats (dims %s, eb %g)\n",
-               o.output.c_str(), r.f32.size(), h.dims.to_string().c_str(),
-               h.params.abs_error_bound);
+  if (r.dtype == sz::DType::kFloat32) {
+    std::fprintf(report, "%s: restored %llu floats (dims %s)\n",
+                 o.output.c_str(),
+                 static_cast<unsigned long long>(r.elements),
+                 r.dims.to_string().c_str());
+  } else {
+    std::fprintf(report, "%s: restored %llu float64 elements (dims %s)\n",
+                 o.output.c_str(),
+                 static_cast<unsigned long long>(r.elements),
+                 r.dims.to_string().c_str());
+  }
   print_stage_metrics(report, "stages:", r.times);
   return 0;
 }

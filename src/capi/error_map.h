@@ -1,0 +1,55 @@
+// Exception → stable C error code mapping for the szsec C ABI.
+//
+// Internal header (not installed): the C entry points in szsec_c.cpp
+// funnel every call through capi::guard(), and the table-driven
+// taxonomy test in tests/capi_test.cpp throws each library exception
+// type through map_current_exception() to pin the code it lands on.
+//
+// The catch ladder is ordered most-derived first: StateError,
+// CorruptError, and CryptoError all derive from szsec::Error, and
+// IoError branches on its transient() classification, so reordering
+// these clauses silently reroutes codes — which is an ABI break.
+#pragma once
+
+#include <exception>
+#include <new>
+#include <string>
+
+#include "common/error.h"
+#include "common/io.h"
+#include "core/sansio.h"
+#include "szsec.h"
+
+namespace szsec::capi {
+
+/// A caught exception flattened for the C boundary.
+struct MappedError {
+  int code = SZSEC_E_INTERNAL;
+  std::string message = "unknown internal error";
+};
+
+/// Maps the exception currently being handled (call inside a catch
+/// block, or with std::current_exception() pending) to its stable code.
+inline MappedError map_current_exception() noexcept {
+  try {
+    throw;  // re-inspect the in-flight exception
+  } catch (const sansio::StateError& e) {
+    return {SZSEC_E_STATE, e.what()};
+  } catch (const CorruptError& e) {
+    return {SZSEC_E_CORRUPT, e.what()};
+  } catch (const CryptoError& e) {
+    return {SZSEC_E_CRYPTO, e.what()};
+  } catch (const IoError& e) {
+    return {e.transient() ? SZSEC_E_IO_TRANSIENT : SZSEC_E_IO, e.what()};
+  } catch (const Error& e) {
+    return {SZSEC_E_INVALID, e.what()};
+  } catch (const std::bad_alloc&) {
+    return {SZSEC_E_NOMEM, "out of memory"};
+  } catch (const std::exception& e) {
+    return {SZSEC_E_INTERNAL, e.what()};
+  } catch (...) {
+    return {SZSEC_E_INTERNAL, "unknown internal error"};
+  }
+}
+
+}  // namespace szsec::capi

@@ -1,0 +1,496 @@
+// Implementation of the stable C ABI (include/szsec.h) over the
+// sans-io context core (core/sansio.h).
+//
+// Boundary rules enforced here:
+//  - No C++ exception escapes: every entry point runs inside guard(),
+//    which maps library exceptions to the stable negative codes via
+//    capi::map_current_exception() and parks the detail message in a
+//    thread-local buffer for szsec_last_error_message().
+//  - No C++ types cross: szsec_ctx is an opaque struct owning the
+//    sansio::Context; options/info are plain C structs versioned by
+//    their struct_size prefix (callers built against an older header
+//    pass a shorter struct; the missing tail keeps its defaults).
+//  - Buffers handed out (szsec_compress/szsec_decompress) come from
+//    malloc so szsec_buffer_free() is free() regardless of how the
+//    library itself was built.
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <span>
+#include <string>
+
+#include "capi/error_map.h"
+#include "common/bytestream.h"
+#include "archive/verify.h"
+#include "core/sansio.h"
+#include "szsec.h"
+
+#ifndef SZSEC_VERSION_STRING
+#define SZSEC_VERSION_STRING "0.0.0"
+#endif
+
+using szsec::Bytes;
+using szsec::BytesView;
+using szsec::Dims;
+namespace sansio = szsec::sansio;
+
+// The one mutable global: per-thread detail for the last failed call.
+// A static buffer (not a std::string) so the message survives even
+// when the failure being reported is std::bad_alloc.
+namespace {
+
+constexpr size_t kErrorCap = 512;
+thread_local char g_last_error[kErrorCap] = "";
+
+int set_error(int code, const std::string& message) noexcept {
+  const size_t n = message.size() < kErrorCap - 1 ? message.size()
+                                                  : kErrorCap - 1;
+  std::memcpy(g_last_error, message.data(), n);
+  g_last_error[n] = '\0';
+  return code;
+}
+
+template <typename Fn>
+int guard(Fn&& fn) noexcept {
+  try {
+    return fn();
+  } catch (...) {
+    const szsec::capi::MappedError m = szsec::capi::map_current_exception();
+    return set_error(m.code, m.message);
+  }
+}
+
+int status_to_int(sansio::Status s) {
+  switch (s) {
+    case sansio::Status::kNeedInput:
+      return SZSEC_NEED_INPUT;
+    case sansio::Status::kHaveOutput:
+      return SZSEC_HAVE_OUTPUT;
+    case sansio::Status::kDone:
+      return SZSEC_DONE;
+  }
+  return SZSEC_E_INTERNAL;  // unreachable
+}
+
+// Copies the caller's option prefix onto a fully defaulted block, so a
+// caller built against an older (shorter) szsec_options still gets
+// current defaults for the fields it does not know about.
+int read_options(const szsec_options* user, szsec_options* out) {
+  szsec_options_init(out);
+  if (user == nullptr) return SZSEC_OK;
+  if (user->struct_size < sizeof(size_t)) {
+    return set_error(SZSEC_E_ARG,
+                     "szsec_options.struct_size is smaller than any "
+                     "released layout; call szsec_options_init first");
+  }
+  if (user->struct_size > sizeof(szsec_options)) {
+    return set_error(SZSEC_E_ARG,
+                     "szsec_options.struct_size is larger than this "
+                     "library's layout; it was built against a newer "
+                     "szsec.h than the loaded library");
+  }
+  std::memcpy(out, user, user->struct_size);
+  out->struct_size = sizeof(szsec_options);
+  return SZSEC_OK;
+}
+
+int check_range(const char* field, int value, int lo, int hi) {
+  if (value < lo || value > hi) {
+    return set_error(SZSEC_E_INVALID, std::string("szsec_options.") + field +
+                                          " = " + std::to_string(value) +
+                                          " is out of range");
+  }
+  return SZSEC_OK;
+}
+
+Dims dims_from_options(const szsec_options& o) {
+  const uint64_t* d = o.dims;
+  switch (o.rank) {
+    case 1:
+      return Dims{static_cast<size_t>(d[0])};
+    case 2:
+      return Dims{static_cast<size_t>(d[0]), static_cast<size_t>(d[1])};
+    case 3:
+      return Dims{static_cast<size_t>(d[0]), static_cast<size_t>(d[1]),
+                  static_cast<size_t>(d[2])};
+    case 4:
+      return Dims{static_cast<size_t>(d[0]), static_cast<size_t>(d[1]),
+                  static_cast<size_t>(d[2]), static_cast<size_t>(d[3])};
+    default:
+      throw szsec::Error("szsec_options.rank must be 1..4 for encoding");
+  }
+}
+
+int build_encoder_config(const szsec_options& o, BytesView key,
+                         sansio::EncoderConfig* out) {
+  int rc;
+  if ((rc = check_range("scheme", o.scheme, SZSEC_SCHEME_NONE,
+                        SZSEC_SCHEME_ENCR_HUFFMAN)) != SZSEC_OK ||
+      (rc = check_range("cipher_kind", o.cipher_kind, SZSEC_CIPHER_AES128,
+                        SZSEC_CIPHER_CHACHA20)) != SZSEC_OK ||
+      (rc = check_range("cipher_mode", o.cipher_mode, SZSEC_MODE_CBC,
+                        SZSEC_MODE_ECB)) != SZSEC_OK ||
+      (rc = check_range("dtype", o.dtype, SZSEC_DTYPE_F32,
+                        SZSEC_DTYPE_F64)) != SZSEC_OK ||
+      (rc = check_range("container", o.container, SZSEC_CONTAINER_V2_SINGLE,
+                        SZSEC_CONTAINER_V1_SLAB)) != SZSEC_OK ||
+      (rc = check_range("rank", o.rank, 1, SZSEC_MAX_RANK)) != SZSEC_OK) {
+    return rc;
+  }
+  for (int i = 0; i < o.rank; ++i) {
+    if (o.dims[i] == 0) {
+      return set_error(SZSEC_E_INVALID, "szsec_options.dims[" +
+                                            std::to_string(i) +
+                                            "] is zero");
+    }
+  }
+  sansio::EncoderConfig ec;
+  ec.params.abs_error_bound = o.abs_error_bound;
+  if (o.quant_bins != 0) ec.params.quant_bins = o.quant_bins;
+  if (o.block_side != 0) ec.params.block_side = o.block_side;
+  ec.scheme = static_cast<szsec::core::Scheme>(o.scheme);
+  ec.spec.kind = static_cast<szsec::crypto::CipherKind>(o.cipher_kind);
+  ec.spec.mode = static_cast<szsec::crypto::Mode>(o.cipher_mode);
+  ec.spec.authenticate = o.authenticate != 0;
+  ec.key.assign(key.begin(), key.end());
+  ec.dtype = o.dtype == SZSEC_DTYPE_F64 ? szsec::sz::DType::kFloat64
+                                        : szsec::sz::DType::kFloat32;
+  ec.dims = dims_from_options(o);
+  ec.container = static_cast<sansio::Container>(o.container);
+  ec.chunks = static_cast<size_t>(o.chunks);
+  ec.threads = o.threads;
+  ec.seek_table = o.seek_table != 0;
+  if (o.has_drbg_seed) ec.drbg_seed = o.drbg_seed;
+  *out = std::move(ec);
+  return SZSEC_OK;
+}
+
+int build_decoder_config(const szsec_options& o, BytesView key,
+                         sansio::DecoderConfig* out) {
+  int rc;
+  if ((rc = check_range("salvage_fill", o.salvage_fill, SZSEC_FILL_ZEROS,
+                        SZSEC_FILL_NAN)) != SZSEC_OK) {
+    return rc;
+  }
+  sansio::DecoderConfig dc;
+  dc.key.assign(key.begin(), key.end());
+  dc.threads = o.threads;
+  dc.salvage = o.salvage != 0;
+  dc.fill = o.salvage_fill == SZSEC_FILL_NAN
+                ? szsec::archive::FallbackFill::kNaN
+                : szsec::archive::FallbackFill::kZeros;
+  *out = std::move(dc);
+  return SZSEC_OK;
+}
+
+}  // namespace
+
+// Opaque handle: the sans-io machine plus what the info call needs to
+// know about how it was created.
+struct szsec_ctx {
+  std::unique_ptr<sansio::Context> machine;
+  bool is_encoder = false;
+};
+
+extern "C" {
+
+SZSEC_API void szsec_options_init(szsec_options* opts) {
+  if (opts == nullptr) return;
+  std::memset(opts, 0, sizeof(*opts));
+  opts->struct_size = sizeof(*opts);
+  opts->scheme = SZSEC_SCHEME_NONE;
+  opts->cipher_kind = SZSEC_CIPHER_AES128;
+  opts->cipher_mode = SZSEC_MODE_CBC;
+  opts->dtype = SZSEC_DTYPE_F32;
+  opts->container = SZSEC_CONTAINER_V2_SINGLE;
+  opts->seek_table = 1;
+  opts->abs_error_bound = 1e-4;
+  opts->quant_bins = 65536;
+  opts->block_side = 6;
+  opts->threads = 1;
+  opts->salvage_fill = SZSEC_FILL_ZEROS;
+}
+
+SZSEC_API const char* szsec_version(void) { return SZSEC_VERSION_STRING; }
+
+SZSEC_API int szsec_abi_version(void) { return SZSEC_ABI_VERSION; }
+
+SZSEC_API const char* szsec_error_name(int code) {
+  switch (code) {
+    case SZSEC_OK:
+      return "SZSEC_OK";
+    case SZSEC_NEED_INPUT:
+      return "SZSEC_NEED_INPUT";
+    case SZSEC_HAVE_OUTPUT:
+      return "SZSEC_HAVE_OUTPUT";
+    case SZSEC_DONE:
+      return "SZSEC_DONE";
+    case SZSEC_E_ARG:
+      return "SZSEC_E_ARG";
+    case SZSEC_E_STATE:
+      return "SZSEC_E_STATE";
+    case SZSEC_E_INVALID:
+      return "SZSEC_E_INVALID";
+    case SZSEC_E_CORRUPT:
+      return "SZSEC_E_CORRUPT";
+    case SZSEC_E_CRYPTO:
+      return "SZSEC_E_CRYPTO";
+    case SZSEC_E_IO:
+      return "SZSEC_E_IO";
+    case SZSEC_E_IO_TRANSIENT:
+      return "SZSEC_E_IO_TRANSIENT";
+    case SZSEC_E_NOMEM:
+      return "SZSEC_E_NOMEM";
+    case SZSEC_E_INTERNAL:
+      return "SZSEC_E_INTERNAL";
+    default:
+      return "SZSEC_E_UNKNOWN";
+  }
+}
+
+SZSEC_API const char* szsec_last_error_message(void) { return g_last_error; }
+
+SZSEC_API int szsec_encoder_new(const szsec_options* opts,
+                                const uint8_t* key, size_t key_len,
+                                szsec_ctx** out_ctx) {
+  if (out_ctx == nullptr) return set_error(SZSEC_E_ARG, "out_ctx is NULL");
+  *out_ctx = nullptr;
+  if (key == nullptr && key_len != 0) {
+    return set_error(SZSEC_E_ARG, "key is NULL but key_len is nonzero");
+  }
+  return guard([&] {
+    szsec_options o;
+    int rc = read_options(opts, &o);
+    if (rc != SZSEC_OK) return rc;
+    sansio::EncoderConfig ec;
+    rc = build_encoder_config(o, BytesView(key, key_len), &ec);
+    if (rc != SZSEC_OK) return rc;
+    auto ctx = std::make_unique<szsec_ctx>();
+    ctx->machine = sansio::Context::encoder(std::move(ec));
+    ctx->is_encoder = true;
+    *out_ctx = ctx.release();
+    return status_to_int((*out_ctx)->machine->status());
+  });
+}
+
+SZSEC_API int szsec_decoder_new(const szsec_options* opts,
+                                const uint8_t* key, size_t key_len,
+                                szsec_ctx** out_ctx) {
+  if (out_ctx == nullptr) return set_error(SZSEC_E_ARG, "out_ctx is NULL");
+  *out_ctx = nullptr;
+  if (key == nullptr && key_len != 0) {
+    return set_error(SZSEC_E_ARG, "key is NULL but key_len is nonzero");
+  }
+  return guard([&] {
+    szsec_options o;
+    int rc = read_options(opts, &o);
+    if (rc != SZSEC_OK) return rc;
+    sansio::DecoderConfig dc;
+    rc = build_decoder_config(o, BytesView(key, key_len), &dc);
+    if (rc != SZSEC_OK) return rc;
+    auto ctx = std::make_unique<szsec_ctx>();
+    ctx->machine = sansio::Context::decoder(std::move(dc));
+    *out_ctx = ctx.release();
+    return status_to_int((*out_ctx)->machine->status());
+  });
+}
+
+SZSEC_API int szsec_feed(szsec_ctx* ctx, const uint8_t* data, size_t len,
+                         size_t* consumed) {
+  if (consumed != nullptr) *consumed = 0;
+  if (ctx == nullptr) return set_error(SZSEC_E_ARG, "ctx is NULL");
+  if (data == nullptr && len != 0) {
+    return set_error(SZSEC_E_ARG, "data is NULL but len is nonzero");
+  }
+  return guard([&] {
+    size_t n = 0;
+    const sansio::Status s = ctx->machine->feed(BytesView(data, len), n);
+    if (consumed != nullptr) *consumed = n;
+    return status_to_int(s);
+  });
+}
+
+SZSEC_API int szsec_pull(szsec_ctx* ctx, uint8_t* out, size_t cap,
+                         size_t* produced) {
+  if (produced != nullptr) *produced = 0;
+  if (ctx == nullptr) return set_error(SZSEC_E_ARG, "ctx is NULL");
+  if (out == nullptr && cap != 0) {
+    return set_error(SZSEC_E_ARG, "out is NULL but cap is nonzero");
+  }
+  return guard([&] {
+    size_t n = 0;
+    const sansio::Status s =
+        ctx->machine->pull(std::span<uint8_t>(out, cap), n);
+    if (produced != nullptr) *produced = n;
+    return status_to_int(s);
+  });
+}
+
+SZSEC_API int szsec_finish(szsec_ctx* ctx) {
+  if (ctx == nullptr) return set_error(SZSEC_E_ARG, "ctx is NULL");
+  return guard([&] { return status_to_int(ctx->machine->finish()); });
+}
+
+SZSEC_API int szsec_status(szsec_ctx* ctx) {
+  if (ctx == nullptr) return set_error(SZSEC_E_ARG, "ctx is NULL");
+  return guard([&] { return status_to_int(ctx->machine->status()); });
+}
+
+SZSEC_API void szsec_ctx_free(szsec_ctx* ctx) { delete ctx; }
+
+SZSEC_API int szsec_ctx_info(szsec_ctx* ctx, szsec_info* info) {
+  if (ctx == nullptr) return set_error(SZSEC_E_ARG, "ctx is NULL");
+  if (info == nullptr) return set_error(SZSEC_E_ARG, "info is NULL");
+  if (info->struct_size < sizeof(size_t)) {
+    return set_error(SZSEC_E_ARG, "szsec_info.struct_size not set");
+  }
+  return guard([&] {
+    const sansio::Result& r = ctx->machine->result();  // throws pre-kDone
+    szsec_info full;
+    std::memset(&full, 0, sizeof(full));
+    full.struct_size = sizeof(full);
+    full.container = static_cast<int>(r.container);
+    full.dtype = r.dtype == szsec::sz::DType::kFloat64 ? SZSEC_DTYPE_F64
+                                                       : SZSEC_DTYPE_F32;
+    full.rank = static_cast<int>(r.dims.rank());
+    for (size_t i = 0; i < r.dims.rank(); ++i) full.dims[i] = r.dims[i];
+    full.elements = r.elements;
+    full.bytes_in = r.bytes_in;
+    full.bytes_out = r.bytes_out;
+    full.chunk_count = r.chunk_count;
+    if (ctx->is_encoder && r.bytes_out > 0) {
+      full.compression_ratio =
+          static_cast<double>(r.bytes_in) / static_cast<double>(r.bytes_out);
+    }
+    if (r.salvage.has_value()) {
+      full.salvage_used = 1;
+      full.chunks_expected = r.salvage->chunks_expected;
+      full.chunks_recovered = r.salvage->chunks_recovered;
+    }
+    const size_t n =
+        info->struct_size < sizeof(full) ? info->struct_size : sizeof(full);
+    std::memcpy(info, &full, n);
+    info->struct_size = n;
+    return SZSEC_OK;
+  });
+}
+
+namespace {
+
+// Shared driver for the one-shot calls: runs a context to completion
+// over an in-memory input, collecting output into a malloc'd buffer.
+int run_oneshot(szsec_ctx* ctx, const uint8_t* data, size_t len,
+                uint8_t** out, size_t* out_len) {
+  Bytes collected;
+  size_t off = 0;
+  bool finished = false;
+  Bytes scratch(size_t{1} << 16);
+  int st = szsec_status(ctx);
+  while (st >= 0 && st != SZSEC_DONE) {
+    if (st == SZSEC_HAVE_OUTPUT) {
+      size_t produced = 0;
+      st = szsec_pull(ctx, scratch.data(), scratch.size(), &produced);
+      collected.insert(collected.end(), scratch.data(),
+                       scratch.data() + produced);
+    } else if (off < len) {
+      size_t consumed = 0;
+      st = szsec_feed(ctx, data + off, len - off, &consumed);
+      off += consumed;
+    } else if (!finished) {
+      finished = true;
+      st = szsec_finish(ctx);
+    } else {
+      return set_error(SZSEC_E_INTERNAL,
+                       "one-shot machine stalled wanting input after finish");
+    }
+  }
+  if (st < 0) return st;
+  auto* buf = static_cast<uint8_t*>(std::malloc(
+      collected.empty() ? size_t{1} : collected.size()));
+  if (buf == nullptr) return set_error(SZSEC_E_NOMEM, "out of memory");
+  std::memcpy(buf, collected.data(), collected.size());
+  *out = buf;
+  *out_len = collected.size();
+  return SZSEC_OK;
+}
+
+}  // namespace
+
+SZSEC_API int szsec_compress(const szsec_options* opts, const uint8_t* key,
+                             size_t key_len, const uint8_t* data,
+                             size_t data_len, uint8_t** out,
+                             size_t* out_len) {
+  if (out == nullptr || out_len == nullptr) {
+    return set_error(SZSEC_E_ARG, "out/out_len is NULL");
+  }
+  *out = nullptr;
+  *out_len = 0;
+  if (data == nullptr && data_len != 0) {
+    return set_error(SZSEC_E_ARG, "data is NULL but data_len is nonzero");
+  }
+  szsec_ctx* ctx = nullptr;
+  int rc = szsec_encoder_new(opts, key, key_len, &ctx);
+  if (rc < 0) return rc;
+  rc = run_oneshot(ctx, data, data_len, out, out_len);
+  szsec_ctx_free(ctx);
+  return rc;
+}
+
+SZSEC_API int szsec_decompress(const szsec_options* opts,
+                               const uint8_t* key, size_t key_len,
+                               const uint8_t* container, size_t len,
+                               uint8_t** out, size_t* out_len,
+                               szsec_info* info) {
+  if (out == nullptr || out_len == nullptr) {
+    return set_error(SZSEC_E_ARG, "out/out_len is NULL");
+  }
+  *out = nullptr;
+  *out_len = 0;
+  if (container == nullptr && len != 0) {
+    return set_error(SZSEC_E_ARG, "container is NULL but len is nonzero");
+  }
+  szsec_ctx* ctx = nullptr;
+  int rc = szsec_decoder_new(opts, key, key_len, &ctx);
+  if (rc < 0) return rc;
+  rc = run_oneshot(ctx, container, len, out, out_len);
+  if (rc == SZSEC_OK && info != nullptr) rc = szsec_ctx_info(ctx, info);
+  if (rc != SZSEC_OK && *out != nullptr) {
+    std::free(*out);
+    *out = nullptr;
+    *out_len = 0;
+  }
+  szsec_ctx_free(ctx);
+  return rc;
+}
+
+SZSEC_API int szsec_verify(const uint8_t* container, size_t len,
+                           const uint8_t* key, size_t key_len) {
+  if (container == nullptr && len != 0) {
+    return set_error(SZSEC_E_ARG, "container is NULL but len is nonzero");
+  }
+  if (key == nullptr && key_len != 0) {
+    return set_error(SZSEC_E_ARG, "key is NULL but key_len is nonzero");
+  }
+  return guard([&] {
+    const szsec::archive::VerifyReport report = szsec::archive::verify_archive(
+        BytesView(container, len), BytesView(key, key_len));
+    if (report.clean()) return SZSEC_OK;
+    std::string why = report.prelude_ok ? "" : report.prelude_detail;
+    if (why.empty()) {
+      for (const auto& c : report.chunks) {
+        if (!c.ok) {
+          why = "chunk " + std::to_string(c.chunk_id) + ": " + c.detail;
+          break;
+        }
+      }
+    }
+    if (why.empty()) why = "container failed verification";
+    return set_error(SZSEC_E_CORRUPT, why);
+  });
+}
+
+SZSEC_API void szsec_buffer_free(uint8_t* buf) { std::free(buf); }
+
+}  // extern "C"

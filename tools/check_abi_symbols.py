@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Symbol-hygiene gate for the shared libszsec.
+
+Scans the dynamic symbol table (`nm -D --defined-only`) of the built
+shared library and enforces two invariants:
+
+  1. Every exported function/data symbol starts with ``szsec_`` — the
+     library leaks nothing but its C ABI.  GNU-unique symbols (type
+     ``u``: vague-linkage tables libstdc++ emits for inline
+     instantiations) are tolerated; they are not part of the interface
+     and cannot be hidden without -fno-gnu-unique.
+  2. The set of exported ``szsec_`` symbols matches the checked-in
+     manifest ``abi/szsec.symbols`` exactly.  A new export means the
+     ABI grew (update the manifest deliberately, in the same commit as
+     the header change); a missing one is an ABI break (bump
+     SZSEC_ABI_VERSION and the SOVERSION).
+
+Usage: check_abi_symbols.py <libszsec.so> [manifest]
+Exit status: 0 clean, 1 violations (listed on stderr), 2 usage/tooling.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+# nm type codes that constitute the library's visible interface.
+INTERFACE_TYPES = set("TDBRWiV")
+TOLERATED_TYPES = set("u")  # STB_GNU_UNIQUE: vague linkage, not interface
+
+
+def exported_symbols(library: Path):
+    proc = subprocess.run(
+        ["nm", "-D", "--defined-only", str(library)],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        sys.exit(2)
+    symbols = {}
+    for line in proc.stdout.splitlines():
+        parts = line.split()
+        if len(parts) != 3:
+            continue
+        _, sym_type, name = parts
+        symbols[name] = sym_type
+    return symbols
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        sys.stderr.write(__doc__)
+        return 2
+    library = Path(argv[1])
+    manifest = Path(argv[2]) if len(argv) == 3 else (
+        Path(__file__).resolve().parent.parent / "abi" / "szsec.symbols")
+    if not library.exists():
+        sys.stderr.write(f"no such library: {library}\n")
+        return 2
+    if not manifest.exists():
+        sys.stderr.write(f"no such manifest: {manifest}\n")
+        return 2
+
+    symbols = exported_symbols(library)
+    expected = {
+        line.strip()
+        for line in manifest.read_text().splitlines()
+        if line.strip() and not line.startswith("#")
+    }
+
+    failures = []
+    exported = set()
+    for name, sym_type in sorted(symbols.items()):
+        if sym_type in TOLERATED_TYPES:
+            continue
+        if sym_type not in INTERFACE_TYPES:
+            continue
+        if not name.startswith("szsec_"):
+            failures.append(
+                f"leaked symbol (no szsec_ prefix): {name} [{sym_type}]")
+            continue
+        exported.add(name)
+
+    for name in sorted(exported - expected):
+        failures.append(
+            f"new export not in {manifest.name}: {name} "
+            "(ABI grew; update the manifest in this commit)")
+    for name in sorted(expected - exported):
+        failures.append(
+            f"manifest symbol missing from library: {name} "
+            "(ABI break; bump SZSEC_ABI_VERSION)")
+
+    if failures:
+        sys.stderr.write("\n".join(failures) + "\n")
+        sys.stderr.write(
+            f"\n{len(failures)} ABI symbol violation(s) in {library}\n")
+        return 1
+    print(f"{library}: {len(exported)} exported symbols match "
+          f"{manifest.name}; no leaks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

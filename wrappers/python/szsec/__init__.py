@@ -1,0 +1,563 @@
+"""ctypes binding for libszsec (the stable C ABI in include/szsec.h).
+
+Pure standard library — no pip dependencies.  The shared library is
+located from, in order:
+
+  1. the ``SZSEC_LIBRARY`` environment variable (full path),
+  2. ``libszsec.so`` next to a build tree passed via ``SZSEC_BUILD_DIR``
+     (``<dir>/src/capi/libszsec.so``),
+  3. the system loader (``libszsec.so.1`` / ``libszsec.so``).
+
+One-shots::
+
+    import szsec
+    blob = szsec.compress(data, dims=(100, 500, 500), key=key,
+                          scheme=szsec.Scheme.ENCR_HUFFMAN)
+    raw = szsec.decompress(blob, key=key)
+    szsec.verify(blob, key=key)      # raises CorruptError on damage
+
+Streaming (sans-io: you own every byte in flight)::
+
+    enc = szsec.Encoder(dims=(512, 512), key=key, drbg_seed=7)
+    with open("field.bin", "rb") as src, open("out.szs", "wb") as dst:
+        for chunk in iter(lambda: src.read(65536), b""):
+            for out in enc.feed(chunk):
+                dst.write(out)
+        for out in enc.finish():
+            dst.write(out)
+
+Errors raise a typed hierarchy rooted at :class:`SzsecError`, one class
+per stable ``SZSEC_E_*`` code.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import ctypes.util
+import enum
+import os
+from typing import Iterator, Optional, Sequence, Tuple
+
+__all__ = [
+    "ABI_VERSION",
+    "Scheme",
+    "Cipher",
+    "Mode",
+    "Container",
+    "Fill",
+    "SzsecError",
+    "ArgumentError",
+    "StateError",
+    "InvalidError",
+    "CorruptError",
+    "CryptoError",
+    "IoPermanentError",
+    "IoTransientError",
+    "Info",
+    "Encoder",
+    "Decoder",
+    "compress",
+    "decompress",
+    "verify",
+    "library_version",
+]
+
+ABI_VERSION = 1
+
+MAX_RANK = 4
+
+# Status codes (non-negative).
+OK = 0
+NEED_INPUT = 1
+HAVE_OUTPUT = 2
+DONE = 3
+
+
+class Scheme(enum.IntEnum):
+    NONE = 0
+    CMPR_ENCR = 1
+    ENCR_QUANT = 2
+    ENCR_HUFFMAN = 3
+
+
+class Cipher(enum.IntEnum):
+    AES128 = 0
+    AES192 = 1
+    AES256 = 2
+    DES = 3
+    TRIPLE_DES = 4
+    CHACHA20 = 5
+
+
+class Mode(enum.IntEnum):
+    CBC = 0
+    CTR = 1
+    ECB = 2
+
+
+class Container(enum.IntEnum):
+    V2_SINGLE = 0
+    V3_CHUNKED = 1
+    V1_SLAB = 2
+
+
+class Fill(enum.IntEnum):
+    ZEROS = 0
+    NAN = 1
+
+
+class SzsecError(Exception):
+    """Base of the typed error hierarchy; ``code`` is the SZSEC_E_* value."""
+
+    code: int = None  # type: ignore[assignment]
+
+    def __init__(self, message: str, code: Optional[int] = None):
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+
+class ArgumentError(SzsecError):
+    code = -1
+
+
+class StateError(SzsecError):
+    code = -2
+
+
+class InvalidError(SzsecError):
+    code = -3
+
+
+class CorruptError(SzsecError):
+    code = -4
+
+
+class CryptoError(SzsecError):
+    code = -5
+
+
+class IoPermanentError(SzsecError):
+    code = -6
+
+
+class IoTransientError(SzsecError):
+    code = -7
+
+
+class MemoryError_(SzsecError):
+    code = -8
+
+
+class InternalError(SzsecError):
+    code = -9
+
+
+_ERROR_CLASSES = {
+    cls.code: cls
+    for cls in (
+        ArgumentError,
+        StateError,
+        InvalidError,
+        CorruptError,
+        CryptoError,
+        IoPermanentError,
+        IoTransientError,
+        MemoryError_,
+        InternalError,
+    )
+}
+
+
+class _Options(ctypes.Structure):
+    _fields_ = [
+        ("struct_size", ctypes.c_size_t),
+        ("scheme", ctypes.c_int),
+        ("cipher_kind", ctypes.c_int),
+        ("cipher_mode", ctypes.c_int),
+        ("authenticate", ctypes.c_int),
+        ("dtype", ctypes.c_int),
+        ("container", ctypes.c_int),
+        ("seek_table", ctypes.c_int),
+        ("rank", ctypes.c_int),
+        ("dims", ctypes.c_uint64 * MAX_RANK),
+        ("abs_error_bound", ctypes.c_double),
+        ("quant_bins", ctypes.c_uint32),
+        ("block_side", ctypes.c_uint32),
+        ("chunks", ctypes.c_uint64),
+        ("threads", ctypes.c_uint32),
+        ("salvage", ctypes.c_int),
+        ("salvage_fill", ctypes.c_int),
+        ("has_drbg_seed", ctypes.c_int),
+        ("drbg_seed", ctypes.c_uint64),
+    ]
+
+
+class _Info(ctypes.Structure):
+    _fields_ = [
+        ("struct_size", ctypes.c_size_t),
+        ("container", ctypes.c_int),
+        ("dtype", ctypes.c_int),
+        ("rank", ctypes.c_int),
+        ("dims", ctypes.c_uint64 * MAX_RANK),
+        ("elements", ctypes.c_uint64),
+        ("bytes_in", ctypes.c_uint64),
+        ("bytes_out", ctypes.c_uint64),
+        ("chunk_count", ctypes.c_uint64),
+        ("compression_ratio", ctypes.c_double),
+        ("salvage_used", ctypes.c_int),
+        ("chunks_expected", ctypes.c_uint64),
+        ("chunks_recovered", ctypes.c_uint64),
+    ]
+
+
+class Info:
+    """Outcome of a finished context (read-only snapshot)."""
+
+    def __init__(self, raw: _Info):
+        self.container = Container(raw.container)
+        self.dtype = "f64" if raw.dtype == 1 else "f32"
+        self.dims: Tuple[int, ...] = tuple(raw.dims[i] for i in range(raw.rank))
+        self.elements = raw.elements
+        self.bytes_in = raw.bytes_in
+        self.bytes_out = raw.bytes_out
+        self.chunk_count = raw.chunk_count
+        self.compression_ratio = raw.compression_ratio
+        self.salvage_used = bool(raw.salvage_used)
+        self.chunks_expected = raw.chunks_expected
+        self.chunks_recovered = raw.chunks_recovered
+
+    def __repr__(self) -> str:
+        return (
+            f"Info(container={self.container.name}, dtype={self.dtype}, "
+            f"dims={self.dims}, elements={self.elements}, "
+            f"bytes_in={self.bytes_in}, bytes_out={self.bytes_out})"
+        )
+
+
+def _find_library() -> str:
+    env = os.environ.get("SZSEC_LIBRARY")
+    if env:
+        return env
+    build = os.environ.get("SZSEC_BUILD_DIR")
+    if build:
+        cand = os.path.join(build, "src", "capi", "libszsec.so")
+        if os.path.exists(cand):
+            return cand
+    found = ctypes.util.find_library("szsec")
+    if found:
+        return found
+    return "libszsec.so.1"
+
+
+_lib = None
+
+
+def _load() -> ctypes.CDLL:
+    global _lib
+    if _lib is not None:
+        return _lib
+    path = _find_library()
+    try:
+        lib = ctypes.CDLL(path)
+    except OSError as e:
+        raise OSError(
+            f"cannot load libszsec ({path}); set SZSEC_LIBRARY to the "
+            f"built shared library: {e}"
+        ) from e
+
+    lib.szsec_options_init.argtypes = [ctypes.POINTER(_Options)]
+    lib.szsec_options_init.restype = None
+    lib.szsec_version.restype = ctypes.c_char_p
+    lib.szsec_abi_version.restype = ctypes.c_int
+    lib.szsec_error_name.argtypes = [ctypes.c_int]
+    lib.szsec_error_name.restype = ctypes.c_char_p
+    lib.szsec_last_error_message.restype = ctypes.c_char_p
+    lib.szsec_encoder_new.argtypes = [
+        ctypes.POINTER(_Options),
+        ctypes.c_char_p,
+        ctypes.c_size_t,
+        ctypes.POINTER(ctypes.c_void_p),
+    ]
+    lib.szsec_decoder_new.argtypes = lib.szsec_encoder_new.argtypes
+    lib.szsec_feed.argtypes = [
+        ctypes.c_void_p,
+        ctypes.c_char_p,
+        ctypes.c_size_t,
+        ctypes.POINTER(ctypes.c_size_t),
+    ]
+    lib.szsec_pull.argtypes = [
+        ctypes.c_void_p,
+        ctypes.POINTER(ctypes.c_uint8),
+        ctypes.c_size_t,
+        ctypes.POINTER(ctypes.c_size_t),
+    ]
+    lib.szsec_finish.argtypes = [ctypes.c_void_p]
+    lib.szsec_status.argtypes = [ctypes.c_void_p]
+    lib.szsec_ctx_free.argtypes = [ctypes.c_void_p]
+    lib.szsec_ctx_free.restype = None
+    lib.szsec_ctx_info.argtypes = [ctypes.c_void_p, ctypes.POINTER(_Info)]
+    lib.szsec_compress.argtypes = [
+        ctypes.POINTER(_Options),
+        ctypes.c_char_p,
+        ctypes.c_size_t,
+        ctypes.c_char_p,
+        ctypes.c_size_t,
+        ctypes.POINTER(ctypes.POINTER(ctypes.c_uint8)),
+        ctypes.POINTER(ctypes.c_size_t),
+    ]
+    lib.szsec_decompress.argtypes = [
+        ctypes.POINTER(_Options),
+        ctypes.c_char_p,
+        ctypes.c_size_t,
+        ctypes.c_char_p,
+        ctypes.c_size_t,
+        ctypes.POINTER(ctypes.POINTER(ctypes.c_uint8)),
+        ctypes.POINTER(ctypes.c_size_t),
+        ctypes.POINTER(_Info),
+    ]
+    lib.szsec_verify.argtypes = [
+        ctypes.c_char_p,
+        ctypes.c_size_t,
+        ctypes.c_char_p,
+        ctypes.c_size_t,
+    ]
+    lib.szsec_buffer_free.argtypes = [ctypes.POINTER(ctypes.c_uint8)]
+    lib.szsec_buffer_free.restype = None
+
+    abi = lib.szsec_abi_version()
+    if abi != ABI_VERSION:
+        raise OSError(
+            f"libszsec speaks ABI {abi}; this wrapper expects {ABI_VERSION}"
+        )
+    _lib = lib
+    return lib
+
+
+def library_version() -> str:
+    """Release version string of the loaded libszsec (e.g. "1.0.0")."""
+    return _load().szsec_version().decode()
+
+
+def _raise(code: int) -> None:
+    lib = _load()
+    message = (lib.szsec_last_error_message() or b"").decode()
+    name = (lib.szsec_error_name(code) or b"").decode()
+    cls = _ERROR_CLASSES.get(code, SzsecError)
+    raise cls(f"{name}: {message}", code)
+
+
+def _check(code: int) -> int:
+    if code < 0:
+        _raise(code)
+    return code
+
+
+def _make_options(
+    *,
+    scheme: Scheme = Scheme.NONE,
+    cipher: Cipher = Cipher.AES128,
+    mode: Mode = Mode.CBC,
+    authenticate: bool = False,
+    float64: bool = False,
+    container: Container = Container.V2_SINGLE,
+    seek_table: bool = True,
+    dims: Optional[Sequence[int]] = None,
+    error_bound: float = 1e-4,
+    quant_bins: int = 0,
+    block_side: int = 0,
+    chunks: int = 0,
+    threads: int = 1,
+    salvage: bool = False,
+    fill: Fill = Fill.ZEROS,
+    drbg_seed: Optional[int] = None,
+) -> _Options:
+    o = _Options()
+    _load().szsec_options_init(ctypes.byref(o))
+    o.scheme = int(scheme)
+    o.cipher_kind = int(cipher)
+    o.cipher_mode = int(mode)
+    o.authenticate = 1 if authenticate else 0
+    o.dtype = 1 if float64 else 0
+    o.container = int(container)
+    o.seek_table = 1 if seek_table else 0
+    if dims is not None:
+        if not 1 <= len(dims) <= MAX_RANK:
+            raise InvalidError(f"dims needs 1..{MAX_RANK} axes, got {len(dims)}")
+        o.rank = len(dims)
+        for i, d in enumerate(dims):
+            o.dims[i] = d
+    o.abs_error_bound = error_bound
+    if quant_bins:
+        o.quant_bins = quant_bins
+    if block_side:
+        o.block_side = block_side
+    o.chunks = chunks
+    o.threads = threads
+    o.salvage = 1 if salvage else 0
+    o.salvage_fill = int(fill)
+    if drbg_seed is not None:
+        o.has_drbg_seed = 1
+        o.drbg_seed = drbg_seed
+    return o
+
+
+class _Context:
+    """Shared plumbing for Encoder/Decoder over an opaque szsec_ctx."""
+
+    _PULL_CHUNK = 1 << 16
+
+    def __init__(self, ctx: ctypes.c_void_p):
+        self._ctx = ctx
+        self._lib = _load()
+
+    def __del__(self):
+        self.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Releases the context (idempotent); an unfinished run aborts."""
+        ctx, self._ctx = self._ctx, None
+        if ctx:
+            self._lib.szsec_ctx_free(ctx)
+
+    def _require(self) -> ctypes.c_void_p:
+        if not self._ctx:
+            raise StateError("context is closed")
+        return self._ctx
+
+    def _drain(self) -> Iterator[bytes]:
+        ctx = self._require()
+        buf = (ctypes.c_uint8 * self._PULL_CHUNK)()
+        produced = ctypes.c_size_t()
+        while True:
+            st = _check(
+                self._lib.szsec_pull(
+                    ctx, buf, len(buf), ctypes.byref(produced)
+                )
+            )
+            if produced.value:
+                yield bytes(bytearray(buf[: produced.value]))
+            if st != HAVE_OUTPUT:
+                return
+
+    def feed(self, data: bytes) -> Iterator[bytes]:
+        """Feeds ``data``, yielding any output it unlocks."""
+        ctx = self._require()
+        view = bytes(data)
+        offset = 0
+        consumed = ctypes.c_size_t()
+        while offset < len(view):
+            st = _check(
+                self._lib.szsec_feed(
+                    ctx,
+                    view[offset:],
+                    len(view) - offset,
+                    ctypes.byref(consumed),
+                )
+            )
+            offset += consumed.value
+            if st == HAVE_OUTPUT:
+                yield from self._drain()
+
+    def finish(self) -> Iterator[bytes]:
+        """Declares end of input and yields all remaining output."""
+        _check(self._lib.szsec_finish(self._require()))
+        yield from self._drain()
+
+    def info(self) -> Info:
+        """Outcome of the finished run (StateError before completion)."""
+        raw = _Info()
+        raw.struct_size = ctypes.sizeof(raw)
+        _check(self._lib.szsec_ctx_info(self._require(), ctypes.byref(raw)))
+        return Info(raw)
+
+
+class Encoder(_Context):
+    """Streaming compressor: feed raw element bytes, pull archive bytes."""
+
+    def __init__(self, *, dims: Sequence[int], key: bytes = b"", **kwargs):
+        opts = _make_options(dims=dims, **kwargs)
+        lib = _load()
+        ctx = ctypes.c_void_p()
+        _check(
+            lib.szsec_encoder_new(
+                ctypes.byref(opts), key, len(key), ctypes.byref(ctx)
+            )
+        )
+        super().__init__(ctx)
+
+
+class Decoder(_Context):
+    """Streaming decompressor: feed archive bytes, pull element bytes."""
+
+    def __init__(self, *, key: bytes = b"", threads: int = 1,
+                 salvage: bool = False, fill: Fill = Fill.ZEROS):
+        opts = _make_options(threads=threads, salvage=salvage, fill=fill)
+        lib = _load()
+        ctx = ctypes.c_void_p()
+        _check(
+            lib.szsec_decoder_new(
+                ctypes.byref(opts), key, len(key), ctypes.byref(ctx)
+            )
+        )
+        super().__init__(ctx)
+
+
+def _take_buffer(ptr, length: ctypes.c_size_t) -> bytes:
+    try:
+        return ctypes.string_at(ptr, length.value)
+    finally:
+        _load().szsec_buffer_free(ptr)
+
+
+def compress(data: bytes, *, dims: Sequence[int], key: bytes = b"",
+             **kwargs) -> bytes:
+    """One-shot: raw little-endian element bytes -> container bytes."""
+    opts = _make_options(dims=dims, **kwargs)
+    lib = _load()
+    out = ctypes.POINTER(ctypes.c_uint8)()
+    out_len = ctypes.c_size_t()
+    _check(
+        lib.szsec_compress(
+            ctypes.byref(opts), key, len(key), bytes(data), len(data),
+            ctypes.byref(out), ctypes.byref(out_len),
+        )
+    )
+    return _take_buffer(out, out_len)
+
+
+def decompress(container: bytes, *, key: bytes = b"", threads: int = 1,
+               salvage: bool = False, fill: Fill = Fill.ZEROS,
+               want_info: bool = False):
+    """One-shot: container bytes -> raw element bytes (or (bytes, Info))."""
+    opts = _make_options(threads=threads, salvage=salvage, fill=fill)
+    lib = _load()
+    out = ctypes.POINTER(ctypes.c_uint8)()
+    out_len = ctypes.c_size_t()
+    raw_info = _Info()
+    raw_info.struct_size = ctypes.sizeof(raw_info)
+    _check(
+        lib.szsec_decompress(
+            ctypes.byref(opts), key, len(key), bytes(container),
+            len(container), ctypes.byref(out), ctypes.byref(out_len),
+            ctypes.byref(raw_info),
+        )
+    )
+    data = _take_buffer(out, out_len)
+    if want_info:
+        return data, Info(raw_info)
+    return data
+
+
+def verify(container: bytes, *, key: bytes = b"") -> None:
+    """Integrity scan without decoding; raises CorruptError on damage."""
+    _check(
+        _load().szsec_verify(bytes(container), len(container), key, len(key))
+    )

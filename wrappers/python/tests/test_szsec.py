@@ -1,0 +1,310 @@
+"""Golden-container replay and API tests for the szsec Python wrapper.
+
+Runs against the built shared library: set ``SZSEC_LIBRARY`` to the
+libszsec.so path (CTest does this), or ``SZSEC_BUILD_DIR`` to a CMake
+build tree.  Standard library only::
+
+    PYTHONPATH=wrappers/python SZSEC_BUILD_DIR=build \
+        python3 -m unittest discover -s wrappers/python/tests
+
+The golden pins here are the same SHA-256 digests
+tests/golden_container_test.cpp locks the C++ encoders to.  The field
+generator reproduces the C++ ``golden_field_f32`` bit-exactly — note
+that ``(rng() % 2001) - 1000`` is uint64 arithmetic in C++, so draws
+below 1000 wrap to ~2**64 and the float32 cast lands on exactly 2.0**64;
+the wrap is part of the pinned bytes and is reproduced here on purpose.
+"""
+
+import hashlib
+import math
+import struct
+import unittest
+
+import szsec
+
+KEY = bytes(range(16))
+DIMS = (12, 16, 20)
+
+# SHA-256 pins from tests/golden_container_test.cpp.
+PIN_V2 = {
+    (szsec.Scheme.NONE, szsec.Mode.CBC):
+        "b61956d6ff4e599b3e00de5504f65753b396553a766d1cba26eae51b4b4f70a8",
+    (szsec.Scheme.CMPR_ENCR, szsec.Mode.CBC):
+        "f9751bb8438d204d5f9e7e4d7228ffa80042c76208c5d138812cbbe68626d36a",
+    (szsec.Scheme.ENCR_QUANT, szsec.Mode.CBC):
+        "076e35e1f2c9cb1eb25b948fb4aac8ac610e9bf8a09a0fa43cb247e2ee0241a0",
+    (szsec.Scheme.ENCR_HUFFMAN, szsec.Mode.CBC):
+        "9cae546ebf236276f897204799b0ef55c810777a697b389cfe0b0f35a6a81c93",
+    (szsec.Scheme.ENCR_QUANT, szsec.Mode.CTR):
+        "a50a92d5ccd26574f3bda32eb0ca8557d6c4293c867fd32ec6f9e1339fd03baf",
+}
+PIN_AUTHENTICATED = \
+    "b63b4364d9f42adb62ceea4b110d9e09abe7fc55a77fb93e0afd0e7dfb08b3f1"
+PIN_V3_FOOTERLESS = \
+    "f3c578186833f9cb9d44e3e7c2958e4a6136d234adfe3e6e5d16c9613082d188"
+PIN_V3_FOOTER = \
+    "db0540590a318ac3dbfa2116d0dd8c09dd24417a1841fe0bff5a61828df8d7e7"
+PIN_V1_SLAB = \
+    "5c8c10668628689ee3746de1c692229a8ddfe54032568ab8eb38ce7343330bb6"
+
+
+class MT19937_64:
+    """std::mt19937_64 (the 64-bit Mersenne Twister, standard constants)."""
+
+    N, M = 312, 156
+    MASK = 0xFFFFFFFFFFFFFFFF
+
+    def __init__(self, seed):
+        mt = [seed & self.MASK] + [0] * (self.N - 1)
+        for i in range(1, self.N):
+            mt[i] = (6364136223846793005 *
+                     (mt[i - 1] ^ (mt[i - 1] >> 62)) + i) & self.MASK
+        self.mt = mt
+        self.index = self.N
+
+    def next(self):
+        if self.index >= self.N:
+            mt = self.mt
+            for i in range(self.N):
+                x = ((mt[i] & 0xFFFFFFFF80000000) +
+                     (mt[(i + 1) % self.N] & 0x7FFFFFFF))
+                xa = x >> 1
+                if x & 1:
+                    xa ^= 0xB5026F5AA96619E9
+                mt[i] = mt[(i + self.M) % self.N] ^ xa
+            self.index = 0
+        y = self.mt[self.index]
+        self.index += 1
+        y ^= (y >> 29) & 0x5555555555555555
+        y ^= (y << 17) & 0x71D67FFFEDA60000
+        y ^= (y << 37) & 0xFFF7EEE000000000
+        y ^= y >> 43
+        return y & self.MASK
+
+
+def f32(x):
+    """Round a Python float to the nearest float32 (C `float` semantics).
+
+    Products and sums of two float32 values are exact in float64, so
+    compute-in-double-then-round matches C's single-rounded float ops.
+    """
+    return struct.unpack("<f", struct.pack("<f", x))[0]
+
+
+def golden_field_f32(seed=17, count=12 * 16 * 20):
+    rng = MT19937_64(seed)
+    step_scale = f32(1e-4)
+    walk = f32(10.0)
+    values = []
+    for _ in range(count):
+        draw = (rng.next() % 2001 - 1000) & MT19937_64.MASK  # uint64 wrap
+        walk = f32(walk + f32(f32(float(draw)) * step_scale))
+        values.append(walk)
+    return struct.pack(f"<{count}f", *values)
+
+
+def golden_field_f64(count=12 * 16 * 20):
+    return struct.pack(
+        f"<{count}d", *(math.cos(i * 0.01) * 50 for i in range(count)))
+
+
+def sha256(b):
+    return hashlib.sha256(b).hexdigest()
+
+
+class GoldenPins(unittest.TestCase):
+    """The wrapper must emit the exact golden container bytes."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.field = golden_field_f32()
+
+    def test_v2_scheme_pins(self):
+        for (scheme, mode), pin in PIN_V2.items():
+            with self.subTest(scheme=scheme.name, mode=mode.name):
+                blob = szsec.compress(
+                    self.field, dims=DIMS, key=KEY, scheme=scheme,
+                    mode=mode, drbg_seed=0xC0FFEE)
+                self.assertEqual(sha256(blob), pin)
+
+    def test_authenticated_pin(self):
+        blob = szsec.compress(
+            self.field, dims=DIMS, key=KEY,
+            scheme=szsec.Scheme.ENCR_HUFFMAN, authenticate=True,
+            drbg_seed=0xC0FFEE)
+        self.assertEqual(sha256(blob), PIN_AUTHENTICATED)
+
+    def test_v3_chunked_pins(self):
+        for seek_table, pin in ((False, PIN_V3_FOOTERLESS),
+                                (True, PIN_V3_FOOTER)):
+            with self.subTest(seek_table=seek_table):
+                blob = szsec.compress(
+                    self.field, dims=DIMS, key=KEY,
+                    scheme=szsec.Scheme.ENCR_HUFFMAN,
+                    container=szsec.Container.V3_CHUNKED, chunks=4,
+                    threads=2, seek_table=seek_table, drbg_seed=0xABCD)
+                self.assertEqual(sha256(blob), pin)
+
+    def test_v1_slab_pin(self):
+        blob = szsec.compress(
+            self.field, dims=DIMS, key=KEY,
+            scheme=szsec.Scheme.CMPR_ENCR,
+            container=szsec.Container.V1_SLAB, chunks=4, threads=2,
+            drbg_seed=0xABCD)
+        self.assertEqual(sha256(blob), PIN_V1_SLAB)
+
+    def test_streaming_encoder_matches_one_shot_bytes(self):
+        one_shot = szsec.compress(
+            self.field, dims=DIMS, key=KEY,
+            scheme=szsec.Scheme.ENCR_HUFFMAN,
+            container=szsec.Container.V3_CHUNKED, chunks=4,
+            drbg_seed=0xABCD)
+        streamed = bytearray()
+        with szsec.Encoder(dims=DIMS, key=KEY,
+                           scheme=szsec.Scheme.ENCR_HUFFMAN,
+                           container=szsec.Container.V3_CHUNKED, chunks=4,
+                           drbg_seed=0xABCD) as enc:
+            for off in range(0, len(self.field), 997):  # odd-sized feeds
+                for out in enc.feed(self.field[off:off + 997]):
+                    streamed += out
+            for out in enc.finish():
+                streamed += out
+            info = enc.info()
+        self.assertEqual(sha256(bytes(streamed)), sha256(one_shot))
+        self.assertEqual(info.container, szsec.Container.V3_CHUNKED)
+        self.assertEqual(info.dims, DIMS)
+        self.assertEqual(info.chunk_count, 4)
+        self.assertEqual(info.bytes_in, len(self.field))
+        self.assertEqual(info.bytes_out, len(streamed))
+
+
+class RoundTrips(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.field = golden_field_f32()
+
+    def _values(self, raw):
+        return struct.unpack(f"<{len(raw) // 4}f", raw)
+
+    def test_decode_every_container_kind(self):
+        original = self._values(self.field)
+        for kwargs in (
+            dict(container=szsec.Container.V2_SINGLE),
+            dict(container=szsec.Container.V3_CHUNKED, chunks=4, threads=2),
+            dict(container=szsec.Container.V1_SLAB, chunks=4),
+        ):
+            with self.subTest(**kwargs):
+                blob = szsec.compress(
+                    self.field, dims=DIMS, key=KEY,
+                    scheme=szsec.Scheme.ENCR_HUFFMAN, drbg_seed=1,
+                    **kwargs)
+                raw, info = szsec.decompress(blob, key=KEY, want_info=True)
+                self.assertEqual(len(raw), len(self.field))
+                self.assertEqual(info.dims, DIMS)
+                self.assertEqual(info.dtype, "f32")
+                for got, want in zip(self._values(raw), original):
+                    self.assertLessEqual(abs(got - want), 1e-4)
+
+    def test_streaming_decoder_matches_one_shot(self):
+        blob = szsec.compress(
+            self.field, dims=DIMS, key=KEY,
+            scheme=szsec.Scheme.ENCR_QUANT,
+            container=szsec.Container.V3_CHUNKED, chunks=3, drbg_seed=2)
+        one_shot = szsec.decompress(blob, key=KEY)
+        streamed = bytearray()
+        with szsec.Decoder(key=KEY) as dec:
+            for off in range(0, len(blob), 1013):
+                for out in dec.feed(blob[off:off + 1013]):
+                    streamed += out
+            for out in dec.finish():
+                streamed += out
+        self.assertEqual(bytes(streamed), one_shot)
+
+    def test_float64_round_trip(self):
+        field = golden_field_f64()
+        blob = szsec.compress(
+            field, dims=DIMS, key=KEY, scheme=szsec.Scheme.ENCR_QUANT,
+            float64=True, drbg_seed=3)
+        raw, info = szsec.decompress(blob, key=KEY, want_info=True)
+        self.assertEqual(info.dtype, "f64")
+        self.assertEqual(len(raw), len(field))
+        got = struct.unpack(f"<{len(raw) // 8}d", raw)
+        want = struct.unpack(f"<{len(field) // 8}d", field)
+        for g, w in zip(got, want):
+            self.assertLessEqual(abs(g - w), 1e-4)
+
+    def test_verify_clean_and_corrupt(self):
+        blob = bytearray(szsec.compress(
+            self.field, dims=DIMS, key=KEY,
+            scheme=szsec.Scheme.ENCR_HUFFMAN, authenticate=True,
+            drbg_seed=4))
+        szsec.verify(bytes(blob), key=KEY)  # clean: no raise
+        blob[len(blob) // 2] ^= 0xFF
+        with self.assertRaises(szsec.CorruptError):
+            szsec.verify(bytes(blob), key=KEY)
+
+    def test_salvage_decode_of_damaged_archive(self):
+        blob = bytearray(szsec.compress(
+            self.field, dims=DIMS, key=KEY,
+            scheme=szsec.Scheme.ENCR_HUFFMAN,
+            container=szsec.Container.V3_CHUNKED, chunks=4, drbg_seed=5))
+        # Stomp bytes mid-archive: one chunk dies, the others salvage.
+        start = len(blob) // 2
+        for i in range(start, start + 32):
+            blob[i] ^= 0xA5
+        raw, info = szsec.decompress(
+            bytes(blob), key=KEY, salvage=True, want_info=True)
+        self.assertEqual(len(raw), len(self.field))
+        self.assertTrue(info.salvage_used)
+        self.assertEqual(info.chunks_expected, 4)
+        self.assertLess(info.chunks_recovered, 4)
+        self.assertGreaterEqual(info.chunks_recovered, 1)
+
+
+class Errors(unittest.TestCase):
+    def test_library_identity(self):
+        self.assertEqual(szsec._load().szsec_abi_version(),
+                         szsec.ABI_VERSION)
+        self.assertRegex(szsec.library_version(), r"^\d+\.\d+\.\d+")
+
+    def test_wrong_key_is_crypto_error(self):
+        field = golden_field_f32()
+        blob = szsec.compress(
+            field, dims=DIMS, key=KEY, scheme=szsec.Scheme.ENCR_HUFFMAN,
+            authenticate=True, drbg_seed=6)
+        wrong = bytes([KEY[0] ^ 0xFF]) + KEY[1:]
+        with self.assertRaises(szsec.CryptoError):
+            szsec.decompress(blob, key=wrong)
+
+    def test_junk_is_corrupt_error(self):
+        with self.assertRaises(szsec.CorruptError):
+            szsec.decompress(b"definitely not a container", key=KEY)
+
+    def test_missing_key_is_invalid(self):
+        with self.assertRaises(szsec.InvalidError):
+            szsec.compress(golden_field_f32(), dims=DIMS,
+                           scheme=szsec.Scheme.CMPR_ENCR)
+
+    def test_misuse_is_state_error(self):
+        field = golden_field_f32()
+        enc = szsec.Encoder(dims=DIMS, key=KEY,
+                            scheme=szsec.Scheme.ENCR_HUFFMAN, drbg_seed=7)
+        list(enc.feed(field))
+        list(enc.finish())
+        with self.assertRaises(szsec.StateError):
+            list(enc.finish())
+        enc.close()
+        with self.assertRaises(szsec.StateError):
+            list(enc.feed(b"x"))
+
+    def test_error_message_is_carried(self):
+        try:
+            szsec.decompress(b"junkjunkjunk")
+        except szsec.CorruptError as e:
+            self.assertIn("SZSEC_E_CORRUPT", str(e))
+        else:
+            self.fail("expected CorruptError")
+
+
+if __name__ == "__main__":
+    unittest.main()
